@@ -1,0 +1,20 @@
+"""Ablations beyond the paper's figures: prefetcher and BVH width."""
+
+from conftest import run_once
+
+from repro.eval import experiments
+
+
+def bench_ablation_prefetcher(benchmark, record_table):
+    result = record_table(run_once(benchmark, experiments.ablation_prefetch))
+    for row in result.rows:
+        l1_on, l1_off = row[1], row[2]
+        # The Section V-A prefetcher exists to raise L1 hit rates.
+        assert l1_on >= l1_off
+
+
+def bench_ablation_bvh_width(benchmark, record_table):
+    result = record_table(run_once(benchmark, experiments.ablation_bvh_width))
+    heights = [row[1] for row in result.rows]
+    # Wider nodes give shallower trees.
+    assert heights[0] >= heights[-1]

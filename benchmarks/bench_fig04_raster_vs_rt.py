@@ -1,0 +1,21 @@
+"""Figure 4: motivation — rasterization vs ray tracing, stage isolation."""
+
+from conftest import run_once
+
+from repro.eval import experiments
+
+
+def bench_fig04a_raster_vs_raytracing(benchmark, record_table):
+    result = record_table(run_once(benchmark, experiments.fig04a))
+    slowdown = result.rows[-1][3]
+    # Paper: ray tracing ~3.04x slower than rasterization on average.
+    assert slowdown > 1.2, "ray tracing should be slower than rasterization"
+
+
+def bench_fig04b_stage_isolation(benchmark, record_table):
+    result = record_table(run_once(benchmark, experiments.fig04b))
+    for row in result.rows:
+        traversal, with_sort, with_blend = row[1], row[2], row[3]
+        # Paper: traversal dominates; sorting and blending are marginal.
+        assert traversal > 0.5 * with_blend
+        assert with_blend >= with_sort >= traversal

@@ -1,0 +1,13 @@
+"""Figure 5: icosahedron proxy vs custom primitive (time + BVH size)."""
+
+from conftest import run_once
+
+from repro.eval import experiments
+
+
+def bench_fig05_bounding_primitives(benchmark, record_table):
+    result = record_table(run_once(benchmark, experiments.fig05))
+    for row in result.rows:
+        ico_mb, custom_mb = row[3], row[4]
+        # Paper Fig 5b: triangle-proxy BVHs are far larger than custom.
+        assert ico_mb > 3.0 * custom_mb

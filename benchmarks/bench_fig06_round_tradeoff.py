@@ -1,0 +1,17 @@
+"""Figure 6: multi-round vs single-round traversal; k sensitivity."""
+
+from conftest import run_once
+
+from repro.eval import experiments
+from repro.eval.report import geomean
+
+
+def bench_fig06a_single_vs_multi_round(benchmark, record_table):
+    result = record_table(run_once(benchmark, experiments.fig06a))
+    ratios = [row[3] for row in result.rows]
+    # Paper: multi-round (with ERT between rounds) beats single-round.
+    assert geomean(ratios) > 1.0
+
+
+def bench_fig06b_k_sweep(benchmark, record_table):
+    record_table(run_once(benchmark, experiments.fig06b))

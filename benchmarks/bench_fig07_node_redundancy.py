@@ -1,0 +1,12 @@
+"""Figure 7: unique vs total node visits across tracing rounds."""
+
+from conftest import run_once
+
+from repro.eval import experiments
+
+
+def bench_fig07_unique_vs_total(benchmark, record_table):
+    result = record_table(run_once(benchmark, experiments.fig07))
+    for row in result.rows:
+        # Paper: a non-negligible unique/total gap on every scene.
+        assert row[5] > 1.1, f"{row[0]}: no redundancy measured"

@@ -1,0 +1,13 @@
+"""Figure 12: GRTX-SW speedups for the four Gaussian geometries."""
+
+from conftest import run_once
+
+from repro.eval import experiments
+
+
+def bench_fig12_grtx_sw_geometries(benchmark, record_table):
+    result = record_table(run_once(benchmark, experiments.fig12))
+    geo = result.rows[-1]
+    # Paper: both shared-BLAS configurations beat both monolithic ones.
+    assert geo[3] > geo[1]  # TLAS+20-tri > 20-tri
+    assert geo[4] > geo[2]  # TLAS+80-tri > 80-tri

@@ -1,0 +1,17 @@
+"""Figure 13: end-to-end speedups (Baseline / GRTX-SW / GRTX-HW / GRTX)."""
+
+from conftest import run_once
+
+from repro.eval import experiments
+
+
+def bench_fig13_end_to_end_speedup(benchmark, record_table):
+    result = record_table(run_once(benchmark, experiments.fig13))
+    geo = result.rows[-1]
+    base, sw, hw, grtx = geo[1], geo[2], geo[3], geo[4]
+    # Paper: GRTX 4.36x average; both components speed up on their own.
+    assert abs(base - 1.0) < 1e-9
+    assert sw > 1.2
+    assert hw > 1.2
+    assert grtx > max(sw, hw)
+    assert grtx > 2.0

@@ -1,0 +1,13 @@
+"""Figure 14: node fetches normalized to the baseline."""
+
+from conftest import run_once
+
+from repro.eval import experiments
+from repro.eval.report import geomean
+
+
+def bench_fig14_node_fetches(benchmark, record_table):
+    result = record_table(run_once(benchmark, experiments.fig14))
+    grtx = geomean([row[4] for row in result.rows])
+    # Paper: 3.03x fewer fetches on average for GRTX.
+    assert grtx < 0.6

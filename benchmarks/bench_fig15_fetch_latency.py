@@ -1,0 +1,13 @@
+"""Figure 15: average node fetch latency normalized to the baseline."""
+
+from conftest import run_once
+
+from repro.eval import experiments
+from repro.eval.report import geomean
+
+
+def bench_fig15_fetch_latency(benchmark, record_table):
+    result = record_table(run_once(benchmark, experiments.fig15))
+    grtx = geomean([row[4] for row in result.rows])
+    # Paper: GRTX lowers average fetch latency (1.77x).
+    assert grtx < 1.0

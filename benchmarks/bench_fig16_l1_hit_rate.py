@@ -1,0 +1,14 @@
+"""Figure 16: L1 hit rate for node fetches."""
+
+from conftest import run_once
+
+from repro.eval import experiments
+
+
+def bench_fig16_l1_hit_rate(benchmark, record_table):
+    result = record_table(run_once(benchmark, experiments.fig16))
+    for row in result.rows:
+        baseline, grtx_sw = row[1], row[2]
+        # Paper: GRTX-SW exceeds 70% on every scene and beats baseline.
+        assert grtx_sw > 0.70
+        assert grtx_sw > baseline - 0.02

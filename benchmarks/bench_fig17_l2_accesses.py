@@ -1,0 +1,13 @@
+"""Figure 17: L2 cache accesses normalized to the baseline."""
+
+from conftest import run_once
+
+from repro.eval import experiments
+from repro.eval.report import geomean
+
+
+def bench_fig17_l2_accesses(benchmark, record_table):
+    result = record_table(run_once(benchmark, experiments.fig17))
+    grtx = geomean([row[4] for row in result.rows])
+    # Paper: GRTX reduces L2 accesses 4.75x.
+    assert grtx < 0.5

@@ -1,0 +1,15 @@
+"""Figure 18: GRTX sensitivity to the k-buffer size."""
+
+from conftest import run_once
+
+from repro.eval import experiments
+from repro.eval.report import geomean
+
+
+def bench_fig18_k_sensitivity(benchmark, record_table):
+    result = record_table(run_once(benchmark, experiments.fig18))
+    k_cols = result.columns[1:]
+    means = {col: geomean([row[i + 1] for row in result.rows])
+             for i, col in enumerate(k_cols)}
+    # Paper: k=8 is the sweet spot; very large k loses ERT granularity.
+    assert means["k=8"] >= means["k=64"]

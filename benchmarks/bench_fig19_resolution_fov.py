@@ -1,0 +1,14 @@
+"""Figure 19: resolution / FoV sensitivity."""
+
+from conftest import run_once
+
+from repro.eval import experiments
+
+
+def bench_fig19_resolution_fov(benchmark, record_table):
+    result = record_table(run_once(benchmark, experiments.fig19))
+    for row in result.rows:
+        grtx_hw, grtx = row[3], row[4]
+        # Paper: GRTX-HW's benefit is coherence-independent.
+        assert grtx_hw > 1.0
+        assert grtx > 1.0

@@ -1,0 +1,13 @@
+"""Figure 20: checkpoint + eviction buffer memory usage."""
+
+from conftest import run_once
+
+from repro.eval import experiments
+
+
+def bench_fig20_buffer_memory(benchmark, record_table):
+    result = record_table(run_once(benchmark, experiments.fig20))
+    for row in result.rows:
+        total_mb = row[5]
+        # Paper: bounded (worst scene 97.68 MB on the 8-SM config).
+        assert total_mb < 1024.0

@@ -1,0 +1,13 @@
+"""Figure 21: OptiX-style payload k-buffer vs Vulkan-style SoA buffer."""
+
+from conftest import run_once
+
+from repro.eval import experiments
+
+
+def bench_fig21_optix_vs_vulkan(benchmark, record_table):
+    result = record_table(run_once(benchmark, experiments.fig21))
+    for row in result.rows:
+        ratio = row[3]
+        # Paper: the two implementations perform similarly.
+        assert 0.7 < ratio < 1.5

@@ -1,0 +1,12 @@
+"""Figure 22: GRTX-SW with the hardware unit-sphere primitive."""
+
+from conftest import run_once
+
+from repro.eval import experiments
+
+
+def bench_fig22_sphere_primitive(benchmark, record_table):
+    result = record_table(run_once(benchmark, experiments.fig22))
+    geo = result.rows[-1][1]
+    # Paper: 1.44-2.15x over the icosahedron baseline.
+    assert geo > 1.0

@@ -1,0 +1,15 @@
+"""Figure 23: GRTX-HW on primary vs secondary rays."""
+
+from conftest import run_once
+
+from repro.eval import experiments
+from repro.eval.report import geomean
+
+
+def bench_fig23_secondary_rays(benchmark, record_table):
+    result = record_table(run_once(benchmark, experiments.fig23))
+    primary = geomean([row[1] for row in result.rows])
+    secondary = geomean([row[2] for row in result.rows if row[2] > 0])
+    # Paper: similar speedups for both ray types (within-ray redundancy).
+    assert primary > 1.0
+    assert secondary > 1.0

@@ -1,0 +1,16 @@
+"""Figure 24: AMD-like GPU — monolithic BVHs exceed the allocation cap."""
+
+from conftest import run_once
+
+from repro.eval import experiments
+
+
+def bench_fig24_amd_cross_vendor(benchmark, record_table):
+    result = record_table(run_once(benchmark, experiments.fig24))
+    oom = sum(1 for row in result.rows for cell in row[1:] if isinstance(cell, str))
+    # Paper: most monolithic configurations cannot allocate their BVHs.
+    assert oom >= len(result.rows), "expected monolithic OOM markers"
+    for row in result.rows:
+        # Shared-BLAS configurations always run.
+        assert not isinstance(row[3], str)
+        assert not isinstance(row[4], str)

@@ -1,0 +1,13 @@
+"""Rendering-equivalence validation across acceleration structures."""
+
+from conftest import run_once
+
+from repro.eval import experiments
+
+
+def bench_quality_equivalence(benchmark, record_table):
+    result = record_table(run_once(benchmark, experiments.quality_equivalence))
+    for row in result.rows:
+        assert row[1] == float("inf"), "exact primitives must match bitwise"
+        assert row[2] > 24.0, "proxy family must render equivalent quality"
+        assert row[4] == "yes", "GRTX-HW must be lossless"

@@ -1,0 +1,10 @@
+"""Table I: simulation configuration."""
+
+from conftest import run_once
+
+from repro.eval import experiments
+
+
+def bench_table1_simulation_config(benchmark, record_table):
+    result = record_table(run_once(benchmark, experiments.table1))
+    assert result.rows

@@ -1,0 +1,16 @@
+"""Table II: workload summary — BVH heights, sizes, footprints."""
+
+from conftest import run_once
+
+from repro.eval import experiments
+
+
+def bench_table2_workloads(benchmark, record_table):
+    result = record_table(run_once(benchmark, experiments.table2))
+    for row in result.rows:
+        mono_mb, tlas_mb = row[4], row[5]
+        foot_mono, foot_tlas = row[6], row[7]
+        # Paper: TLAS+20-tri is ~an order of magnitude smaller, and its
+        # traversal footprint is several times smaller.
+        assert tlas_mb < mono_mb / 4
+        assert foot_tlas < foot_mono

@@ -1,0 +1,11 @@
+"""Table III: GRTX-HW hardware cost."""
+
+from conftest import run_once
+
+from repro.eval import experiments
+from repro.hwsim import checkpoint_hardware_cost
+
+
+def bench_table3_hardware_cost(benchmark, record_table):
+    record_table(run_once(benchmark, experiments.table3))
+    assert abs(checkpoint_hardware_cost().total_kb - 1.05) < 0.02

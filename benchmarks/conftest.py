@@ -1,0 +1,48 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure of the paper by calling
+the corresponding function in :mod:`repro.eval.experiments`. Renders are
+cached inside :mod:`repro.eval.harness`, so figures sharing configurations
+(e.g. Figures 13-17 all use the same four end-to-end runs) pay for them
+once per session.
+
+Each benchmark writes its reproduced table to ``benchmarks/results/`` and
+prints it, so ``pytest benchmarks/ --benchmark-only -s`` shows the full
+paper reproduction inline.
+
+Scale knobs (see EXPERIMENTS.md): ``GRTX_BENCH_SCALE`` (default 1/400 of
+the paper's Gaussian counts) and ``GRTX_BENCH_RES`` (default 20x20 rays;
+the paper renders 128x128 on a cycle-level C++ simulator — pure Python
+needs a smaller frame for tractable runtimes).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Persist and print an ExperimentResult's table."""
+
+    def _record(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{result.exp_id}.txt").write_text(result.table + "\n")
+        print("\n" + result.table)
+        return result
+
+    return _record
+
+
+def run_once(benchmark, fn, *args):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are full simulator campaigns (seconds to minutes);
+    statistical repetition would multiply the suite runtime for no
+    insight, so every benchmark uses a single round.
+    """
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)

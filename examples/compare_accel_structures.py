@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Compare every acceleration-structure option on one scene.
+
+Reproduces the Section IV design-space discussion in miniature: for each
+of the six structure configurations (monolithic 20/80-tri and custom
+primitive; TLAS+20/80-tri and TLAS+sphere) it reports BVH size, height,
+per-ray traversal work, cache behaviour and modeled render time.
+
+Run:  python examples/compare_accel_structures.py [scene]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    GaussianRayTracer,
+    GpuConfig,
+    TraceConfig,
+    build_monolithic,
+    build_two_level,
+    default_camera_for,
+    make_workload,
+    replay,
+    structure_stats,
+)
+
+CONFIGS = [
+    ("20-tri monolithic", lambda c: build_monolithic(c, "20-tri")),
+    ("80-tri monolithic", lambda c: build_monolithic(c, "80-tri")),
+    ("custom monolithic", lambda c: build_monolithic(c, "custom")),
+    ("TLAS + 20-tri BLAS", lambda c: build_two_level(c, "icosphere", 0)),
+    ("TLAS + 80-tri BLAS", lambda c: build_two_level(c, "icosphere", 1)),
+    ("TLAS + sphere BLAS", lambda c: build_two_level(c, "sphere")),
+]
+
+
+def main() -> None:
+    scene = sys.argv[1] if len(sys.argv) > 1 else "room"
+    cloud = make_workload(scene, scale=1 / 800)
+    camera = default_camera_for(cloud, 20, 20)
+    gpu = GpuConfig.rtx_like()
+    print(f"scene: {scene}, {len(cloud)} Gaussians, {camera.n_pixels} rays\n")
+    header = (f"{'structure':<20} {'BVH MB':>8} {'height':>6} {'fetches':>9} "
+              f"{'L1 hit':>7} {'lat':>6} {'ms':>8}")
+    print(header)
+    print("-" * len(header))
+
+    base_ms = None
+    for name, build in CONFIGS:
+        structure = build(cloud)
+        stats = structure_stats(structure)
+        renderer = GaussianRayTracer(cloud, structure, TraceConfig(k=8))
+        result = renderer.render(camera)
+        timing = replay(result.traces, gpu)
+        result.drop_traces()
+        if base_ms is None:
+            base_ms = timing.time_ms
+        print(f"{name:<20} {stats.total_mb:8.2f} {stats.height:6d} "
+              f"{timing.node_fetches:9d} {timing.l1_hit_rate:7.2f} "
+              f"{timing.avg_fetch_latency:6.0f} {timing.time_ms:8.3f}"
+              f"   ({base_ms / timing.time_ms:4.2f}x)")
+
+    print("\nThe shared-BLAS structures (GRTX-SW) cut BVH size by an order of")
+    print("magnitude and keep the template BLAS resident in the L1 cache.")
+
+
+if __name__ == "__main__":
+    main()

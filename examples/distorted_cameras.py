@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Distorted and panoramic cameras — the workloads that motivate ray tracing.
+
+The paper's introduction singles out "scenes captured with highly
+distorted cameras — essential for domains such as robotics and
+autonomous vehicles" as something rasterization struggles with: a
+rasterizer projects every Gaussian through one linear projection, while a
+ray tracer only needs a ray per pixel. This example renders one scene
+through a 180-degree fisheye, a full 360x180 panorama, and a
+barrel-distorted calibrated pinhole, writes the PPMs, and prints how fast
+the *best possible* single-projection approximation degrades with field
+of view.
+
+Run:  python examples/distorted_cameras.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    GaussianRayTracer,
+    GpuConfig,
+    TraceConfig,
+    build_two_level,
+    default_camera_for,
+    make_workload,
+    replay,
+    write_ppm,
+)
+from repro.render.cameras import (
+    DistortedPinholeCamera,
+    EquirectangularCamera,
+    FisheyeCamera,
+    rasterizer_fisheye_error,
+)
+
+OUT_DIR = Path(__file__).parent
+SIZE = 48
+
+
+def main() -> None:
+    cloud = make_workload("train", scale=1 / 600)
+    structure = build_two_level(cloud, blas_kind="sphere")
+    renderer = GaussianRayTracer(cloud, structure, TraceConfig(k=8, checkpointing=True))
+    pin = default_camera_for(cloud, SIZE, SIZE)
+    gpu = GpuConfig.rtx_like()
+    print(f"scene: {cloud.name}, {len(cloud)} Gaussians\n")
+
+    cameras = {
+        "fisheye_180": FisheyeCamera(
+            pin.position, pin.look_at, pin.up, SIZE, SIZE, fov=np.pi),
+        "fisheye_220": FisheyeCamera(
+            pin.position, pin.look_at, pin.up, SIZE, SIZE, fov=np.deg2rad(220)),
+        "panorama_360": EquirectangularCamera(
+            pin.position, pin.look_at, pin.up, 2 * SIZE, SIZE),
+        "barrel_pinhole": DistortedPinholeCamera(
+            pin.position, pin.look_at, pin.up, SIZE, SIZE,
+            fov_y=pin.fov_y, k1=-0.25, k2=0.05),
+    }
+
+    for name, camera in cameras.items():
+        result = renderer.render(camera)
+        timing = replay(result.traces, gpu)
+        result.drop_traces()
+        path = OUT_DIR / f"{name}.ppm"
+        write_ppm(path, result.image)
+        print(f"{name:15s}  {camera.n_pixels:5d} rays   "
+              f"{timing.time_ms:7.3f} model-ms   "
+              f"L1 hit {timing.l1_hit_rate:.2f}   -> {path.name}")
+
+    print("\nBest single-projection (rasterizer) approximation error of a "
+          "fisheye,\nmean radians of angular error across the image:")
+    for deg in (30, 60, 90, 120, 150, 170):
+        err = rasterizer_fisheye_error(np.deg2rad(deg))
+        bar = "#" * int(err * 120)
+        print(f"  fov {deg:3d} deg   {err:7.4f} rad  {bar}")
+    print("\nThe ray tracer renders each of these models exactly; a "
+          "rasterizer's\nsingle linear projection cannot express the 360 "
+          "panorama at all.")
+
+
+if __name__ == "__main__":
+    main()

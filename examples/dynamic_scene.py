@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Dynamic multi-object Gaussian scenes (Section VI of the paper).
+
+Builds a reusable Gaussian asset once, instances it several times under a
+scene-level TLAS (the paper's three-level hierarchy: scene TLAS ->
+object instances -> shared unit-sphere BLAS), animates one instance, and
+shows that motion costs a TLAS refit rather than a rebuild while
+instancing keeps memory flat.
+
+Run:  python examples/dynamic_scene.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bvh import GaussianObject, MultiObjectScene, ObjectPose
+from repro.render import GaussianRayTracer, PinholeCamera
+from repro.rt import TraceConfig
+
+from repro.gaussians import make_workload
+
+
+def main() -> None:
+    # One asset: a small dense Gaussian object.
+    asset_cloud = make_workload("bonsai", scale=1 / 8000)
+    asset = GaussianObject(asset_cloud, blas_kind="sphere")
+    print(f"asset: {len(asset)} Gaussians, "
+          f"object structure {asset.structure.total_bytes / 1024:.1f} KB")
+
+    scene = MultiObjectScene()
+    obj = scene.add_object(asset)
+    moving = scene.add_instance(obj, ObjectPose.identity())
+    for i in range(1, 5):
+        scene.add_instance(obj, ObjectPose(
+            translation=np.array([14.0 * i, 0.0, 0.0]),
+            rotation=np.array([np.cos(0.3 * i), 0.0, 0.0, np.sin(0.3 * i)]),
+        ))
+    print(f"scene: {scene.n_instances} instances, {scene.n_gaussians} Gaussians")
+    print(f"with instancing: {scene.total_bytes() / 1024:8.1f} KB")
+    print(f"without sharing: {scene.naive_bytes() / 1024:8.1f} KB")
+
+    camera = PinholeCamera(
+        position=np.array([28.0, -70.0, 18.0]),
+        look_at=np.array([28.0, 0.0, 0.0]),
+        up=np.array([0.0, 0.0, 1.0]),
+        width=20, height=12, fov_y=np.deg2rad(55),
+    )
+
+    # Animate the first instance along +z; each frame is a pose update
+    # (TLAS refit) followed by a render of the flattened scene.
+    for frame in range(3):
+        scene.move_instance(moving, ObjectPose(
+            translation=np.array([0.0, 0.0, 6.0 * frame]),
+            rotation=np.array([1.0, 0.0, 0.0, 0.0]),
+        ))
+        scene.scene_tlas()
+        cloud, structure = scene.flatten()
+        result = GaussianRayTracer(cloud, structure,
+                                   TraceConfig(k=8, checkpointing=True)).render(
+            camera, keep_traces=False)
+        print(f"frame {frame}: image mean {result.image.mean():.4f}  "
+              f"(TLAS rebuilds={scene.stats.rebuilds}, refits={scene.stats.refits})")
+
+    print("\nObject motion refits the small scene TLAS; topology edits")
+    print("(add/remove) rebuild it — identical to conventional dynamic")
+    print("rendering, with the shared Gaussian BLAS untouched.")
+
+
+if __name__ == "__main__":
+    main()

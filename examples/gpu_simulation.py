@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Drive the GPU timing model directly: caches, fetch traces, vendors.
+
+Shows the lower-level API underneath the figures: render once, keep the
+per-ray fetch traces, and replay them under different hardware
+configurations (RTX-like vs AMD-like, prefetcher on/off, warp-buffer
+depth) without re-rendering.
+
+Run:  python examples/gpu_simulation.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import (
+    GaussianRayTracer,
+    GpuConfig,
+    TraceConfig,
+    build_two_level,
+    default_camera_for,
+    make_workload,
+    replay,
+)
+
+
+def describe(name: str, report) -> None:
+    print(f"{name:<28} cycles {report.cycles:12,.0f}   "
+          f"fetches {report.node_fetches:8d}   "
+          f"L1 {report.l1_hit_rate:5.2f}   "
+          f"L2 acc {report.l2_accesses:8d}   "
+          f"avg lat {report.avg_fetch_latency:6.1f}")
+
+
+def main() -> None:
+    cloud = make_workload("truck", scale=1 / 800)
+    structure = build_two_level(cloud, "sphere")
+    camera = default_camera_for(cloud, 20, 20)
+    renderer = GaussianRayTracer(cloud, structure,
+                                 TraceConfig(k=8, checkpointing=True))
+    result = renderer.render(camera)
+    print(f"functional render: {result.stats.n_rays} rays, "
+          f"{result.stats.rounds_total} tracing rounds, "
+          f"{result.stats.total_visits} node visits "
+          f"({result.stats.unique_visits} unique)\n")
+
+    rtx = GpuConfig.rtx_like()
+    describe("RTX-like (Table I)", replay(result.traces, rtx))
+    describe("AMD-like (Section VI)", replay(result.traces, GpuConfig.amd_like()))
+    describe("no sibling prefetcher",
+             replay(result.traces, dataclasses.replace(rtx, prefetch_enabled=False)))
+    describe("warp buffer = 2",
+             replay(result.traces, dataclasses.replace(rtx, warp_buffer_size=2)))
+    describe("warp buffer = 16",
+             replay(result.traces, dataclasses.replace(rtx, warp_buffer_size=16)))
+
+    print("\nSame functional trace, different microarchitectures: the timing")
+    print("model replays recorded byte-accurate node fetches, so hardware")
+    print("what-ifs never require re-rendering.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Regenerate any table or figure of the paper from the command line.
+
+Usage:
+    python examples/reproduce_paper.py --list
+    python examples/reproduce_paper.py fig13
+    python examples/reproduce_paper.py fig13 fig14 --scenes train bonsai
+    python examples/reproduce_paper.py all
+
+Scale knobs: set GRTX_BENCH_SCALE / GRTX_BENCH_RES before launching to
+trade fidelity for runtime (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.eval.experiments import ALL_EXPERIMENTS
+
+#: Experiments that take no scene list.
+_NO_SCENES = {
+    "table1", "table3", "fig19", "ablation-width", "ablation-builder",
+    "ablation-treelet", "ablation-dram", "ablation-popping",
+    "ablation-divergence", "ablation-cameras",
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (e.g. fig13), or 'all'")
+    parser.add_argument("--scenes", nargs="*", default=None,
+                        help="subset of scenes (default: all six)")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        print("available experiments:")
+        for exp_id in ALL_EXPERIMENTS:
+            print(f"  {exp_id}")
+        return 0
+
+    wanted = list(ALL_EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    unknown = [e for e in wanted if e not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 1
+
+    for exp_id in wanted:
+        fn = ALL_EXPERIMENTS[exp_id]
+        started = time.time()
+        result = fn() if exp_id in _NO_SCENES or not args.scenes else fn(args.scenes)
+        print(result.table)
+        print(f"({time.time() - started:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

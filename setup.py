@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so `pip install -e .` works on minimal
+offline environments whose setuptools lacks PEP 660 editable-wheel
+support (no `wheel` package available).
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""GRTX reproduction: efficient ray tracing for 3D Gaussian-based rendering.
+
+Reproduces "GRTX: Efficient Ray Tracing for 3D Gaussian-Based Rendering"
+(HPCA 2026): a 3D Gaussian ray tracer (3DGRT-style multi-round k-buffer
+tracing), the acceleration structures it compares (monolithic proxy BVHs
+vs GRTX-SW's TLAS + shared unit-sphere BLAS), GRTX-HW's traversal
+checkpointing and replay, a 3DGS rasterizer baseline, and a trace-driven
+GPU timing model standing in for Vulkan-Sim.
+
+Quickstart::
+
+    from repro import (GaussianRayTracer, GpuConfig, TraceConfig,
+                       build_two_level, default_camera_for, make_workload,
+                       replay)
+
+    cloud = make_workload("bonsai", scale=1 / 500)
+    structure = build_two_level(cloud, blas_kind="sphere")
+    renderer = GaussianRayTracer(cloud, structure,
+                                 TraceConfig(k=8, checkpointing=True))
+    result = renderer.render(default_camera_for(cloud, 32, 32))
+    timing = replay(result.traces, GpuConfig.rtx_like())
+    print(timing.time_ms, timing.l1_hit_rate)
+"""
+
+from repro.bvh import (
+    BuildParams,
+    build_monolithic,
+    build_two_level,
+    structure_stats,
+)
+from repro.gaussians import GaussianCloud, make_workload
+from repro.hwsim import GpuConfig, TimingReport, replay
+from repro.render import (
+    GaussianRasterizer,
+    GaussianRayTracer,
+    PinholeCamera,
+    RenderResult,
+    SceneObjects,
+    default_camera_for,
+    psnr,
+    write_ppm,
+)
+from repro.rt import TraceConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BuildParams",
+    "GaussianCloud",
+    "GaussianRasterizer",
+    "GaussianRayTracer",
+    "GpuConfig",
+    "PinholeCamera",
+    "RenderResult",
+    "SceneObjects",
+    "TimingReport",
+    "TraceConfig",
+    "build_monolithic",
+    "build_two_level",
+    "default_camera_for",
+    "make_workload",
+    "psnr",
+    "replay",
+    "structure_stats",
+    "write_ppm",
+]

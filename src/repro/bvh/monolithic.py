@@ -1,0 +1,124 @@
+"""Monolithic acceleration structures (the prior-work baseline).
+
+Every Gaussian contributes its own geometry to one big BVH:
+
+* ``"20-tri"`` — a stretched regular icosahedron per Gaussian (3DGRT);
+* ``"80-tri"`` — a once-subdivided icosphere per Gaussian (Condor et al.);
+* ``"custom"`` — one custom ellipsoid primitive per Gaussian whose
+  intersection test runs in a software shader (EVER/RayGauss style).
+
+This is the structure Figure 5 and Table II show to be bloated: the
+triangle variants multiply the primitive count by 20-80x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bvh.builder import BuildParams, build_bvh
+from repro.bvh.layout import CUSTOM_PRIM_BYTES, TRIANGLE_BYTES
+from repro.bvh.node import FlatBVH
+from repro.gaussians import GaussianCloud, canonical_transforms, world_aabbs
+from repro.geometry import unit_icosahedron_circumscribed
+from repro.math3d import quat_to_rotation_matrix
+
+PROXY_SUBDIVISIONS = {"20-tri": 0, "80-tri": 1}
+
+
+@dataclass
+class MonolithicBVH:
+    """One BVH over all proxy geometry in the scene.
+
+    For triangle proxies, ``tri_v0/v1/v2`` hold world-space vertices and
+    ``tri_gaussian`` maps each triangle to its owning Gaussian. For the
+    custom-primitive variant the BVH primitives *are* the Gaussians and
+    ``world_to_obj_*`` carry the inline ellipsoid transforms used by the
+    software intersection shader.
+    """
+
+    proxy: str
+    bvh: FlatBVH
+    n_gaussians: int
+    tri_v0: np.ndarray | None = None
+    tri_v1: np.ndarray | None = None
+    tri_v2: np.ndarray | None = None
+    tri_gaussian: np.ndarray | None = None
+    world_to_obj_linear: np.ndarray | None = None
+    world_to_obj_offset: np.ndarray | None = None
+
+    @property
+    def is_triangle_proxy(self) -> bool:
+        return self.proxy in PROXY_SUBDIVISIONS
+
+    @property
+    def total_bytes(self) -> int:
+        """Serialized BVH size, the quantity plotted in Fig 5(b)."""
+        return self.bvh.total_bytes
+
+    @property
+    def height(self) -> int:
+        return self.bvh.height
+
+
+def _proxy_triangles(
+    cloud: GaussianCloud, subdivisions: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """World-space proxy triangles for every Gaussian, batched.
+
+    Vectorized over Gaussians: the template mesh is stretched by each
+    Gaussian's ``kappa * sigma`` radii, rotated and translated. Returns
+    ``(v0, v1, v2, owner)`` with ``n_gaussians * n_faces`` triangles.
+    """
+    verts, faces = unit_icosahedron_circumscribed(subdivisions)
+    rot = quat_to_rotation_matrix(cloud.rotations)
+    radii = cloud.kappa * cloud.scales
+    # (n, v, 3): scale template verts per Gaussian, rotate, translate.
+    scaled = verts[None, :, :] * radii[:, None, :]
+    world = np.einsum("nij,nvj->nvi", rot, scaled) + cloud.means[:, None, :]
+    n = len(cloud)
+    n_faces = faces.shape[0]
+    v0 = world[:, faces[:, 0], :].reshape(n * n_faces, 3)
+    v1 = world[:, faces[:, 1], :].reshape(n * n_faces, 3)
+    v2 = world[:, faces[:, 2], :].reshape(n * n_faces, 3)
+    owner = np.repeat(np.arange(n, dtype=np.int64), n_faces)
+    return v0, v1, v2, owner
+
+
+def build_monolithic(
+    cloud: GaussianCloud,
+    proxy: str = "20-tri",
+    params: BuildParams | None = None,
+) -> MonolithicBVH:
+    """Build the monolithic baseline structure for a scene.
+
+    ``proxy`` selects the bounding primitive: ``"20-tri"``, ``"80-tri"``
+    or ``"custom"``.
+    """
+    if proxy in PROXY_SUBDIVISIONS:
+        v0, v1, v2, owner = _proxy_triangles(cloud, PROXY_SUBDIVISIONS[proxy])
+        lo = np.minimum(np.minimum(v0, v1), v2)
+        hi = np.maximum(np.maximum(v0, v1), v2)
+        bvh = build_bvh(lo, hi, TRIANGLE_BYTES, params)
+        return MonolithicBVH(
+            proxy=proxy,
+            bvh=bvh,
+            n_gaussians=len(cloud),
+            tri_v0=v0,
+            tri_v1=v1,
+            tri_v2=v2,
+            tri_gaussian=owner,
+        )
+    if proxy == "custom":
+        lo, hi = world_aabbs(cloud)
+        bvh = build_bvh(lo, hi, CUSTOM_PRIM_BYTES, params)
+        _, world_to_obj = canonical_transforms(cloud)
+        return MonolithicBVH(
+            proxy=proxy,
+            bvh=bvh,
+            n_gaussians=len(cloud),
+            world_to_obj_linear=world_to_obj.linear,
+            world_to_obj_offset=world_to_obj.offset,
+        )
+    raise ValueError(f"unknown proxy {proxy!r}; expected 20-tri, 80-tri or custom")

@@ -1,0 +1,337 @@
+"""Dynamic and multi-object Gaussian scenes (Section VI of the paper).
+
+GRTX's two-level structure seems to collide with classic dynamic-scene
+rendering, which also wants a two-level TLAS/BLAS split (one BLAS per
+object). The paper resolves this with *multi-level instancing*: a
+three-level hierarchy
+
+    scene TLAS  ->  per-object instances  ->  per-object Gaussian TLAS
+                                              (whose leaves share the one
+                                               unit-sphere/icosphere BLAS)
+
+Object additions/removals rebuild only the small scene TLAS; object
+motion updates one transform and refits the scene TLAS — "identical to
+conventional dynamic rendering with no additional GRTX-specific
+overhead".
+
+This module implements that hierarchy: :class:`GaussianObject` wraps one
+trained cloud with its own GRTX-SW structure; :class:`MultiObjectScene`
+manages posed instances of those objects, the scene-level TLAS over their
+world bounds, and refit/rebuild on edits. The scene also flattens itself
+into a single :class:`~repro.gaussians.GaussianCloud` + transform-composed
+structure so the ordinary :class:`~repro.rt.Tracer` can render it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bvh.builder import BuildParams, build_bvh
+from repro.bvh.layout import INSTANCE_BYTES
+from repro.bvh.node import KIND_EMPTY, FlatBVH
+from repro.bvh.two_level import TwoLevelBVH, build_two_level
+from repro.gaussians import GaussianCloud
+from repro.math3d import (
+    AffineTransform,
+    quat_multiply,
+    quat_normalize,
+    quat_to_rotation_matrix,
+)
+
+
+@dataclass(frozen=True)
+class ObjectPose:
+    """Rigid pose (+uniform scale) of one object instance."""
+
+    translation: np.ndarray
+    rotation: np.ndarray  # unit quaternion, wxyz
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "translation",
+                           np.asarray(self.translation, dtype=np.float64))
+        object.__setattr__(self, "rotation",
+                           quat_normalize(np.asarray(self.rotation, dtype=np.float64)))
+        if self.scale <= 0.0:
+            raise ValueError("pose scale must be positive")
+
+    @classmethod
+    def identity(cls) -> "ObjectPose":
+        return cls(translation=np.zeros(3), rotation=np.array([1.0, 0.0, 0.0, 0.0]))
+
+    @property
+    def matrix(self) -> AffineTransform:
+        rot = quat_to_rotation_matrix(self.rotation)
+        return AffineTransform(linear=self.scale * rot, offset=self.translation)
+
+    def compose(self, other: "ObjectPose") -> "ObjectPose":
+        """``self`` applied after ``other`` (i.e. ``self @ other``)."""
+        rot = quat_multiply(self.rotation, other.rotation)
+        linear = self.scale * quat_to_rotation_matrix(self.rotation)
+        return ObjectPose(
+            translation=linear @ other.translation + self.translation,
+            rotation=rot,
+            scale=self.scale * other.scale,
+        )
+
+
+class GaussianObject:
+    """One reusable Gaussian asset with its own GRTX-SW structure.
+
+    The per-object structure (object-space TLAS + shared BLAS) is built
+    once; instances reference it, so N copies of an asset cost one build.
+    """
+
+    def __init__(
+        self,
+        cloud: GaussianCloud,
+        blas_kind: str = "sphere",
+        subdivisions: int = 0,
+        params: BuildParams | None = None,
+    ) -> None:
+        self.cloud = cloud
+        self.structure: TwoLevelBVH = build_two_level(
+            cloud, blas_kind=blas_kind, subdivisions=subdivisions, params=params
+        )
+        root_lo, root_hi = self.structure.tlas.root_box()
+        self.local_lo = root_lo
+        self.local_hi = root_hi
+
+    def __len__(self) -> int:
+        return len(self.cloud)
+
+    def world_bounds(self, pose: ObjectPose) -> tuple[np.ndarray, np.ndarray]:
+        """AABB of the posed object (transform the 8 box corners)."""
+        corners = np.array([
+            [x, y, z]
+            for x in (self.local_lo[0], self.local_hi[0])
+            for y in (self.local_lo[1], self.local_hi[1])
+            for z in (self.local_lo[2], self.local_hi[2])
+        ])
+        world = pose.matrix.apply_point(corners)
+        return world.min(axis=0), world.max(axis=0)
+
+    def posed_cloud(self, pose: ObjectPose) -> GaussianCloud:
+        """The object's Gaussians transformed into world space.
+
+        Rigid+uniform-scale poses keep Gaussians Gaussian: means are
+        transformed, per-axis sigmas scale uniformly, and the pose
+        rotation composes with each Gaussian's own rotation quaternion.
+        """
+        cloud = self.cloud
+        mat = pose.matrix
+        means = mat.apply_point(cloud.means)
+        scales = cloud.scales * pose.scale
+        rotations = quat_multiply(
+            np.broadcast_to(pose.rotation, (len(cloud), 4)), cloud.rotations
+        )
+        return GaussianCloud(
+            means=means,
+            scales=scales,
+            rotations=rotations,
+            opacities=cloud.opacities,
+            sh=cloud.sh,
+            kappa=cloud.kappa,
+            name=cloud.name,
+        )
+
+
+@dataclass
+class _Instance:
+    object_index: int
+    pose: ObjectPose
+    instance_id: int
+
+
+@dataclass
+class SceneTlasStats:
+    """Bookkeeping for scene-TLAS maintenance costs."""
+
+    rebuilds: int = 0
+    refits: int = 0
+
+
+class MultiObjectScene:
+    """A dynamic scene of posed Gaussian object instances.
+
+    Edits follow the paper's cost model:
+
+    * :meth:`add_instance` / :meth:`remove_instance` mark the scene TLAS
+      for a **rebuild** (topology changed);
+    * :meth:`move_instance` updates one pose and only **refits** the
+      scene TLAS (bounds changed, topology intact).
+
+    The scene TLAS here is deliberately tiny — one leaf per object
+    instance — exactly the "traditional dynamic scene management" layer
+    the paper describes on top of per-object GRTX-SW structures.
+    """
+
+    def __init__(self, params: BuildParams | None = None) -> None:
+        self._objects: list[GaussianObject] = []
+        self._instances: dict[int, _Instance] = {}
+        self._next_id = 0
+        self._params = params or BuildParams()
+        self._tlas: FlatBVH | None = None
+        self._tlas_order: list[int] = []
+        self._dirty_topology = True
+        self.stats = SceneTlasStats()
+
+    # -- asset & instance management -----------------------------------
+
+    def add_object(self, obj: GaussianObject) -> int:
+        """Register a reusable asset; returns its object index."""
+        self._objects.append(obj)
+        return len(self._objects) - 1
+
+    def add_instance(self, object_index: int, pose: ObjectPose | None = None) -> int:
+        if not 0 <= object_index < len(self._objects):
+            raise IndexError(f"no object {object_index}")
+        instance_id = self._next_id
+        self._next_id += 1
+        self._instances[instance_id] = _Instance(
+            object_index=object_index,
+            pose=pose or ObjectPose.identity(),
+            instance_id=instance_id,
+        )
+        self._dirty_topology = True
+        return instance_id
+
+    def remove_instance(self, instance_id: int) -> None:
+        if instance_id not in self._instances:
+            raise KeyError(f"no instance {instance_id}")
+        del self._instances[instance_id]
+        self._dirty_topology = True
+
+    def move_instance(self, instance_id: int, pose: ObjectPose) -> None:
+        """Update one instance's pose; the scene TLAS is refit in place."""
+        if instance_id not in self._instances:
+            raise KeyError(f"no instance {instance_id}")
+        self._instances[instance_id].pose = pose
+        if self._tlas is not None and not self._dirty_topology:
+            self._refit()
+        # A dirty topology will rebuild anyway on next access.
+
+    @property
+    def n_instances(self) -> int:
+        return len(self._instances)
+
+    @property
+    def n_gaussians(self) -> int:
+        return sum(len(self._objects[i.object_index]) for i in self._instances.values())
+
+    # -- scene TLAS maintenance -----------------------------------------
+
+    def _instance_bounds(self) -> tuple[np.ndarray, np.ndarray, list[int]]:
+        order = sorted(self._instances)
+        lo = np.empty((len(order), 3))
+        hi = np.empty((len(order), 3))
+        for row, iid in enumerate(order):
+            inst = self._instances[iid]
+            lo[row], hi[row] = self._objects[inst.object_index].world_bounds(inst.pose)
+        return lo, hi, order
+
+    def scene_tlas(self) -> FlatBVH:
+        """The scene-level TLAS over instance world bounds (lazily built)."""
+        if self._tlas is None or self._dirty_topology:
+            self._rebuild()
+        return self._tlas
+
+    def _rebuild(self) -> None:
+        if not self._instances:
+            raise ValueError("cannot build a TLAS over an empty scene")
+        lo, hi, order = self._instance_bounds()
+        from dataclasses import replace as _replace
+        self._tlas = build_bvh(lo, hi, INSTANCE_BYTES,
+                               _replace(self._params, leaf_size=1))
+        self._tlas_order = order
+        self._dirty_topology = False
+        self.stats.rebuilds += 1
+
+    def _refit(self) -> None:
+        """Recompute node bounds bottom-up without changing topology.
+
+        Children are stored at higher indices than their parents (the
+        builder emits forward-only references), so one reverse sweep over
+        the node array refits every box.
+        """
+        tlas = self._tlas
+        lo, hi, order = self._instance_bounds()
+        if order != self._tlas_order:
+            self._rebuild()
+            return
+        prim_lo = lo[tlas.prim_order]
+        prim_hi = hi[tlas.prim_order]
+
+        # Leaf boxes straight from the (reordered) primitive bounds.
+        leaf_lo = np.empty((tlas.n_leaves, 3))
+        leaf_hi = np.empty((tlas.n_leaves, 3))
+        for leaf in range(tlas.n_leaves):
+            start = int(tlas.leaf_start[leaf])
+            end = start + int(tlas.leaf_count[leaf])
+            leaf_lo[leaf] = prim_lo[start:end].min(axis=0)
+            leaf_hi[leaf] = prim_hi[start:end].max(axis=0)
+
+        node_lo = np.full((tlas.n_nodes, 3), np.inf)
+        node_hi = np.full((tlas.n_nodes, 3), -np.inf)
+        for node in range(tlas.n_nodes - 1, -1, -1):
+            for slot in range(tlas.width):
+                kind = tlas.child_kind[node, slot]
+                if kind == KIND_EMPTY:
+                    break
+                ref = int(tlas.child_ref[node, slot])
+                if kind == 2:  # KIND_LEAF
+                    tlas.child_lo[node, slot] = leaf_lo[ref]
+                    tlas.child_hi[node, slot] = leaf_hi[ref]
+                else:
+                    tlas.child_lo[node, slot] = node_lo[ref]
+                    tlas.child_hi[node, slot] = node_hi[ref]
+            occupied = tlas.child_kind[node] != KIND_EMPTY
+            node_lo[node] = tlas.child_lo[node][occupied].min(axis=0)
+            node_hi[node] = tlas.child_hi[node][occupied].max(axis=0)
+        self.stats.refits += 1
+
+    # -- rendering bridge -------------------------------------------------
+
+    def flatten(self) -> tuple[GaussianCloud, TwoLevelBVH]:
+        """Flatten the scene into one cloud + GRTX-SW structure.
+
+        Renders treat the flattened scene exactly like a static one. The
+        flattening composes each instance pose with its Gaussians'
+        transforms; the shared BLAS property is preserved (all Gaussians
+        of all instances still reference one template BLAS).
+        """
+        if not self._instances:
+            raise ValueError("cannot flatten an empty scene")
+        clouds = []
+        for iid in sorted(self._instances):
+            inst = self._instances[iid]
+            clouds.append(self._objects[inst.object_index].posed_cloud(inst.pose))
+        merged = clouds[0]
+        for extra in clouds[1:]:
+            merged = merged.concatenate(extra)
+        blas0 = self._objects[self._instances[sorted(self._instances)[0]].object_index]
+        structure = build_two_level(
+            merged,
+            blas_kind=blas0.structure.blas.kind,
+            subdivisions=blas0.structure.blas.subdivisions,
+            params=self._params,
+        )
+        return merged, structure
+
+    def total_bytes(self) -> int:
+        """Serialized size: scene TLAS + per-object structures (shared
+        across instances — the instancing win)."""
+        tlas = self.scene_tlas()
+        return tlas.total_bytes + sum(o.structure.total_bytes for o in self._objects)
+
+    def naive_bytes(self) -> int:
+        """What the same scene would cost without object-level sharing
+        (every instance duplicating its object's structure)."""
+        tlas = self.scene_tlas()
+        per_instance = sum(
+            self._objects[i.object_index].structure.total_bytes
+            for i in self._instances.values()
+        )
+        return tlas.total_bytes + per_instance

@@ -1,0 +1,154 @@
+"""Flattened wide-BVH representation.
+
+A :class:`FlatBVH` stores the tree in struct-of-arrays form: per internal
+node, up to ``width`` child slots each carrying a bounding box, a kind tag
+and a reference (child node index or leaf record index). Leaf records index
+into a primitive permutation. Every node and leaf has an explicit byte
+address so the timing model can replay real fetch traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bvh.layout import LEAF_HEADER_BYTES, internal_node_bytes
+
+KIND_EMPTY = 0
+KIND_INTERNAL = 1
+KIND_LEAF = 2
+
+
+@dataclass
+class FlatBVH:
+    """A flattened ``width``-ary BVH.
+
+    Attributes
+    ----------
+    width:
+        Maximum children per internal node (the paper uses Embree BVH-6).
+    child_lo / child_hi:
+        ``(n_nodes, width, 3)`` child bounding boxes. Empty slots hold
+        inverted infinite boxes so vectorized slab tests always miss them.
+    child_kind / child_ref:
+        ``(n_nodes, width)`` slot tag and reference (node index for
+        ``KIND_INTERNAL``, leaf record index for ``KIND_LEAF``).
+    leaf_start / leaf_count:
+        Per-leaf-record range into ``prim_order``.
+    prim_order:
+        Permutation of primitive ids induced by the build.
+    node_addr / leaf_addr / leaf_bytes:
+        Byte addresses (relative to the structure's base) and sizes used by
+        the fetch-trace recorder.
+    """
+
+    width: int
+    child_lo: np.ndarray
+    child_hi: np.ndarray
+    child_kind: np.ndarray
+    child_ref: np.ndarray
+    leaf_start: np.ndarray
+    leaf_count: np.ndarray
+    prim_order: np.ndarray
+    node_addr: np.ndarray
+    leaf_addr: np.ndarray
+    leaf_bytes: np.ndarray
+    height: int
+    base_address: int = 0
+
+    @property
+    def n_nodes(self) -> int:
+        return self.child_kind.shape[0]
+
+    @property
+    def n_leaves(self) -> int:
+        return self.leaf_start.shape[0]
+
+    @property
+    def n_prims(self) -> int:
+        return self.prim_order.shape[0]
+
+    @property
+    def internal_bytes_total(self) -> int:
+        return self.n_nodes * internal_node_bytes(self.width)
+
+    @property
+    def leaf_bytes_total(self) -> int:
+        return int(self.leaf_bytes.sum())
+
+    @property
+    def total_bytes(self) -> int:
+        """Total serialized size of this (sub)structure."""
+        return self.internal_bytes_total + self.leaf_bytes_total
+
+    def rebase(self, base_address: int) -> None:
+        """Shift all byte addresses to start at ``base_address``.
+
+        Used when multiple structures (TLAS, BLAS, instance table) are laid
+        out in one global address space.
+        """
+        delta = base_address - self.base_address
+        self.node_addr = self.node_addr + delta
+        self.leaf_addr = self.leaf_addr + delta
+        self.base_address = base_address
+
+    def leaf_prims(self, leaf_index: int) -> np.ndarray:
+        """Primitive ids stored in one leaf record."""
+        start = int(self.leaf_start[leaf_index])
+        count = int(self.leaf_count[leaf_index])
+        return self.prim_order[start : start + count]
+
+    def root_box(self) -> tuple[np.ndarray, np.ndarray]:
+        """The bounding box of the whole tree (union of root children)."""
+        valid = self.child_kind[0] != KIND_EMPTY
+        return (
+            self.child_lo[0][valid].min(axis=0),
+            self.child_hi[0][valid].max(axis=0),
+        )
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on corruption.
+
+        Verified invariants:
+
+        * every primitive appears exactly once across all leaves;
+        * child node references are forward-only (acyclic, preorder);
+        * parent boxes contain their children's boxes;
+        * empty slots never precede occupied ones in a node.
+        """
+        seen = np.zeros(self.n_prims, dtype=bool)
+        for leaf in range(self.n_leaves):
+            prims = self.leaf_prims(leaf)
+            if np.any(seen[prims]):
+                raise ValueError("primitive referenced by multiple leaves")
+            seen[prims] = True
+        if not np.all(seen):
+            raise ValueError("some primitives missing from leaves")
+        for node in range(self.n_nodes):
+            occupied = self.child_kind[node] != KIND_EMPTY
+            if np.any(np.diff(occupied.astype(int)) > 0):
+                raise ValueError("empty child slot precedes an occupied one")
+            for slot in np.nonzero(occupied)[0]:
+                if self.child_kind[node, slot] == KIND_INTERNAL:
+                    child = int(self.child_ref[node, slot])
+                    if child <= node or child >= self.n_nodes:
+                        raise ValueError("child node reference is not forward-only")
+                    child_occ = self.child_kind[child] != KIND_EMPTY
+                    lo = self.child_lo[child][child_occ].min(axis=0)
+                    hi = self.child_hi[child][child_occ].max(axis=0)
+                    if np.any(lo < self.child_lo[node, slot] - 1e-9) or np.any(
+                        hi > self.child_hi[node, slot] + 1e-9
+                    ):
+                        raise ValueError("parent box does not contain child box")
+
+
+def leaf_addresses(
+    leaf_count: np.ndarray,
+    prim_bytes: int,
+    leaf_region_base: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bump-allocate leaf records after the internal-node region."""
+    sizes = LEAF_HEADER_BYTES + leaf_count.astype(np.int64) * prim_bytes
+    addr = leaf_region_base + np.concatenate([[0], np.cumsum(sizes[:-1])])
+    return addr.astype(np.int64), sizes

@@ -1,0 +1,140 @@
+"""Static BVH quality metrics.
+
+Traversal cost is what the paper measures end to end; these metrics
+predict it from the tree alone, letting the builder ablation separate
+*tree quality* effects (SAH cost, overlap) from *memory layout* effects
+(node size, footprint). All metrics are standard in the ray tracing
+literature:
+
+* **SAH cost** — expected traversal work for a random ray, the quantity
+  greedy SAH builders minimize;
+* **sibling overlap** — how much child boxes of one node intersect each
+  other (overlapping siblings force rays to descend multiple subtrees,
+  the effect the paper calls out for large wall Gaussians in Drjohnson
+  and Playroom);
+* **leaf statistics** — occupancy histogram and average leaf size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bvh.node import KIND_EMPTY, KIND_INTERNAL, KIND_LEAF, FlatBVH
+
+#: Conventional SAH constants: the relative cost of one node traversal
+#: step versus one primitive intersection test.
+COST_TRAVERSAL = 1.0
+COST_INTERSECT = 1.5
+
+
+@dataclass(frozen=True)
+class TreeQuality:
+    """Summary quality report for one BVH."""
+
+    sah_cost: float
+    mean_sibling_overlap: float
+    n_nodes: int
+    n_leaves: int
+    height: int
+    mean_leaf_size: float
+    max_leaf_size: int
+
+    def as_row(self) -> dict[str, float | int]:
+        return {
+            "sah_cost": round(self.sah_cost, 2),
+            "overlap": round(self.mean_sibling_overlap, 4),
+            "nodes": self.n_nodes,
+            "leaves": self.n_leaves,
+            "height": self.height,
+            "mean_leaf": round(self.mean_leaf_size, 2),
+        }
+
+
+def _half_areas(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Vectorized half surface areas of (n, 3) boxes."""
+    ext = np.maximum(hi - lo, 0.0)
+    return ext[..., 0] * ext[..., 1] + ext[..., 1] * ext[..., 2] + ext[..., 2] * ext[..., 0]
+
+
+def sah_cost(bvh: FlatBVH) -> float:
+    """Surface-area-heuristic cost of the tree.
+
+    ``C = C_t * sum_nodes A(n)/A(root) + C_i * sum_leaves A(l)/A(root) * N(l)``
+
+    where the node term charges one traversal step per expected node visit
+    and the leaf term charges one intersection test per primitive in each
+    expected leaf visit.
+    """
+    root_lo, root_hi = bvh.root_box()
+    root_area = float(_half_areas(root_lo[None], root_hi[None])[0])
+    if root_area <= 0.0:
+        return 0.0
+
+    occupied = bvh.child_kind != KIND_EMPTY
+    slot_areas = _half_areas(bvh.child_lo, bvh.child_hi)
+
+    internal_mask = bvh.child_kind == KIND_INTERNAL
+    leaf_mask = bvh.child_kind == KIND_LEAF
+    node_term = float(slot_areas[internal_mask].sum()) + root_area
+
+    leaf_refs = bvh.child_ref[leaf_mask]
+    leaf_counts = bvh.leaf_count[leaf_refs]
+    leaf_term = float((slot_areas[leaf_mask] * leaf_counts).sum())
+
+    return (COST_TRAVERSAL * node_term + COST_INTERSECT * leaf_term) / root_area
+
+
+def _pair_overlap(lo: np.ndarray, hi: np.ndarray, i: int, j: int) -> float:
+    """Intersection half-area of two boxes (0 when disjoint)."""
+    olo = np.maximum(lo[i], lo[j])
+    ohi = np.minimum(hi[i], hi[j])
+    if np.any(ohi <= olo):
+        return 0.0
+    return float(_half_areas(olo[None], ohi[None])[0])
+
+
+def mean_sibling_overlap(bvh: FlatBVH) -> float:
+    """Average pairwise child overlap, normalized by the parent box area.
+
+    0 means perfectly disjoint children everywhere; values near 1 mean
+    siblings almost coincide (rays must descend them all).
+    """
+    total = 0.0
+    pairs = 0
+    for node in range(bvh.n_nodes):
+        occ = np.nonzero(bvh.child_kind[node] != KIND_EMPTY)[0]
+        if len(occ) < 2:
+            continue
+        lo = bvh.child_lo[node]
+        hi = bvh.child_hi[node]
+        parent_area = float(
+            _half_areas(lo[occ].min(axis=0)[None], hi[occ].max(axis=0)[None])[0]
+        )
+        if parent_area <= 0.0:
+            continue
+        for a in range(len(occ)):
+            for b in range(a + 1, len(occ)):
+                total += _pair_overlap(lo, hi, occ[a], occ[b]) / parent_area
+                pairs += 1
+    return total / pairs if pairs else 0.0
+
+
+def leaf_size_histogram(bvh: FlatBVH) -> dict[int, int]:
+    """Leaf occupancy histogram: {primitives per leaf: leaf count}."""
+    values, counts = np.unique(bvh.leaf_count, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def tree_quality(bvh: FlatBVH) -> TreeQuality:
+    """Compute the full quality report for one BVH."""
+    return TreeQuality(
+        sah_cost=sah_cost(bvh),
+        mean_sibling_overlap=mean_sibling_overlap(bvh),
+        n_nodes=bvh.n_nodes,
+        n_leaves=bvh.n_leaves,
+        height=bvh.height,
+        mean_leaf_size=float(bvh.leaf_count.mean()),
+        max_leaf_size=int(bvh.leaf_count.max()),
+    )

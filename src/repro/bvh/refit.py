@@ -1,0 +1,95 @@
+"""BVH refit for dynamic scenes.
+
+Section VI of the paper argues GRTX extends naturally to dynamic scenes:
+object movement only updates per-object transforms, and Gaussian motion
+within an object only requires a *refit* — recomputing node bounding boxes
+bottom-up without changing topology. Refit is orders of magnitude cheaper
+than a rebuild but degrades tree quality as primitives drift, so engines
+rebuild after enough frames. This module provides both the refit kernel
+and the quality-degradation measurement that drives the rebuild heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bvh.node import KIND_EMPTY, KIND_INTERNAL, KIND_LEAF, FlatBVH
+
+
+def refit_bvh(bvh: FlatBVH, prim_lo: np.ndarray, prim_hi: np.ndarray) -> None:
+    """Recompute all node boxes in place from new primitive AABBs.
+
+    Topology (child links, leaf assignment, addresses) is untouched, so
+    refit preserves every structural invariant :meth:`FlatBVH.validate`
+    checks. Nodes are stored in preorder — children always follow their
+    parent — so one reverse sweep sees every child before its parent.
+    """
+    prim_lo = np.asarray(prim_lo, dtype=np.float64)
+    prim_hi = np.asarray(prim_hi, dtype=np.float64)
+    if prim_lo.shape != (bvh.n_prims, 3) or prim_hi.shape != (bvh.n_prims, 3):
+        raise ValueError("refit boxes must match the primitive count")
+
+    # Tight boxes per leaf record, computed once.
+    leaf_lo = np.empty((bvh.n_leaves, 3))
+    leaf_hi = np.empty((bvh.n_leaves, 3))
+    for leaf in range(bvh.n_leaves):
+        prims = bvh.leaf_prims(leaf)
+        leaf_lo[leaf] = prim_lo[prims].min(axis=0)
+        leaf_hi[leaf] = prim_hi[prims].max(axis=0)
+
+    # Union box per internal node, filled as the reverse sweep reaches it.
+    node_lo = np.empty((bvh.n_nodes, 3))
+    node_hi = np.empty((bvh.n_nodes, 3))
+    for node in range(bvh.n_nodes - 1, -1, -1):
+        for slot in range(bvh.width):
+            kind = bvh.child_kind[node, slot]
+            if kind == KIND_EMPTY:
+                break
+            ref = int(bvh.child_ref[node, slot])
+            if kind == KIND_LEAF:
+                bvh.child_lo[node, slot] = leaf_lo[ref]
+                bvh.child_hi[node, slot] = leaf_hi[ref]
+            else:
+                bvh.child_lo[node, slot] = node_lo[ref]
+                bvh.child_hi[node, slot] = node_hi[ref]
+        occupied = bvh.child_kind[node] != KIND_EMPTY
+        node_lo[node] = bvh.child_lo[node][occupied].min(axis=0)
+        node_hi[node] = bvh.child_hi[node][occupied].max(axis=0)
+
+
+@dataclass(frozen=True)
+class RefitDrift:
+    """How far a refitted tree has degraded from rebuild quality."""
+
+    #: SAH cost of the refitted tree divided by a fresh rebuild's cost.
+    sah_ratio: float
+    #: Root surface area of the refitted tree over the rebuild's.
+    root_area_ratio: float
+
+    @property
+    def should_rebuild(self) -> bool:
+        """Conventional engine heuristic: rebuild past 2x SAH degradation."""
+        return self.sah_ratio > 2.0
+
+
+def measure_drift(refitted: FlatBVH, rebuilt: FlatBVH) -> RefitDrift:
+    """Compare a refitted tree's quality against a fresh rebuild."""
+    from repro.bvh.quality import sah_cost
+
+    refit_cost = sah_cost(refitted)
+    rebuild_cost = sah_cost(rebuilt)
+    lo_a, hi_a = refitted.root_box()
+    lo_b, hi_b = rebuilt.root_box()
+    area_a = _half_area(lo_a, hi_a)
+    area_b = _half_area(lo_b, hi_b)
+    return RefitDrift(
+        sah_ratio=refit_cost / rebuild_cost if rebuild_cost > 0 else 1.0,
+        root_area_ratio=area_a / area_b if area_b > 0 else 1.0,
+    )
+
+
+def _half_area(lo: np.ndarray, hi: np.ndarray) -> float:
+    ext = np.maximum(hi - lo, 0.0)
+    return float(ext[0] * ext[1] + ext[1] * ext[2] + ext[2] * ext[0])

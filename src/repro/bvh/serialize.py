@@ -1,0 +1,121 @@
+"""Acceleration-structure serialization.
+
+Real pipelines build BVHs once and stream them to disk (driver AS caches,
+Embree's ``rtcSaveScene``-style snapshots): the Truck scene's 2.4M-Gaussian
+structure takes minutes to build but milliseconds to map back in. This
+module round-trips both structure families through compressed ``.npz``
+archives, preserving byte addresses so reloaded structures replay the
+exact same fetch traces.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.bvh.monolithic import MonolithicBVH
+from repro.bvh.node import FlatBVH
+from repro.bvh.two_level import SharedBlas, TwoLevelBVH
+
+_FORMAT_VERSION = 1
+
+_FLAT_FIELDS = (
+    "child_lo", "child_hi", "child_kind", "child_ref",
+    "leaf_start", "leaf_count", "prim_order",
+    "node_addr", "leaf_addr", "leaf_bytes",
+)
+
+# Optional array fields of the two structure dataclasses: serialized only
+# when present, restored as None otherwise.
+_MONO_OPTIONAL = ("tri_v0", "tri_v1", "tri_v2", "tri_gaussian",
+                  "world_to_obj_linear", "world_to_obj_offset")
+_BLAS_OPTIONAL = ("tri_v0", "tri_v1", "tri_v2")
+
+
+def _pack_flat(prefix: str, bvh: FlatBVH, out: dict[str, np.ndarray]) -> None:
+    for name in _FLAT_FIELDS:
+        out[f"{prefix}.{name}"] = getattr(bvh, name)
+    out[f"{prefix}.meta"] = np.array([bvh.width, bvh.height, bvh.base_address],
+                                     dtype=np.int64)
+
+
+def _unpack_flat(prefix: str, data) -> FlatBVH:
+    width, height, base = (int(v) for v in data[f"{prefix}.meta"])
+    fields = {name: data[f"{prefix}.{name}"] for name in _FLAT_FIELDS}
+    return FlatBVH(width=width, height=height, base_address=base, **fields)
+
+
+def save_structure(structure: MonolithicBVH | TwoLevelBVH, path: str | Path) -> None:
+    """Serialize a structure to a compressed npz archive."""
+    out: dict[str, np.ndarray] = {
+        "format_version": np.int64(_FORMAT_VERSION),
+    }
+    if isinstance(structure, TwoLevelBVH):
+        out["family"] = np.array("two_level")
+        out["n_gaussians"] = np.int64(structure.n_gaussians)
+        out["world_to_obj_linear"] = structure.world_to_obj_linear
+        out["world_to_obj_offset"] = structure.world_to_obj_offset
+        _pack_flat("tlas", structure.tlas, out)
+        blas = structure.blas
+        out["blas.kind"] = np.array(blas.kind)
+        out["blas.meta"] = np.array([blas.base_address, blas.subdivisions],
+                                    dtype=np.int64)
+        if blas.bvh is not None:
+            _pack_flat("blas.bvh", blas.bvh, out)
+        for name in _BLAS_OPTIONAL:
+            value = getattr(blas, name)
+            if value is not None:
+                out[f"blas.{name}"] = value
+    elif isinstance(structure, MonolithicBVH):
+        out["family"] = np.array("monolithic")
+        out["proxy"] = np.array(structure.proxy)
+        out["n_gaussians"] = np.int64(structure.n_gaussians)
+        _pack_flat("bvh", structure.bvh, out)
+        for name in _MONO_OPTIONAL:
+            value = getattr(structure, name)
+            if value is not None:
+                out[name] = value
+    else:
+        raise TypeError(f"cannot serialize {type(structure).__name__}")
+    np.savez_compressed(Path(path), **out)
+
+
+def load_structure(path: str | Path) -> MonolithicBVH | TwoLevelBVH:
+    """Load a structure saved by :func:`save_structure`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"{path}: unsupported format version {version}")
+        family = str(data["family"])
+        if family == "two_level":
+            base_address, subdivisions = (int(v) for v in data["blas.meta"])
+            blas = SharedBlas(
+                kind=str(data["blas.kind"]),
+                base_address=base_address,
+                subdivisions=subdivisions,
+                bvh=_unpack_flat("blas.bvh", data) if "blas.bvh.meta" in data else None,
+                **{
+                    name: (data[f"blas.{name}"] if f"blas.{name}" in data else None)
+                    for name in _BLAS_OPTIONAL
+                },
+            )
+            return TwoLevelBVH(
+                tlas=_unpack_flat("tlas", data),
+                blas=blas,
+                n_gaussians=int(data["n_gaussians"]),
+                world_to_obj_linear=data["world_to_obj_linear"],
+                world_to_obj_offset=data["world_to_obj_offset"],
+            )
+        if family == "monolithic":
+            return MonolithicBVH(
+                proxy=str(data["proxy"]),
+                bvh=_unpack_flat("bvh", data),
+                n_gaussians=int(data["n_gaussians"]),
+                **{
+                    name: (data[name] if name in data else None)
+                    for name in _MONO_OPTIONAL
+                },
+            )
+        raise ValueError(f"{path}: unknown structure family {family!r}")

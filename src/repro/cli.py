@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the workflows a user reaches for first:
+
+* ``workloads`` — list the six paper workloads with their generated
+  statistics (the Table II inventory at the current scale).
+* ``render`` — render one scene to a PPM with any structure/mode
+  combination and print the render + timing summary.
+* ``experiment`` — regenerate one of the paper's tables/figures by id
+  (``fig13``, ``table2``, ...) and print its table and ASCII chart.
+* ``structures`` — build every acceleration-structure variant for a
+  scene and compare sizes (the Figure 5b / Table II comparison).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GRTX reproduction: Gaussian ray tracing experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the paper's workloads")
+
+    render = sub.add_parser("render", help="render one scene to a PPM")
+    render.add_argument("scene", help="workload name (train, truck, bonsai, ...)")
+    render.add_argument("--out", default="render.ppm", help="output PPM path")
+    render.add_argument("--proxy", default="tlas+sphere",
+                        help="structure: 20-tri, 80-tri, custom, tlas+20-tri, "
+                             "tlas+80-tri, tlas+sphere")
+    render.add_argument("--mode", default="grtx",
+                        choices=["baseline", "grtx-sw", "grtx-hw", "grtx"],
+                        help="optimization mode (grtx-hw/grtx enable checkpointing)")
+    render.add_argument("--size", type=int, default=32, help="image width=height")
+    render.add_argument("--k", type=int, default=8, help="k-buffer capacity")
+    render.add_argument("--scale", type=float, default=1 / 400.0,
+                        help="scene scale relative to the paper's Gaussian counts")
+    render.add_argument("--camera", default="pinhole",
+                        choices=["pinhole", "fisheye", "equirect", "ortho"],
+                        help="camera model")
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    experiment.add_argument("exp_id", help="experiment id, e.g. fig13, table2; "
+                                           "'list' shows all ids")
+    experiment.add_argument("--chart", action="store_true",
+                            help="print an ASCII chart after the table")
+
+    structures = sub.add_parser("structures", help="compare structure sizes for a scene")
+    structures.add_argument("scene")
+    structures.add_argument("--scale", type=float, default=1 / 400.0)
+    return parser
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    from repro.eval.report import format_table
+    from repro.gaussians.synthetic import WORKLOAD_ORDER, WORKLOAD_SPECS
+
+    rows = []
+    for name in WORKLOAD_ORDER:
+        spec = WORKLOAD_SPECS[name]
+        rows.append([
+            name,
+            f"{spec.paper_gaussians / 1e6:.2f} M",
+            f"{spec.native_resolution[0]}x{spec.native_resolution[1]}",
+            "indoor" if spec.indoor else "outdoor",
+            f"{spec.extent:g}",
+        ])
+    print(format_table(
+        "Paper workloads (Table II)",
+        ["scene", "# gaussians (paper)", "resolution (paper)", "type", "extent"],
+        rows,
+    ))
+    return 0
+
+
+def _make_camera(kind: str, cloud, size: int):
+    from repro.render import default_camera_for
+    from repro.render.cameras import (
+        EquirectangularCamera,
+        FisheyeCamera,
+        OrthographicCamera,
+    )
+
+    pin = default_camera_for(cloud, size, size)
+    if kind == "pinhole":
+        return pin
+    if kind == "fisheye":
+        return FisheyeCamera(pin.position, pin.look_at, pin.up, size, size, fov=np.pi)
+    if kind == "equirect":
+        return EquirectangularCamera(pin.position, pin.look_at, pin.up, 2 * size, size)
+    center = cloud.means.mean(axis=0)
+    extent = float(np.abs(cloud.means - center).max())
+    return OrthographicCamera(pin.position, pin.look_at, pin.up, size, size,
+                              half_extent=1.2 * extent)
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro import (
+        GaussianRayTracer,
+        GpuConfig,
+        TraceConfig,
+        make_workload,
+        replay,
+        write_ppm,
+    )
+    from repro.eval.harness import build_structure_for
+
+    cloud = make_workload(args.scene, scale=args.scale)
+    structure = build_structure_for(cloud, args.proxy)
+    checkpointing = args.mode in ("grtx-hw", "grtx")
+    config = TraceConfig(k=args.k, checkpointing=checkpointing)
+    renderer = GaussianRayTracer(cloud, structure, config)
+    camera = _make_camera(args.camera, cloud, args.size)
+    result = renderer.render(camera)
+    timing = replay(result.traces, GpuConfig.rtx_like())
+    write_ppm(args.out, result.image)
+    print(f"scene={args.scene} gaussians={len(cloud)} proxy={args.proxy} mode={args.mode}")
+    print(f"structure: {structure.total_bytes / 1024:.1f} KB")
+    print(f"render:    {result.stats.n_rays} rays, {result.stats.rounds_total} rounds, "
+          f"{result.stats.blended_total} blends")
+    print(f"timing:    {timing.time_ms:.3f} model-ms, {timing.node_fetches} node fetches, "
+          f"L1 hit {timing.l1_hit_rate:.1%}")
+    print(f"image:     {args.out}")
+    return 0
+
+
+def _experiment_registry() -> dict[str, Callable]:
+    from repro.eval import experiments as exp
+
+    registry: dict[str, Callable] = {}
+    for name in dir(exp):
+        if name.startswith(("fig", "table", "ablation", "quality")):
+            fn = getattr(exp, name)
+            if callable(fn):
+                registry[name] = fn
+    return registry
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    registry = _experiment_registry()
+    if args.exp_id == "list":
+        for name in sorted(registry):
+            print(name)
+        return 0
+    fn = registry.get(args.exp_id)
+    if fn is None:
+        print(f"unknown experiment {args.exp_id!r}; try 'experiment list'",
+              file=sys.stderr)
+        return 2
+    result = fn()
+    print(result.table)
+    if args.chart:
+        from repro.eval.plotting import chart_for_result
+
+        print()
+        print(chart_for_result(result))
+    return 0
+
+
+def _cmd_structures(args: argparse.Namespace) -> int:
+    from repro.eval.harness import PROXIES, build_structure_for
+    from repro.eval.report import format_table
+    from repro.gaussians import make_workload
+
+    cloud = make_workload(args.scene, scale=args.scale)
+    rows = []
+    for proxy in PROXIES:
+        structure = build_structure_for(cloud, proxy)
+        rows.append([proxy, f"{structure.total_bytes / 1024:.1f}", structure.height])
+    print(format_table(
+        f"Structure sizes for {args.scene} ({len(cloud)} gaussians)",
+        ["structure", "size (KB)", "height"],
+        rows,
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "workloads": _cmd_workloads,
+    "render": _cmd_render,
+    "experiment": _cmd_experiment,
+    "structures": _cmd_structures,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Evaluation harness: the paper's workloads and per-figure experiments."""
+
+from repro.eval.harness import (
+    BENCH_RESOLUTION,
+    BENCH_SCALE,
+    CachedRun,
+    SCENES,
+    clear_caches,
+    get_cloud,
+    get_structure,
+    run_config,
+)
+from repro.eval.report import format_table, geomean
+
+__all__ = [
+    "BENCH_RESOLUTION",
+    "BENCH_SCALE",
+    "CachedRun",
+    "SCENES",
+    "clear_caches",
+    "format_table",
+    "geomean",
+    "get_cloud",
+    "get_structure",
+    "run_config",
+]

@@ -1,0 +1,188 @@
+"""Shared experiment infrastructure.
+
+Every figure in the paper is regenerated from a handful of (scene,
+structure, tracing-mode) render configurations; this module builds and
+caches them so the benchmark suite runs each expensive render exactly
+once per session. Scales are reduced relative to the paper (see
+EXPERIMENTS.md): scenes are generated at ``BENCH_SCALE`` of their trained
+Gaussian counts and rendered at ``BENCH_RESOLUTION`` — both overridable
+through the ``GRTX_BENCH_SCALE`` / ``GRTX_BENCH_RES`` environment
+variables for higher-fidelity (slower) runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bvh import BuildParams, build_monolithic, build_two_level, structure_stats
+from repro.bvh.stats import BVHStats
+from repro.gaussians import GaussianCloud, make_workload
+from repro.gaussians.synthetic import WORKLOAD_ORDER
+from repro.hwsim import GpuConfig, TimingReport, replay
+from repro.render import GaussianRayTracer, PinholeCamera, SceneObjects, default_camera_for
+from repro.render.renderer import RenderStats
+from repro.rt import TraceConfig
+
+#: Canonical scene ordering used by every figure.
+SCENES = list(WORKLOAD_ORDER)
+
+#: Default down-scale of the paper's Gaussian counts for benchmarks.
+BENCH_SCALE = float(os.environ.get("GRTX_BENCH_SCALE", 1.0 / 400.0))
+
+#: Default render resolution for benchmarks (paper: 128x128).
+_res = int(os.environ.get("GRTX_BENCH_RES", 20))
+BENCH_RESOLUTION = (_res, _res)
+
+#: Structure labels used throughout the evaluation.
+PROXIES = ("20-tri", "80-tri", "custom", "tlas+20-tri", "tlas+80-tri", "tlas+sphere")
+
+_cloud_cache: dict = {}
+_structure_cache: dict = {}
+_run_cache: dict = {}
+
+
+def clear_caches() -> None:
+    """Drop all cached clouds, structures and runs (tests use this)."""
+    _cloud_cache.clear()
+    _structure_cache.clear()
+    _run_cache.clear()
+
+
+def get_cloud(scene: str, scale: float = BENCH_SCALE) -> GaussianCloud:
+    """The (cached) synthetic Gaussian cloud for one workload."""
+    key = (scene, scale)
+    if key not in _cloud_cache:
+        _cloud_cache[key] = make_workload(scene, scale=scale)
+    return _cloud_cache[key]
+
+
+def build_structure_for(cloud: GaussianCloud, proxy: str,
+                        params: BuildParams | None = None):
+    """Build the acceleration structure named by a proxy label.
+
+    The labels are the ones used throughout the evaluation (PROXIES):
+    monolithic ``20-tri`` / ``80-tri`` / ``custom`` and two-level
+    ``tlas+20-tri`` / ``tlas+80-tri`` / ``tlas+sphere``.
+    """
+    params = params or BuildParams()
+    if proxy in ("20-tri", "80-tri", "custom"):
+        return build_monolithic(cloud, proxy, params)
+    if proxy == "tlas+20-tri":
+        return build_two_level(cloud, "icosphere", 0, params)
+    if proxy == "tlas+80-tri":
+        return build_two_level(cloud, "icosphere", 1, params)
+    if proxy == "tlas+sphere":
+        return build_two_level(cloud, "sphere", params=params)
+    raise ValueError(f"unknown proxy {proxy!r}")
+
+
+def get_structure(scene: str, proxy: str, scale: float = BENCH_SCALE, width: int = 6):
+    """The (cached) acceleration structure for one workload."""
+    key = (scene, proxy, scale, width)
+    if key not in _structure_cache:
+        cloud = get_cloud(scene, scale)
+        _structure_cache[key] = build_structure_for(cloud, proxy, BuildParams(width=width))
+    return _structure_cache[key]
+
+
+@dataclass
+class CachedRun:
+    """One fully evaluated render: image + functional stats + timing."""
+
+    scene: str
+    proxy: str
+    image: np.ndarray
+    stats: RenderStats
+    timing: TimingReport
+    bvh: BVHStats
+    config: TraceConfig
+    structure_bytes: int = 0
+    raster_cycles: float = 0.0
+
+    @property
+    def cycles(self) -> float:
+        return self.timing.cycles
+
+    @property
+    def time_ms(self) -> float:
+        return self.timing.time_ms
+
+
+def run_config(
+    scene: str,
+    proxy: str = "20-tri",
+    k: int = 8,
+    mode: str = "multiround",
+    checkpointing: bool = False,
+    scale: float = BENCH_SCALE,
+    resolution: tuple[int, int] | None = None,
+    fov_mode: str = "original",
+    objects: bool = False,
+    kbuffer_layout: str = "soa",
+    gpu: str = "rtx",
+    prefetch: bool = True,
+    width: int = 6,
+) -> CachedRun:
+    """Render one configuration (cached) and replay it for timing.
+
+    ``fov_mode``: ``"original"`` keeps the default 60-degree FoV at any
+    resolution (Figure 19a's low-coherence setting); ``"cropped"`` scales
+    the FoV down with the resolution (Figure 19b).
+    """
+    resolution = resolution or BENCH_RESOLUTION
+    key = (scene, proxy, k, mode, checkpointing, scale, resolution, fov_mode,
+           objects, kbuffer_layout, gpu, prefetch, width)
+    if key in _run_cache:
+        return _run_cache[key]
+
+    cloud = get_cloud(scene, scale)
+    structure = get_structure(scene, proxy, scale, width)
+    config = TraceConfig(k=k, mode=mode, checkpointing=checkpointing,
+                         kbuffer_layout=kbuffer_layout)
+    camera = default_camera_for(cloud, 64, 64)
+    if fov_mode == "cropped":
+        camera = camera.cropped(*resolution)
+    else:
+        camera = camera.with_resolution(*resolution)
+
+    scene_objects = SceneObjects.default_for(cloud) if objects else None
+    renderer = GaussianRayTracer(cloud, structure, config)
+    result = renderer.render(camera, objects=scene_objects)
+
+    if gpu == "rtx":
+        gpu_config = GpuConfig.rtx_like()
+    elif gpu == "amd":
+        gpu_config = GpuConfig.amd_like(scene_scale=scale * 100.0)
+    else:
+        raise ValueError(f"unknown gpu {gpu!r}")
+    if not prefetch:
+        from dataclasses import replace
+        gpu_config = replace(gpu_config, prefetch_enabled=False)
+
+    timing = replay(result.traces, gpu_config, kbuffer_layout=kbuffer_layout)
+    result.drop_traces()
+
+    run = CachedRun(
+        scene=scene,
+        proxy=proxy,
+        image=result.image,
+        stats=result.stats,
+        timing=timing,
+        bvh=structure_stats(structure),
+        config=config,
+        structure_bytes=structure.total_bytes,
+    )
+    _run_cache[key] = run
+    return run
+
+
+# The four end-to-end configurations of Figure 13.
+FIG13_CONFIGS = {
+    "Baseline": dict(proxy="20-tri", checkpointing=False),
+    "GRTX-SW": dict(proxy="tlas+20-tri", checkpointing=False),
+    "GRTX-HW": dict(proxy="20-tri", checkpointing=True),
+    "GRTX": dict(proxy="tlas+20-tri", checkpointing=True),
+}

@@ -1,0 +1,139 @@
+"""Text-mode charts for experiment results.
+
+The benchmark suite runs in terminals without a display, so every figure
+the paper plots as bars or lines is also rendered as an ASCII chart next
+to its numeric table. Charts are deterministic text, which makes them
+diffable artifacts: `benchmarks/results/` captures both the numbers and
+their shape.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_BAR_WIDTH = 40
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, max_value: float, width: int = _BAR_WIDTH) -> str:
+    """Unicode block bar scaled so ``max_value`` fills ``width`` cells."""
+    if max_value <= 0.0:
+        return ""
+    cells = value / max_value * width
+    full = int(cells)
+    frac = int((cells - full) * 8)
+    bar = "█" * full
+    if frac:
+        bar += _BLOCKS[frac]
+    return bar
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    unit: str = "",
+    width: int = _BAR_WIDTH,
+) -> str:
+    """A horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return title
+    label_w = max(len(str(label)) for label in labels)
+    peak = max(values)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        suffix = f" {value:.3g}{unit}"
+        lines.append(f"{str(label):>{label_w}} |{_bar(value, peak, width)}{suffix}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[str],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    unit: str = "",
+    width: int = _BAR_WIDTH,
+) -> str:
+    """Bars for several series per group (the Figure 13-17 layout)."""
+    for name, values in series.items():
+        if len(values) != len(groups):
+            raise ValueError(f"series {name!r} length does not match groups")
+    peak = max((max(vals) for vals in series.values() if len(vals)), default=0.0)
+    label_w = max(
+        [len(str(g)) for g in groups] + [len(name) + 2 for name in series],
+        default=0,
+    )
+    lines = [title] if title else []
+    for gi, group in enumerate(groups):
+        lines.append(f"{str(group):>{label_w}}")
+        for name, values in series.items():
+            value = values[gi]
+            lines.append(
+                f"{('  ' + name):>{label_w}} |{_bar(value, peak, width)} {value:.3g}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """A dot-matrix line chart for parameter sweeps (Figure 6b / 18)."""
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length does not match xs")
+    if not xs:
+        return title
+    all_ys = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_ys), max(all_ys)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@"
+    for si, (name, ys) in enumerate(series.items()):
+        marker = markers[si % len(markers)]
+        for x, y in zip(xs, ys):
+            col = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = int((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = [title] if title else []
+    lines.append(f"{y_max:>10.3g} ┐")
+    for row in grid:
+        lines.append(" " * 11 + "│" + "".join(row))
+    lines.append(f"{y_min:>10.3g} ┴" + "─" * width)
+    lines.append(" " * 12 + f"{x_min:<10.3g}{'':^{max(width - 20, 0)}}{x_max:>10.3g}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def chart_for_result(result, value_column: str | None = None) -> str:
+    """Best-effort chart for an :class:`ExperimentResult`-like object.
+
+    Uses the first column as labels and ``value_column`` (default: the
+    last numeric column) as values.
+    """
+    labels = [str(row[0]) for row in result.rows]
+    columns = result.columns
+    if value_column is None:
+        value_column = columns[-1]
+    idx = columns.index(value_column)
+    values = []
+    for row in result.rows:
+        try:
+            values.append(float(row[idx]))
+        except (TypeError, ValueError):
+            values.append(0.0)
+    return bar_chart(labels, values, title=f"{result.exp_id} — {value_column}")

@@ -1,0 +1,48 @@
+"""Plain-text tables mirroring the paper's figure series."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean, the aggregate the paper reports for speedups."""
+    values = [v for v in values if v > 0.0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    notes: str | None = None,
+) -> str:
+    """Render an aligned text table (what the benchmark harness prints)."""
+    header = [str(c) for c in columns]
+    body = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    for row in body:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    if notes:
+        lines.append(f"note: {notes}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0.0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,139 @@
+"""The GaussianCloud container.
+
+Struct-of-arrays layout: one numpy array per attribute, indexed by Gaussian
+id. This mirrors how 3DGS checkpoints store scenes and keeps every
+downstream kernel (covariance assembly, BVH build, blending) vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.math3d import quat_normalize
+
+
+@dataclass
+class GaussianCloud:
+    """A trained 3D Gaussian scene.
+
+    Attributes
+    ----------
+    means:
+        ``(n, 3)`` Gaussian centers (world space).
+    scales:
+        ``(n, 3)`` per-axis standard deviations of each Gaussian. The
+        renderable ellipsoid extends ``kappa`` standard deviations along
+        each axis (3DGRT uses a ~3-sigma cutoff).
+    rotations:
+        ``(n, 4)`` unit quaternions, ``wxyz`` order.
+    opacities:
+        ``(n,)`` opacity ``o`` in ``(0, 1]``.
+    sh:
+        ``(n, c, 3)`` spherical-harmonics RGB coefficients, where ``c`` is
+        ``(degree + 1)^2``.
+    kappa:
+        Standard-deviation cutoff defining the bounding ellipsoid.
+    """
+
+    means: np.ndarray
+    scales: np.ndarray
+    rotations: np.ndarray
+    opacities: np.ndarray
+    sh: np.ndarray
+    kappa: float = 3.0
+    name: str = field(default="scene")
+
+    def __post_init__(self) -> None:
+        self.means = np.ascontiguousarray(self.means, dtype=np.float64)
+        self.scales = np.ascontiguousarray(self.scales, dtype=np.float64)
+        self.rotations = quat_normalize(np.ascontiguousarray(self.rotations, dtype=np.float64))
+        self.opacities = np.ascontiguousarray(self.opacities, dtype=np.float64)
+        self.sh = np.ascontiguousarray(self.sh, dtype=np.float64)
+        n = self.means.shape[0]
+        if self.means.shape != (n, 3):
+            raise ValueError(f"means must be (n, 3), got {self.means.shape}")
+        if self.scales.shape != (n, 3):
+            raise ValueError(f"scales must be (n, 3), got {self.scales.shape}")
+        if self.rotations.shape != (n, 4):
+            raise ValueError(f"rotations must be (n, 4), got {self.rotations.shape}")
+        if self.opacities.shape != (n,):
+            raise ValueError(f"opacities must be (n,), got {self.opacities.shape}")
+        if self.sh.ndim != 3 or self.sh.shape[0] != n or self.sh.shape[2] != 3:
+            raise ValueError(f"sh must be (n, c, 3), got {self.sh.shape}")
+        if np.any(self.scales <= 0.0):
+            raise ValueError("scales must be strictly positive")
+        if np.any((self.opacities <= 0.0) | (self.opacities > 1.0)):
+            raise ValueError("opacities must lie in (0, 1]")
+        if self.kappa <= 0.0:
+            raise ValueError("kappa must be positive")
+
+    def __len__(self) -> int:
+        return self.means.shape[0]
+
+    @property
+    def sh_degree(self) -> int:
+        """Spherical-harmonics degree implied by the coefficient count."""
+        coeffs = self.sh.shape[1]
+        degree = int(round(np.sqrt(coeffs))) - 1
+        if (degree + 1) ** 2 != coeffs:
+            raise ValueError(f"sh coefficient count {coeffs} is not a square")
+        return degree
+
+    def subset(self, indices: np.ndarray) -> "GaussianCloud":
+        """Return a new cloud containing only the selected Gaussians."""
+        indices = np.asarray(indices)
+        return GaussianCloud(
+            means=self.means[indices],
+            scales=self.scales[indices],
+            rotations=self.rotations[indices],
+            opacities=self.opacities[indices],
+            sh=self.sh[indices],
+            kappa=self.kappa,
+            name=self.name,
+        )
+
+    def concatenate(self, other: "GaussianCloud") -> "GaussianCloud":
+        """Merge two clouds (used when injecting extra scene objects)."""
+        if abs(self.kappa - other.kappa) > 1e-9:
+            raise ValueError("cannot concatenate clouds with different kappa")
+        if self.sh.shape[1] != other.sh.shape[1]:
+            raise ValueError("cannot concatenate clouds with different SH degree")
+        return GaussianCloud(
+            means=np.concatenate([self.means, other.means]),
+            scales=np.concatenate([self.scales, other.scales]),
+            rotations=np.concatenate([self.rotations, other.rotations]),
+            opacities=np.concatenate([self.opacities, other.opacities]),
+            sh=np.concatenate([self.sh, other.sh]),
+            kappa=self.kappa,
+            name=self.name,
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Serialize to a compressed ``.npz`` archive."""
+        np.savez_compressed(
+            Path(path),
+            means=self.means,
+            scales=self.scales,
+            rotations=self.rotations,
+            opacities=self.opacities,
+            sh=self.sh,
+            kappa=np.float64(self.kappa),
+            name=np.array(self.name),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "GaussianCloud":
+        """Load a cloud previously written by :meth:`save`."""
+        with np.load(Path(path), allow_pickle=False) as data:
+            return cls(
+                means=data["means"],
+                scales=data["scales"],
+                rotations=data["rotations"],
+                opacities=data["opacities"],
+                sh=data["sh"],
+                kappa=float(data["kappa"]),
+                name=str(data["name"]),
+            )

@@ -1,0 +1,65 @@
+"""Covariance assembly and the ray-space (canonical) transforms.
+
+The GRTX-SW insight lives here: for a Gaussian with rotation ``R``, scale
+``S`` (diagonal of per-axis sigmas) and cutoff ``kappa``, the bounding
+ellipsoid ``(x - mu)^T Sigma^-1 (x - mu) = kappa^2`` maps onto the *unit
+sphere* under ``x_obj = (kappa S)^-1 R^T (x_world - mu)``. Every Gaussian
+can therefore share a single unit-sphere BLAS, with only the per-instance
+transform differing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gaussians.cloud import GaussianCloud
+from repro.math3d import AffineTransform, compose_trs, invert_rigid_scale, quat_to_rotation_matrix
+
+
+def build_covariance(cloud: GaussianCloud) -> np.ndarray:
+    """Return per-Gaussian covariance matrices ``Sigma = R S S^T R^T``.
+
+    Shape ``(n, 3, 3)``. ``S`` is the diagonal matrix of ``cloud.scales``.
+    """
+    rot = quat_to_rotation_matrix(cloud.rotations)
+    scaled = rot * cloud.scales[:, None, :]
+    return scaled @ np.swapaxes(scaled, -1, -2)
+
+
+def build_inverse_covariance(cloud: GaussianCloud) -> np.ndarray:
+    """Return ``Sigma^-1`` via the factored form ``R S^-2 R^T``.
+
+    Numerically better than inverting ``Sigma`` directly for the highly
+    anisotropic Gaussians 3DGS training produces.
+    """
+    rot = quat_to_rotation_matrix(cloud.rotations)
+    inv_scaled = rot * (1.0 / cloud.scales)[:, None, :]
+    return inv_scaled @ np.swapaxes(inv_scaled, -1, -2)
+
+
+def canonical_transforms(cloud: GaussianCloud) -> tuple[AffineTransform, AffineTransform]:
+    """Return (object->world, world->object) transforms per Gaussian.
+
+    Object space is the unit-sphere space: the object->world map sends the
+    unit sphere to the ``kappa``-sigma bounding ellipsoid. These are exactly
+    the matrices a TLAS instance node stores.
+    """
+    rot = quat_to_rotation_matrix(cloud.rotations)
+    radii = cloud.kappa * cloud.scales
+    obj_to_world = compose_trs(cloud.means, rot, radii)
+    world_to_obj = invert_rigid_scale(cloud.means, rot, radii)
+    return obj_to_world, world_to_obj
+
+
+def world_aabbs(cloud: GaussianCloud) -> tuple[np.ndarray, np.ndarray]:
+    """Tight world-space AABBs of each bounding ellipsoid.
+
+    For an ellipsoid ``x = R (kappa S) u + mu`` with ``|u| = 1`` the extent
+    along world axis ``i`` is ``sqrt(sum_j (R_ij * kappa * s_j)^2)``, i.e.
+    the row norms of the scaled rotation. Returns ``(lo, hi)`` arrays of
+    shape ``(n, 3)``.
+    """
+    rot = quat_to_rotation_matrix(cloud.rotations)
+    scaled = rot * (cloud.kappa * cloud.scales)[:, None, :]
+    extent = np.sqrt(np.sum(scaled * scaled, axis=-1))
+    return cloud.means - extent, cloud.means + extent

@@ -1,0 +1,209 @@
+"""Adaptive density control (clone / split / prune) for Gaussian scenes.
+
+3DGS interleaves optimization with density control: Gaussians that move a
+lot are duplicated (under-reconstruction) or split (over-reconstruction),
+and Gaussians with negligible opacity are pruned. The reference
+implementation keys on view-space positional gradients; our training
+substrate freezes geometry, so we key on the statistics the ray tracer
+already produces — per-Gaussian blend contribution — which identify the
+same populations: heavy contributors that are too coarse (split), small
+heavy contributors (clone), and Gaussians that never contribute (prune).
+
+Density control matters to GRTX because it sets the Gaussian count and
+size distribution that the acceleration structures index; the densify
+example demonstrates rebuilding the TLAS after each control round (a
+rebuild is required — density control changes primitive count, which
+refit cannot absorb).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gaussians.cloud import GaussianCloud
+from repro.math3d import quat_to_rotation_matrix
+
+
+@dataclass
+class ContributionStats:
+    """Per-Gaussian blending statistics across a set of rendered views."""
+
+    blend_count: np.ndarray  # rays that blended each Gaussian
+    weight_sum: np.ndarray  # accumulated alpha contribution
+
+    @classmethod
+    def empty(cls, n: int) -> "ContributionStats":
+        return cls(
+            blend_count=np.zeros(n, dtype=np.int64),
+            weight_sum=np.zeros(n, dtype=np.float64),
+        )
+
+    def absorb(self, blend_records: list[tuple[int, float, float]] | None) -> None:
+        """Fold one ray's blend list (``record_blended`` output) in."""
+        if not blend_records:
+            return
+        for gid, alpha, _t in blend_records:
+            self.blend_count[gid] += 1
+            self.weight_sum[gid] += alpha
+
+    @property
+    def mean_weight(self) -> np.ndarray:
+        """Average alpha contributed per blending ray (0 if never blended)."""
+        with np.errstate(invalid="ignore"):
+            mean = self.weight_sum / np.maximum(self.blend_count, 1)
+        return np.where(self.blend_count > 0, mean, 0.0)
+
+
+def collect_stats(cloud: GaussianCloud, cameras: list, k: int = 8) -> ContributionStats:
+    """Render each camera with blend recording and fold the statistics."""
+    from repro.bvh.two_level import build_two_level
+    from repro.rt.shading import SceneShading
+    from repro.rt.tracer import TraceConfig, Tracer
+
+    structure = build_two_level(cloud, "sphere")
+    tracer = Tracer(structure, SceneShading(cloud), TraceConfig(k=k, record_blended=True))
+    stats = ContributionStats.empty(len(cloud))
+    for camera in cameras:
+        bundle = camera.generate_rays()
+        for i in range(len(bundle)):
+            outcome = tracer.trace_ray(bundle.origins[i], bundle.directions[i])
+            stats.absorb(outcome.blend_records)
+    return stats
+
+
+@dataclass(frozen=True)
+class DensifyParams:
+    """Thresholds for one adaptive-density-control round."""
+
+    #: Gaussians with opacity below this are pruned (3DGS uses 0.005).
+    opacity_floor: float = 0.005
+    #: Gaussians never blended by any training ray are pruned.
+    prune_unseen: bool = True
+    #: Heavy contributors whose largest scale exceeds this quantile of
+    #: the scene's scale distribution are split (over-reconstruction).
+    split_scale_quantile: float = 0.9
+    #: Heavy contributors below the split size are cloned
+    #: (under-reconstruction).
+    clone_weight_quantile: float = 0.9
+    #: Scale shrink factor applied to both halves of a split (3DGS: 1.6).
+    split_shrink: float = 1.6
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.opacity_floor < 1.0:
+            raise ValueError("opacity_floor must be in [0, 1)")
+        if not 0.0 < self.split_scale_quantile <= 1.0:
+            raise ValueError("split_scale_quantile must be in (0, 1]")
+        if self.split_shrink <= 1.0:
+            raise ValueError("split_shrink must exceed 1")
+
+
+@dataclass(frozen=True)
+class DensifyOutcome:
+    """What one control round did."""
+
+    cloud: GaussianCloud
+    pruned: int
+    split: int
+    cloned: int
+
+    @property
+    def delta(self) -> int:
+        """Net change in Gaussian count."""
+        return self.split + self.cloned - self.pruned
+
+
+def prune(cloud: GaussianCloud, keep: np.ndarray) -> GaussianCloud:
+    """Drop all Gaussians not selected by the boolean ``keep`` mask."""
+    keep = np.asarray(keep, dtype=bool)
+    if keep.shape != (len(cloud),):
+        raise ValueError("keep mask must have one entry per Gaussian")
+    if not keep.any():
+        raise ValueError("pruning would remove every Gaussian")
+    return cloud.subset(np.nonzero(keep)[0])
+
+
+def split(cloud: GaussianCloud, ids: np.ndarray, shrink: float = 1.6) -> GaussianCloud:
+    """Split the selected Gaussians in two along their major axis.
+
+    Each selected Gaussian is replaced by two copies offset by one
+    standard deviation along its largest principal axis, with all scales
+    shrunk by ``shrink`` — the 3DGS split rule.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    if ids.size == 0:
+        return cloud
+    major = np.argmax(cloud.scales[ids], axis=1)
+    rot = quat_to_rotation_matrix(cloud.rotations[ids])
+    axis_world = rot[np.arange(ids.size), :, major]
+    sigma = cloud.scales[ids, major][:, None] * axis_world
+
+    keep_mask = np.ones(len(cloud), dtype=bool)
+    keep_mask[ids] = False
+    base = cloud.subset(np.nonzero(keep_mask)[0])
+
+    halves = GaussianCloud(
+        means=np.concatenate([cloud.means[ids] + sigma, cloud.means[ids] - sigma]),
+        scales=np.tile(cloud.scales[ids] / shrink, (2, 1)),
+        rotations=np.tile(cloud.rotations[ids], (2, 1)),
+        opacities=np.tile(cloud.opacities[ids], 2),
+        sh=np.tile(cloud.sh[ids], (2, 1, 1)),
+        kappa=cloud.kappa,
+        name=cloud.name,
+    )
+    return base.concatenate(halves)
+
+
+def clone(cloud: GaussianCloud, ids: np.ndarray) -> GaussianCloud:
+    """Duplicate the selected Gaussians in place (3DGS clone rule)."""
+    ids = np.asarray(ids, dtype=np.int64)
+    if ids.size == 0:
+        return cloud
+    return cloud.concatenate(cloud.subset(ids))
+
+
+def densify_round(
+    cloud: GaussianCloud,
+    stats: ContributionStats,
+    params: DensifyParams | None = None,
+) -> DensifyOutcome:
+    """Run one prune / split / clone round driven by blend statistics."""
+    params = params or DensifyParams()
+    if stats.blend_count.shape != (len(cloud),):
+        raise ValueError("stats do not match the cloud")
+
+    keep = cloud.opacities >= params.opacity_floor
+    if params.prune_unseen:
+        keep &= stats.blend_count > 0
+    if not keep.any():
+        keep = cloud.opacities >= params.opacity_floor  # never empty the scene
+    pruned = int((~keep).sum())
+    kept_ids = np.nonzero(keep)[0]
+    working = cloud.subset(kept_ids)
+    weights = stats.mean_weight[kept_ids]
+
+    heavy_cut = np.quantile(weights, params.clone_weight_quantile) if len(weights) else 1.0
+    heavy = weights >= max(heavy_cut, 1e-6)
+    max_scale = working.scales.max(axis=1)
+    scale_cut = np.quantile(max_scale, params.split_scale_quantile)
+
+    split_ids = np.nonzero(heavy & (max_scale >= scale_cut))[0]
+    clone_ids = np.nonzero(heavy & (max_scale < scale_cut))[0]
+
+    working = split(working, split_ids, params.split_shrink)
+    # Split re-orders ids; clones were all below the scale cut, and split
+    # removed only above-cut Gaussians that occupied positions before the
+    # appended halves — recompute clone positions against the new cloud.
+    if clone_ids.size:
+        keep_positions = np.ones(len(kept_ids), dtype=bool)
+        keep_positions[split_ids] = False
+        remap = np.cumsum(keep_positions) - 1
+        working = clone(working, remap[clone_ids])
+
+    return DensifyOutcome(
+        cloud=working,
+        pruned=pruned,
+        split=int(split_ids.size),
+        cloned=int(clone_ids.size),
+    )

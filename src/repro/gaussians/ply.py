@@ -1,0 +1,150 @@
+"""3DGS-standard PLY serialization for Gaussian clouds.
+
+The reference 3DGS implementation checkpoints scenes as binary
+little-endian PLY files with one vertex per Gaussian and per-vertex float
+properties named::
+
+    x y z                      -- mean
+    f_dc_0..2                  -- SH degree-0 (DC) coefficients, RGB
+    f_rest_0..(3*(c-1)-1)      -- higher-order SH, channel-major
+    opacity                    -- inverse-sigmoid (logit) of opacity
+    scale_0..2                 -- log of the per-axis scales
+    rot_0..3                   -- quaternion (wxyz)
+
+Tools across the 3DGS ecosystem (viewers, converters, 3DGRT itself)
+exchange scenes in exactly this layout, so this module lets the
+reproduction ingest real trained checkpoints and emit clouds other tools
+can open. The npz format in :meth:`GaussianCloud.save` remains the fast
+internal path.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.gaussians.cloud import GaussianCloud
+
+_HEADER_TEMPLATE = """ply
+format binary_little_endian 1.0
+element vertex {count}
+{properties}
+end_header
+"""
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def _logit(p: np.ndarray) -> np.ndarray:
+    p = np.clip(p, 1e-7, 1.0 - 1e-7)
+    return np.log(p / (1.0 - p))
+
+
+def _property_names(sh_coeffs: int) -> list[str]:
+    names = ["x", "y", "z"]
+    names += [f"f_dc_{i}" for i in range(3)]
+    names += [f"f_rest_{i}" for i in range(3 * (sh_coeffs - 1))]
+    names += ["opacity"]
+    names += [f"scale_{i}" for i in range(3)]
+    names += [f"rot_{i}" for i in range(4)]
+    return names
+
+
+def save_ply(cloud: GaussianCloud, path: str | Path) -> None:
+    """Write a cloud as a 3DGS-convention binary PLY."""
+    n = len(cloud)
+    sh_coeffs = cloud.sh.shape[1]
+    names = _property_names(sh_coeffs)
+    properties = "\n".join(f"property float {name}" for name in names)
+    header = _HEADER_TEMPLATE.format(count=n, properties=properties)
+
+    # f_rest is channel-major in the reference implementation:
+    # all R coefficients, then all G, then all B.
+    f_rest = cloud.sh[:, 1:, :].transpose(0, 2, 1).reshape(n, -1)
+    rows = np.concatenate(
+        [
+            cloud.means,
+            cloud.sh[:, 0, :],
+            f_rest,
+            _logit(cloud.opacities)[:, None],
+            np.log(cloud.scales),
+            cloud.rotations,
+        ],
+        axis=1,
+    ).astype("<f4")
+    with open(Path(path), "wb") as handle:
+        handle.write(header.encode("ascii"))
+        handle.write(rows.tobytes())
+
+
+def load_ply(path: str | Path, kappa: float = 3.0, name: str | None = None) -> GaussianCloud:
+    """Read a 3DGS-convention binary PLY into a :class:`GaussianCloud`."""
+    path = Path(path)
+    with open(path, "rb") as handle:
+        data = handle.read()
+
+    end = data.find(b"end_header\n")
+    if end < 0:
+        raise ValueError(f"{path}: not a PLY file (no end_header)")
+    header = data[:end].decode("ascii", errors="replace").splitlines()
+    body = data[end + len(b"end_header\n"):]
+
+    if not header or header[0].strip() != "ply":
+        raise ValueError(f"{path}: missing ply magic")
+    if not any("binary_little_endian" in line for line in header):
+        raise ValueError(f"{path}: only binary_little_endian PLY is supported")
+
+    count = None
+    names: list[str] = []
+    for line in header:
+        parts = line.split()
+        if parts[:2] == ["element", "vertex"]:
+            count = int(parts[2])
+        elif parts and parts[0] == "property":
+            if parts[1] != "float":
+                raise ValueError(f"{path}: non-float property {parts[-1]!r}")
+            names.append(parts[2])
+    if count is None:
+        raise ValueError(f"{path}: no vertex element")
+
+    expected_bytes = count * len(names) * 4
+    if len(body) < expected_bytes:
+        raise ValueError(f"{path}: truncated body ({len(body)} < {expected_bytes} bytes)")
+    rows = np.frombuffer(body[:expected_bytes], dtype="<f4").reshape(count, len(names))
+    col = {prop: i for i, prop in enumerate(names)}
+
+    required = ["x", "y", "z", "f_dc_0", "opacity", "scale_0", "rot_0"]
+    for prop in required:
+        if prop not in col:
+            raise ValueError(f"{path}: missing property {prop!r}")
+
+    means = rows[:, [col["x"], col["y"], col["z"]]].astype(np.float64)
+    dc = rows[:, [col["f_dc_0"], col["f_dc_1"], col["f_dc_2"]]].astype(np.float64)
+
+    n_rest = sum(1 for prop in names if prop.startswith("f_rest_"))
+    if n_rest % 3:
+        raise ValueError(f"{path}: f_rest count {n_rest} is not divisible by 3")
+    rest_coeffs = n_rest // 3
+    sh = np.zeros((count, rest_coeffs + 1, 3))
+    sh[:, 0, :] = dc
+    if rest_coeffs:
+        rest = rows[:, [col[f"f_rest_{i}"] for i in range(n_rest)]].astype(np.float64)
+        sh[:, 1:, :] = rest.reshape(count, 3, rest_coeffs).transpose(0, 2, 1)
+
+    opacities = _sigmoid(rows[:, col["opacity"]].astype(np.float64))
+    scales = np.exp(rows[:, [col["scale_0"], col["scale_1"], col["scale_2"]]].astype(np.float64))
+    rotations = rows[:, [col[f"rot_{i}"] for i in range(4)]].astype(np.float64)
+
+    return GaussianCloud(
+        means=means,
+        scales=scales,
+        rotations=rotations,
+        opacities=opacities,
+        sh=sh,
+        kappa=kappa,
+        name=name or path.stem,
+    )

@@ -1,0 +1,107 @@
+"""Real spherical harmonics for view-dependent Gaussian color.
+
+3DGRT evaluates the SH basis per *ray* (using the ray direction) rather
+than per splat, which is one of the runtime costs the paper's blending
+stage carries. We implement the standard real SH basis up to degree 3,
+matching the coefficient layout of the 3DGS reference implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Real SH normalization constants (same values as the 3DGS CUDA kernels).
+_C0 = 0.28209479177387814
+_C1 = 0.4886025119029199
+_C2 = (
+    1.0925484305920792,
+    -1.0925484305920792,
+    0.31539156525252005,
+    -1.0925484305920792,
+    0.5462742152960396,
+)
+_C3 = (
+    -0.5900435899266435,
+    2.890611442640554,
+    -0.4570457994644658,
+    0.3731763325901154,
+    -0.4570457994644658,
+    1.445305721320277,
+    -0.5900435899266435,
+)
+
+MAX_SH_DEGREE = 3
+
+
+def num_sh_coeffs(degree: int) -> int:
+    """Number of SH basis functions for a given degree: ``(d + 1)^2``."""
+    if degree < 0 or degree > MAX_SH_DEGREE:
+        raise ValueError(f"SH degree must be in [0, {MAX_SH_DEGREE}], got {degree}")
+    return (degree + 1) ** 2
+
+
+def sh_basis(directions: np.ndarray, degree: int) -> np.ndarray:
+    """Evaluate the real SH basis for unit directions.
+
+    Parameters
+    ----------
+    directions:
+        ``(n, 3)`` unit vectors.
+    degree:
+        Maximum SH band (0..3).
+
+    Returns
+    -------
+    ``(n, (degree + 1)^2)`` basis values in 3DGS coefficient order.
+    """
+    directions = np.atleast_2d(np.asarray(directions, dtype=np.float64))
+    n = directions.shape[0]
+    coeffs = num_sh_coeffs(degree)
+    basis = np.empty((n, coeffs), dtype=np.float64)
+    basis[:, 0] = _C0
+    if degree >= 1:
+        x, y, z = directions[:, 0], directions[:, 1], directions[:, 2]
+        basis[:, 1] = -_C1 * y
+        basis[:, 2] = _C1 * z
+        basis[:, 3] = -_C1 * x
+    if degree >= 2:
+        xx, yy, zz = x * x, y * y, z * z
+        xy, yz, xz = x * y, y * z, x * z
+        basis[:, 4] = _C2[0] * xy
+        basis[:, 5] = _C2[1] * yz
+        basis[:, 6] = _C2[2] * (2.0 * zz - xx - yy)
+        basis[:, 7] = _C2[3] * xz
+        basis[:, 8] = _C2[4] * (xx - yy)
+    if degree >= 3:
+        basis[:, 9] = _C3[0] * y * (3.0 * xx - yy)
+        basis[:, 10] = _C3[1] * xy * z
+        basis[:, 11] = _C3[2] * y * (4.0 * zz - xx - yy)
+        basis[:, 12] = _C3[3] * z * (2.0 * zz - 3.0 * xx - 3.0 * yy)
+        basis[:, 13] = _C3[4] * x * (4.0 * zz - xx - yy)
+        basis[:, 14] = _C3[5] * z * (xx - yy)
+        basis[:, 15] = _C3[6] * x * (xx - 3.0 * yy)
+    return basis
+
+
+def eval_sh(sh_coeffs: np.ndarray, directions: np.ndarray) -> np.ndarray:
+    """Evaluate view-dependent RGB colors from SH coefficients.
+
+    Parameters
+    ----------
+    sh_coeffs:
+        ``(n, c, 3)`` coefficients for ``n`` Gaussians.
+    directions:
+        ``(n, 3)`` unit view directions, one per Gaussian (the ray
+        direction at evaluation time).
+
+    Returns
+    -------
+    ``(n, 3)`` RGB colors, clipped to be non-negative (the 0.5 DC offset
+    convention of 3DGS is applied here).
+    """
+    sh_coeffs = np.asarray(sh_coeffs, dtype=np.float64)
+    coeffs = sh_coeffs.shape[1]
+    degree = int(round(np.sqrt(coeffs))) - 1
+    basis = sh_basis(directions, degree)
+    color = np.einsum("nc,ncd->nd", basis, sh_coeffs) + 0.5
+    return np.clip(color, 0.0, None)

@@ -1,0 +1,35 @@
+"""Geometry kernels: bounding boxes, rays, proxy meshes, intersections."""
+
+from repro.geometry.aabb import AABB, merge_aabbs, ray_aabb, ray_aabbs
+from repro.geometry.icosahedron import (
+    icosahedron,
+    icosphere,
+    stretched_proxy_mesh,
+    unit_icosahedron_circumscribed,
+)
+from repro.geometry.intersect import (
+    ray_ellipsoid,
+    ray_sphere,
+    ray_triangle,
+    ray_triangles,
+    ray_unit_sphere,
+)
+from repro.geometry.ray import Ray, RayBundle
+
+__all__ = [
+    "AABB",
+    "Ray",
+    "RayBundle",
+    "icosahedron",
+    "icosphere",
+    "merge_aabbs",
+    "ray_aabb",
+    "ray_aabbs",
+    "ray_ellipsoid",
+    "ray_sphere",
+    "ray_triangle",
+    "ray_triangles",
+    "ray_unit_sphere",
+    "stretched_proxy_mesh",
+    "unit_icosahedron_circumscribed",
+]

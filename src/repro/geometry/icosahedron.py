@@ -1,0 +1,136 @@
+"""Icosahedron / icosphere proxy meshes for Gaussian bounding geometry.
+
+The baseline 3DGRT method wraps every Gaussian in a *stretched regular
+icosahedron* (20 triangles) so that ray-triangle hardware can be used;
+Condor et al. use a subdivided icosphere (80 triangles) to cut false
+positives. GRTX keeps one *template* mesh in a shared BLAS instead.
+
+All meshes here are unit meshes: they circumscribe the unit sphere (every
+face plane is tangent to or outside the sphere), so scaling the mesh by the
+Gaussian's ``kappa * sigma`` radii conservatively bounds the ellipsoid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.math3d import quat_to_rotation_matrix
+
+
+def icosahedron() -> tuple[np.ndarray, np.ndarray]:
+    """The regular icosahedron with unit-length vertices.
+
+    Returns ``(vertices, faces)`` with shapes ``(12, 3)`` and ``(20, 3)``.
+    """
+    phi = (1.0 + np.sqrt(5.0)) / 2.0
+    verts = np.array(
+        [
+            [-1, phi, 0], [1, phi, 0], [-1, -phi, 0], [1, -phi, 0],
+            [0, -1, phi], [0, 1, phi], [0, -1, -phi], [0, 1, -phi],
+            [phi, 0, -1], [phi, 0, 1], [-phi, 0, -1], [-phi, 0, 1],
+        ],
+        dtype=np.float64,
+    )
+    verts /= np.linalg.norm(verts, axis=1, keepdims=True)
+    faces = np.array(
+        [
+            [0, 11, 5], [0, 5, 1], [0, 1, 7], [0, 7, 10], [0, 10, 11],
+            [1, 5, 9], [5, 11, 4], [11, 10, 2], [10, 7, 6], [7, 1, 8],
+            [3, 9, 4], [3, 4, 2], [3, 2, 6], [3, 6, 8], [3, 8, 9],
+            [4, 9, 5], [2, 4, 11], [6, 2, 10], [8, 6, 7], [9, 8, 1],
+        ],
+        dtype=np.int64,
+    )
+    return verts, faces
+
+
+def icosphere(subdivisions: int = 1) -> tuple[np.ndarray, np.ndarray]:
+    """Subdivided icosahedron projected back onto the unit sphere.
+
+    ``subdivisions=1`` yields the 80-triangle icosphere used by the
+    ``80-tri`` proxy configurations.
+    """
+    if subdivisions < 0:
+        raise ValueError("subdivisions must be non-negative")
+    verts, faces = icosahedron()
+    vert_list = [tuple(v) for v in verts]
+    vert_index = {v: i for i, v in enumerate(vert_list)}
+
+    def midpoint(a: int, b: int) -> int:
+        mid = np.asarray(vert_list[a]) + np.asarray(vert_list[b])
+        mid = tuple(mid / np.linalg.norm(mid))
+        if mid not in vert_index:
+            vert_index[mid] = len(vert_list)
+            vert_list.append(mid)
+        return vert_index[mid]
+
+    face_list = [tuple(f) for f in faces]
+    for _ in range(subdivisions):
+        new_faces: list[tuple[int, int, int]] = []
+        for a, b, c in face_list:
+            ab = midpoint(a, b)
+            bc = midpoint(b, c)
+            ca = midpoint(c, a)
+            new_faces.extend([(a, ab, ca), (b, bc, ab), (c, ca, bc), (ab, bc, ca)])
+        face_list = new_faces
+    return np.asarray(vert_list, dtype=np.float64), np.asarray(face_list, dtype=np.int64)
+
+
+def circumscribe(verts: np.ndarray, faces: np.ndarray) -> np.ndarray:
+    """Scale a sphere-inscribed mesh outward so it *contains* the sphere.
+
+    An inscribed polyhedron's faces cut into the sphere; dividing vertices
+    by the minimum face-plane distance pushes every face plane to at least
+    unit distance, making the proxy conservative (no missed hits, only
+    false positives).
+    """
+    tri = verts[faces]
+    normals = np.cross(tri[:, 1] - tri[:, 0], tri[:, 2] - tri[:, 0])
+    normals /= np.linalg.norm(normals, axis=1, keepdims=True)
+    plane_dist = np.abs(np.einsum("fi,fi->f", normals, tri[:, 0]))
+    return verts / plane_dist.min()
+
+
+def orient_outward(verts: np.ndarray, faces: np.ndarray) -> np.ndarray:
+    """Reorder face indices so all normals point away from the origin.
+
+    Consistent outward CCW winding lets the tracer backface-cull the
+    proxy: only entry faces report hits, so a crossing ray sees exactly
+    one hit per Gaussian (3DGRT's convention).
+    """
+    faces = faces.copy()
+    tri = verts[faces]
+    normals = np.cross(tri[:, 1] - tri[:, 0], tri[:, 2] - tri[:, 0])
+    centroid = tri.mean(axis=1)
+    inward = np.einsum("fi,fi->f", normals, centroid) < 0
+    faces[inward] = faces[inward][:, [0, 2, 1]]
+    return faces
+
+
+def unit_icosahedron_circumscribed(subdivisions: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Circumscribed icosahedron/icosphere template mesh.
+
+    ``subdivisions=0`` gives the 20-triangle proxy, ``1`` the 80-triangle
+    proxy; both fully contain the unit sphere and are wound CCW-outward.
+    """
+    verts, faces = icosphere(subdivisions)
+    verts = circumscribe(verts, faces)
+    return verts, orient_outward(verts, faces)
+
+
+def stretched_proxy_mesh(
+    mean: np.ndarray,
+    rotation_quat: np.ndarray,
+    radii: np.ndarray,
+    subdivisions: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """World-space proxy mesh for a single Gaussian (monolithic BVH path).
+
+    ``radii`` is the ``kappa * sigma`` semi-axis vector. Returns world
+    vertices and faces. The baseline inserts all of these triangles into a
+    single monolithic BVH — this function is what makes that BVH bloated.
+    """
+    verts, faces = unit_icosahedron_circumscribed(subdivisions)
+    rot = quat_to_rotation_matrix(np.asarray(rotation_quat, dtype=np.float64))
+    world = (verts * np.asarray(radii, dtype=np.float64)) @ rot.T + np.asarray(mean, dtype=np.float64)
+    return world, faces

@@ -1,0 +1,155 @@
+"""Ray-primitive intersection kernels.
+
+Three primitive types appear in GRTX configurations:
+
+* triangles (proxy meshes; hardware ray-triangle units) — Möller-Trumbore;
+* spheres (unit-sphere shared BLAS; Blackwell-style HW ray-sphere units);
+* ellipsoids (the "custom primitive" baseline evaluated in software
+  intersection shaders, Fig 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def ray_triangle(
+    origin: np.ndarray,
+    direction: np.ndarray,
+    v0: np.ndarray,
+    v1: np.ndarray,
+    v2: np.ndarray,
+) -> float | None:
+    """Möller-Trumbore for a single triangle; returns ``t`` or ``None``.
+
+    Back-face hits are reported too (proxy shells must report both entry
+    and exit faces so the any-hit shader sees every crossing).
+    """
+    edge1 = v1 - v0
+    edge2 = v2 - v0
+    pvec = np.cross(direction, edge2)
+    det = float(np.dot(edge1, pvec))
+    if abs(det) < _EPS:
+        return None
+    inv_det = 1.0 / det
+    tvec = origin - v0
+    u = float(np.dot(tvec, pvec)) * inv_det
+    if u < 0.0 or u > 1.0:
+        return None
+    qvec = np.cross(tvec, edge1)
+    v = float(np.dot(direction, qvec)) * inv_det
+    if v < 0.0 or u + v > 1.0:
+        return None
+    return float(np.dot(edge2, qvec)) * inv_det
+
+
+def ray_triangles(
+    origin: np.ndarray,
+    direction: np.ndarray,
+    v0: np.ndarray,
+    v1: np.ndarray,
+    v2: np.ndarray,
+    edge1: np.ndarray | None = None,
+    edge2: np.ndarray | None = None,
+    entering_only: bool = False,
+) -> np.ndarray:
+    """Vectorized Möller-Trumbore against ``n`` triangles.
+
+    ``v0/v1/v2`` are ``(n, 3)``. Returns ``(n,)`` hit distances with
+    ``np.inf`` for misses. ``edge1``/``edge2`` may be precomputed by the
+    caller (the tracer caches them per structure); the cross products are
+    written out by component because this sits on the innermost loop of
+    every triangle-proxy traversal.
+
+    ``entering_only=True`` applies backface culling for outward-wound
+    (CCW) meshes: only front faces — where the ray *enters* the convex
+    proxy — report hits. 3DGRT traces its bounding meshes this way so
+    every Gaussian produces exactly one hit per crossing, keyed by the
+    proxy entry distance.
+    """
+    if edge1 is None:
+        edge1 = v1 - v0
+    if edge2 is None:
+        edge2 = v2 - v0
+    dx, dy, dz = float(direction[0]), float(direction[1]), float(direction[2])
+    e2x, e2y, e2z = edge2[:, 0], edge2[:, 1], edge2[:, 2]
+    pvx = dy * e2z - dz * e2y
+    pvy = dz * e2x - dx * e2z
+    pvz = dx * e2y - dy * e2x
+    e1x, e1y, e1z = edge1[:, 0], edge1[:, 1], edge1[:, 2]
+    det = e1x * pvx + e1y * pvy + e1z * pvz
+    if entering_only:
+        # det = d . (e1 x e2) = d . n * |..|; entering a CCW-outward face
+        # means d opposes the outward normal, i.e. det < 0.
+        parallel = det > -_EPS
+    else:
+        parallel = np.abs(det) < _EPS
+    inv_det = 1.0 / np.where(parallel, 1.0, det)
+    tvx = origin[0] - v0[:, 0]
+    tvy = origin[1] - v0[:, 1]
+    tvz = origin[2] - v0[:, 2]
+    u = (tvx * pvx + tvy * pvy + tvz * pvz) * inv_det
+    qvx = tvy * e1z - tvz * e1y
+    qvy = tvz * e1x - tvx * e1z
+    qvz = tvx * e1y - tvy * e1x
+    v = (dx * qvx + dy * qvy + dz * qvz) * inv_det
+    t = (e2x * qvx + e2y * qvy + e2z * qvz) * inv_det
+    miss = parallel | (u < 0.0) | (u > 1.0) | (v < 0.0) | (u + v > 1.0)
+    return np.where(miss, np.inf, t)
+
+
+def ray_sphere(
+    origin: np.ndarray,
+    direction: np.ndarray,
+    center: np.ndarray,
+    radius: float,
+) -> tuple[float, float] | None:
+    """Ray vs sphere; returns the ``(t_near, t_far)`` pair or ``None``.
+
+    Both roots are returned because Gaussian tracing treats the sphere as a
+    participation *interval*, not a surface.
+    """
+    oc = origin - center
+    a = float(np.dot(direction, direction))
+    if a < _EPS:
+        return None
+    b = 2.0 * float(np.dot(oc, direction))
+    c = float(np.dot(oc, oc)) - radius * radius
+    disc = b * b - 4.0 * a * c
+    if disc < 0.0:
+        return None
+    sq = float(np.sqrt(disc))
+    t0 = (-b - sq) / (2.0 * a)
+    t1 = (-b + sq) / (2.0 * a)
+    return (t0, t1) if t0 <= t1 else (t1, t0)
+
+
+def ray_unit_sphere(origin: np.ndarray, direction: np.ndarray) -> tuple[float, float] | None:
+    """Ray vs the canonical unit sphere at the origin (shared BLAS path).
+
+    This is what the RT core executes after the TLAS instance transform:
+    one ray-sphere test in object space. Note the *direction is not
+    normalized* after the affine transform, so the returned t values are
+    valid in the transformed parametrization, which coincides with the
+    world-space parametrization (affine maps preserve ray parameter).
+    """
+    return ray_sphere(origin, direction, np.zeros(3), 1.0)
+
+
+def ray_ellipsoid(
+    origin: np.ndarray,
+    direction: np.ndarray,
+    world_to_obj_linear: np.ndarray,
+    world_to_obj_offset: np.ndarray,
+) -> tuple[float, float] | None:
+    """Ray vs an ellipsoid given its world->unit-sphere transform.
+
+    This is the "custom primitive" path: the software intersection shader
+    performs the transform *and* the quadratic solve per candidate, which
+    is why Fig 5a shows it losing to hardware triangle tests.
+    """
+    obj_origin = world_to_obj_linear @ origin + world_to_obj_offset
+    obj_direction = world_to_obj_linear @ direction
+    return ray_unit_sphere(obj_origin, obj_direction)

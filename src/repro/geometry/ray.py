@@ -1,0 +1,84 @@
+"""Ray containers.
+
+A :class:`Ray` is a single origin/direction pair with a traversal interval
+``(t_min, t_max]`` — exactly the state a traceRayEXT call carries. A
+:class:`RayBundle` is the struct-of-arrays batch form used by the camera
+and the warp model (32 consecutive rays of a bundle form one warp).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.math3d import normalize
+
+
+@dataclass
+class Ray:
+    """One ray with its current traversal interval."""
+
+    origin: np.ndarray
+    direction: np.ndarray
+    t_min: float = 0.0
+    t_max: float = np.inf
+
+    def __post_init__(self) -> None:
+        self.origin = np.asarray(self.origin, dtype=np.float64)
+        self.direction = np.asarray(self.direction, dtype=np.float64)
+        if self.origin.shape != (3,) or self.direction.shape != (3,):
+            raise ValueError("Ray expects single 3-vectors; use RayBundle for batches")
+
+    @property
+    def inv_direction(self) -> np.ndarray:
+        """Component-wise reciprocal with IEEE inf for zero components."""
+        with np.errstate(divide="ignore"):
+            return 1.0 / self.direction
+
+    def at(self, t: float | np.ndarray) -> np.ndarray:
+        """Point(s) along the ray at parameter ``t``."""
+        t = np.asarray(t, dtype=np.float64)
+        return self.origin + t[..., None] * self.direction if t.ndim else self.origin + t * self.direction
+
+
+@dataclass
+class RayBundle:
+    """A batch of rays in struct-of-arrays layout.
+
+    ``origins`` and ``directions`` are ``(n, 3)``; ``pixel_ids`` maps each
+    ray back to its pixel (secondary rays inherit the pixel of their
+    parent).
+    """
+
+    origins: np.ndarray
+    directions: np.ndarray
+    pixel_ids: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.origins = np.ascontiguousarray(self.origins, dtype=np.float64)
+        self.directions = np.ascontiguousarray(normalize(self.directions))
+        n = self.origins.shape[0]
+        if self.origins.shape != (n, 3) or self.directions.shape != (n, 3):
+            raise ValueError("RayBundle expects (n, 3) origins and directions")
+        if self.pixel_ids is None:
+            self.pixel_ids = np.arange(n, dtype=np.int64)
+        else:
+            self.pixel_ids = np.ascontiguousarray(self.pixel_ids, dtype=np.int64)
+            if self.pixel_ids.shape != (n,):
+                raise ValueError("pixel_ids must be (n,)")
+
+    def __len__(self) -> int:
+        return self.origins.shape[0]
+
+    def ray(self, index: int) -> Ray:
+        """Materialize one ray of the bundle."""
+        return Ray(origin=self.origins[index], direction=self.directions[index])
+
+    def subset(self, indices: np.ndarray) -> "RayBundle":
+        indices = np.asarray(indices)
+        return RayBundle(
+            origins=self.origins[indices],
+            directions=self.directions[indices],
+            pixel_ids=self.pixel_ids[indices],
+        )

@@ -1,0 +1,294 @@
+"""Trace replay: turn recorded fetch traces into cycles and cache stats.
+
+The model follows Figure 9's architecture at a trace-driven level of
+detail:
+
+* rays are grouped into 32-wide warps; warps are distributed round-robin
+  over SMs, each with a private L1 and one RT unit; all SMs share the L2;
+* within one (warp, round), duplicate node requests from different rays
+  are merged (the coalescing the paper credits for part of GRTX-SW's
+  fetch reduction) — the first request is a *node fetch*, the rest cost a
+  fraction of an issue slot;
+* event streams of the rays in the warps of one SM are interleaved
+  round-robin, so the L1 sees the real contention between divergent rays;
+* a fetch's stall contribution is its memory latency divided by the warp
+  buffer depth (8 resident warps hide each other's latency);
+* intersection-test work occupies the RT unit per its fixed-function
+  throughput; any-hit sorting, blending and software intersection shaders
+  occupy the programmable cores;
+* each (warp, round) pays a traceRayEXT relaunch overhead — the straggler
+  cost that makes very small k values lose in Figure 18.
+
+The absolute cycle counts are a model, not RTL truth; the paper's claims
+are relative (speedups, fetch ratios, hit rates), which is what this
+reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hwsim.cache import SetAssociativeCache
+from repro.hwsim.config import GpuConfig
+from repro.hwsim.dram import DramModel
+from repro.render.raster import RasterResult
+from repro.rt.recorder import (
+    PRIM_CUSTOM,
+    PRIM_SPHERE,
+    PRIM_TRANSFORM,
+    PRIM_TRI,
+    RayTrace,
+)
+
+
+@dataclass
+class TimingReport:
+    """Everything the evaluation figures need from one replay."""
+
+    cycles: float = 0.0
+    time_ms: float = 0.0
+    node_fetches: int = 0
+    merged_requests: int = 0
+    fetch_latency_sum: float = 0.0
+    l1_accesses: int = 0
+    l1_hits: int = 0
+    l2_accesses: int = 0
+    dram_accesses: int = 0
+    prefetches: int = 0
+    traversal_cycles: float = 0.0
+    sorting_cycles: float = 0.0
+    blending_cycles: float = 0.0
+    rounds_total: int = 0
+    footprint_bytes: int = 0
+    sm_cycles: list[float] = field(default_factory=list)
+    label_cycles: dict[str, float] = field(default_factory=dict)
+    #: DRAM row-buffer hit rate; populated only under the banked model.
+    dram_row_hit_rate: float = 0.0
+
+    @property
+    def avg_fetch_latency(self) -> float:
+        return self.fetch_latency_sum / self.node_fetches if self.node_fetches else 0.0
+
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.l1_hits / self.l1_accesses if self.l1_accesses else 0.0
+
+
+class _WarpRoundCost:
+    """Accumulates the cost of one (warp, round)."""
+
+    __slots__ = ("mem", "issue", "ray_compute", "shader")
+
+    def __init__(self, n_rays: int) -> None:
+        self.mem = 0.0
+        self.issue = 0.0
+        self.ray_compute = [0.0] * n_rays
+        self.shader = 0.0
+
+
+def _group_warps(traces: list[RayTrace], warp_size: int) -> list[list[RayTrace]]:
+    """Chunk rays into warps, keeping primary and secondary rays apart
+    (secondary rays are spawned as separate warps, and Figure 23 needs
+    their cycles attributed separately)."""
+    warps: list[list[RayTrace]] = []
+    for label in ("primary", "secondary"):
+        rays = [t for t in traces if t.label == label]
+        for i in range(0, len(rays), warp_size):
+            warps.append(rays[i : i + warp_size])
+    return warps
+
+
+def replay(
+    traces: list[RayTrace],
+    config: GpuConfig | None = None,
+    kbuffer_layout: str = "soa",
+    treelet_map: dict[int, list[tuple[int, int]]] | None = None,
+) -> TimingReport:
+    """Replay recorded traces through the timing model.
+
+    ``treelet_map`` (from :func:`repro.hwsim.treelet.build_treelet_map`)
+    enables treelet prefetching: on a demand miss whose address roots a
+    treelet, the treelet's lines are staged into the L1 without stalling
+    the ray.
+    """
+    config = config or GpuConfig()
+    report = TimingReport()
+    if not traces:
+        return report
+
+    warps = _group_warps(traces, config.warp_size)
+    n_sms = config.n_sms
+    l1s = [
+        SetAssociativeCache(config.l1_bytes, config.l1_line_bytes, config.l1_ways, f"l1-{i}")
+        for i in range(n_sms)
+    ]
+    l2 = SetAssociativeCache(config.l2_bytes, config.l2_line_bytes, config.l2_ways, "l2")
+    dram = DramModel() if config.dram_model == "banked" else None
+
+    sm_of_warp = [w % n_sms for w in range(len(warps))]
+    sm_cycles = [0.0] * n_sms
+    label_cycles: dict[str, float] = {"primary": 0.0, "secondary": 0.0}
+    overlap = float(config.warp_buffer_size)
+    kbuf_cycles = config.kbuffer_op_cycles + (
+        config.kbuffer_soa_extra_cycles if kbuffer_layout == "soa" else 0.0
+    )
+
+    max_rounds = max((t.n_rounds for t in traces), default=0)
+    report.rounds_total = sum(t.n_rounds for t in traces)
+    touched_lines: set[int] = set()
+
+    for round_index in range(max_rounds):
+        for warp_index, warp in enumerate(warps):
+            sm = sm_of_warp[warp_index]
+            l1 = l1s[sm]
+            rays = [t for t in warp if round_index < t.n_rounds]
+            if not rays:
+                continue
+            cost = _WarpRoundCost(len(rays))
+            # Bounded LRU merge window (MSHR-like request coalescing).
+            merge_window: dict[int, None] = {}
+            merge_cap = config.merge_window_size
+
+            iters = [ray.rounds[round_index].iter_events() for ray in rays]
+            active = list(range(len(rays)))
+            while active:
+                still_active = []
+                for ray_slot in active:
+                    event = next(iters[ray_slot], None)
+                    if event is None:
+                        continue
+                    still_active.append(ray_slot)
+                    addr, nbytes, _kind, box, prim, prim_kind, prefetch = event
+
+                    # -- memory ------------------------------------------
+                    if addr in merge_window:
+                        # Refresh recency: repeated hot nodes (shared BLAS)
+                        # keep merging for as long as they stay in flight.
+                        del merge_window[addr]
+                        merge_window[addr] = None
+                        report.merged_requests += 1
+                        cost.issue += config.merged_issue_cycles
+                    else:
+                        merge_window[addr] = None
+                        if len(merge_window) > merge_cap:
+                            del merge_window[next(iter(merge_window))]
+                        report.node_fetches += 1
+                        cost.issue += config.issue_cycles + config.shader_issued_fetch_cycles
+                        latency = 0
+                        for line in l1.lines_of(addr, nbytes):
+                            touched_lines.add(line)
+                            report.l1_accesses += 1
+                            if l1.access(line):
+                                report.l1_hits += 1
+                                latency = max(latency, config.l1_latency)
+                            else:
+                                report.l2_accesses += 1
+                                if l2.access(line):
+                                    latency = max(latency, config.l2_latency)
+                                else:
+                                    report.dram_accesses += 1
+                                    if dram is not None:
+                                        dram_lat = dram.access(line * config.l2_line_bytes)
+                                        latency = max(latency, config.l2_latency + dram_lat)
+                                    else:
+                                        latency = max(latency, config.dram_latency)
+                        report.fetch_latency_sum += latency
+                        cost.mem += latency / overlap
+
+                        if treelet_map is not None and latency > config.l1_latency:
+                            # Treelet prefetch triggers on demand misses of
+                            # treelet roots; lines fill the L1 off the
+                            # critical path.
+                            for pf_addr, pf_bytes in treelet_map.get(addr, ()):
+                                for line in l1.lines_of(pf_addr, pf_bytes):
+                                    if l1.contains(line):
+                                        continue
+                                    report.prefetches += 1
+                                    report.l2_accesses += 1
+                                    if not l2.access(line):
+                                        report.dram_accesses += 1
+                                        if dram is not None:
+                                            dram.access(line * config.l2_line_bytes)
+                                    l1.fill(line)
+
+                    if config.prefetch_enabled and prefetch:
+                        for pf_addr, pf_bytes in prefetch:
+                            if pf_addr in merge_window:
+                                continue
+                            for line in l1.lines_of(pf_addr, pf_bytes):
+                                if l1.contains(line):
+                                    continue
+                                report.prefetches += 1
+                                report.l2_accesses += 1
+                                if not l2.access(line):
+                                    report.dram_accesses += 1
+                                l1.fill(line)
+
+                    # -- compute -----------------------------------------
+                    rt_compute = 0.0
+                    if box:
+                        rt_compute += config.box_test_cycles
+                    if prim:
+                        if prim_kind == PRIM_TRI:
+                            rt_compute += prim / config.tri_tests_per_cycle
+                        elif prim_kind == PRIM_SPHERE:
+                            rt_compute += prim * config.sphere_test_cycles
+                        elif prim_kind == PRIM_TRANSFORM:
+                            rt_compute += prim * config.transform_cycles
+                        elif prim_kind == PRIM_CUSTOM:
+                            cost.shader += prim * config.custom_test_cycles
+                    cost.ray_compute[ray_slot] += rt_compute
+                active = still_active
+
+            # Shader work recorded per round (any-hit sorting + blending).
+            sorting = 0.0
+            blending = 0.0
+            for ray in rays:
+                rt_round = ray.rounds[round_index]
+                sorting += (
+                    rt_round.anyhit_calls * config.anyhit_base_cycles
+                    + rt_round.kbuffer_ops * kbuf_cycles
+                )
+                blending += rt_round.blended * config.blend_cycles
+
+            traversal = (
+                cost.mem
+                + cost.issue
+                + max(cost.ray_compute)
+                + cost.shader / config.shader_parallelism
+                + config.round_overhead_cycles / overlap
+            )
+            sorting /= config.shader_parallelism
+            blending /= config.shader_parallelism
+            warp_cycles = traversal + sorting + blending
+
+            sm_cycles[sm] += warp_cycles
+            label_cycles[warp[0].label] += warp_cycles
+            report.traversal_cycles += traversal
+            report.sorting_cycles += sorting
+            report.blending_cycles += blending
+
+    report.footprint_bytes = len(touched_lines) * config.l1_line_bytes
+    if dram is not None:
+        report.dram_row_hit_rate = dram.stats.row_hit_rate
+    report.sm_cycles = sm_cycles
+    report.cycles = max(sm_cycles)
+    report.time_ms = config.cycles_to_ms(report.cycles)
+    report.label_cycles = label_cycles
+    return report
+
+
+def raster_cycles(result: RasterResult, config: GpuConfig | None = None) -> float:
+    """Cost model for the 3DGS rasterizer on the same GPU (Figure 4a).
+
+    Rasterization is compute-bound and embarrassingly parallel: per-splat
+    preprocessing, the global radix sort, and per (Gaussian, pixel) blend
+    work all scale across the SIMT lanes.
+    """
+    config = config or GpuConfig()
+    work = (
+        result.preprocess_ops * config.raster_preprocess_cycles
+        + result.pair_ops * config.raster_pair_cycles
+        + result.sort_ops * config.raster_sort_op_cycles
+    )
+    return work / (config.raster_parallelism * config.n_sms)

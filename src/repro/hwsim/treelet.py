@@ -1,0 +1,96 @@
+"""Treelet prefetching (Chou et al., MICRO 2023) as a comparison point.
+
+The paper cites treelet prefetching as *orthogonal* to GRTX: it hides
+node-fetch latency by prefetching small subtrees ("treelets") when their
+root is fetched, while GRTX removes the fetches altogether. This module
+reproduces the technique so the ablation bench can measure (a) its
+standalone benefit on Gaussian ray tracing and (b) that it composes with
+GRTX rather than replacing it.
+
+A treelet is the set of descendant nodes reachable from a root node
+within a byte budget (we use breadth-first order, the hardware-friendly
+choice). The map is computed statically from the BVH; the replay model
+consults it on every internal-node L1 miss and stages the treelet's
+remaining lines into the L1, charging L2/DRAM traffic but no stall.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.bvh.layout import internal_node_bytes
+from repro.bvh.monolithic import MonolithicBVH
+from repro.bvh.node import KIND_INTERNAL, KIND_LEAF, FlatBVH
+from repro.bvh.two_level import TwoLevelBVH
+
+#: Default treelet byte budget (a few cache lines of nodes, as in the
+#: MICRO paper's sweet spot).
+DEFAULT_TREELET_BYTES = 1024
+
+
+def build_treelet_map(
+    structure: MonolithicBVH | TwoLevelBVH,
+    budget_bytes: int = DEFAULT_TREELET_BYTES,
+) -> dict[int, list[tuple[int, int]]]:
+    """Partition each BVH into treelets; map root address -> member list.
+
+    The tree is cut into disjoint treelets: starting at the root, a
+    treelet absorbs descendants in BFS order until the byte budget is
+    exhausted; every child left outside becomes the root of a new
+    treelet. Only treelet *roots* appear as keys, so prefetch triggers
+    exactly once per treelet entry instead of on every node — triggering
+    everywhere floods the L1 with each node's whole neighborhood and
+    pollutes it (we measured this variant; it loses).
+
+    Leaf records count toward the budget too (they are what traversal
+    fetches next).
+    """
+    if budget_bytes < 1:
+        raise ValueError("treelet budget must be positive")
+    bvhs: list[FlatBVH] = []
+    if isinstance(structure, TwoLevelBVH):
+        bvhs.append(structure.tlas)
+        if structure.blas.kind == "icosphere":
+            bvhs.append(structure.blas.bvh)
+    else:
+        bvhs.append(structure.bvh)
+
+    treelets: dict[int, list[tuple[int, int]]] = {}
+    for bvh in bvhs:
+        node_bytes = internal_node_bytes(bvh.width)
+        child_kind = bvh.child_kind
+        child_ref = bvh.child_ref
+        node_addr = bvh.node_addr
+        leaf_addr = bvh.leaf_addr
+        leaf_bytes = bvh.leaf_bytes
+
+        roots: deque[int] = deque([0])
+        while roots:
+            root = roots.popleft()
+            picked: list[tuple[int, int]] = []
+            used = node_bytes  # the root itself is demand-fetched
+            member: deque[int] = deque([root])
+            while member:
+                node = member.popleft()
+                for slot in range(bvh.width):
+                    kind = child_kind[node, slot]
+                    if kind == 0:
+                        break
+                    ref = int(child_ref[node, slot])
+                    if kind == KIND_INTERNAL:
+                        size = node_bytes
+                        addr = int(node_addr[ref])
+                    else:
+                        size = int(leaf_bytes[ref])
+                        addr = int(leaf_addr[ref])
+                    if used + size > budget_bytes:
+                        if kind == KIND_INTERNAL:
+                            roots.append(ref)
+                        continue
+                    used += size
+                    picked.append((addr, size))
+                    if kind == KIND_INTERNAL:
+                        member.append(ref)
+            if picked:
+                treelets[int(node_addr[root])] = picked
+    return treelets

@@ -1,0 +1,107 @@
+"""Intra-warp divergence analysis.
+
+Figure 18's k-sweep bottoms out at k=8 because smaller k means more
+tracing rounds, and every round is a warp-synchronous traceRayEXT call:
+threads that finish early idle until the slowest lane ("straggler") of
+their warp completes the round. This module quantifies that effect from
+the recorded traces:
+
+* **active-lane fraction** — per (warp, round), how many lanes still
+  trace; the complement is pure idle time;
+* **straggler ratio** — mean ratio of the slowest lane's work to the
+  mean lane work per round (1.0 = perfectly balanced warp);
+* **round imbalance** — distribution of per-ray round counts inside each
+  warp (rays that terminate early wait for their warp's maximum).
+
+The replay model charges these costs implicitly (its per-round critical
+path is the max over lanes); this module makes them inspectable so the
+k-sweep behaviour can be diagnosed rather than observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rt.recorder import RayTrace
+
+
+@dataclass(frozen=True)
+class WarpDivergenceReport:
+    """Divergence statistics for one render's warps."""
+
+    n_warps: int
+    n_rounds_total: int
+    #: Mean fraction of lanes active per (warp, round).
+    mean_active_fraction: float
+    #: Mean max/mean per-lane node visits per (warp, round).
+    straggler_ratio: float
+    #: Mean (max - min) round count inside a warp.
+    mean_round_spread: float
+    #: Fraction of lane-rounds that are pure idle (lane done, warp not).
+    idle_lane_fraction: float
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "warps": self.n_warps,
+            "active_frac": round(self.mean_active_fraction, 3),
+            "straggler": round(self.straggler_ratio, 2),
+            "round_spread": round(self.mean_round_spread, 2),
+            "idle_frac": round(self.idle_lane_fraction, 3),
+        }
+
+
+def _warp_chunks(traces: list[RayTrace], warp_size: int) -> list[list[RayTrace]]:
+    warps = []
+    for label in ("primary", "secondary"):
+        rays = [t for t in traces if t.label == label]
+        for i in range(0, len(rays), warp_size):
+            warps.append(rays[i : i + warp_size])
+    return warps
+
+
+def analyze_divergence(traces: list[RayTrace], warp_size: int = 32) -> WarpDivergenceReport:
+    """Compute warp divergence statistics from recorded ray traces."""
+    if warp_size < 1:
+        raise ValueError("warp_size must be positive")
+    warps = _warp_chunks(traces, warp_size)
+    if not warps:
+        return WarpDivergenceReport(0, 0, 0.0, 0.0, 0.0, 0.0)
+
+    active_fractions: list[float] = []
+    straggler_ratios: list[float] = []
+    spreads: list[float] = []
+    idle_lane_rounds = 0
+    lane_rounds_total = 0
+    rounds_total = 0
+
+    for warp in warps:
+        rounds_per_lane = np.array([t.n_rounds for t in warp])
+        warp_rounds = int(rounds_per_lane.max())
+        rounds_total += warp_rounds
+        spreads.append(float(rounds_per_lane.max() - rounds_per_lane.min()))
+        lane_rounds_total += warp_rounds * len(warp)
+        idle_lane_rounds += int((warp_rounds - rounds_per_lane).sum())
+
+        for round_index in range(warp_rounds):
+            visits = [
+                t.rounds[round_index].n_fetches
+                for t in warp
+                if round_index < t.n_rounds
+            ]
+            active_fractions.append(len(visits) / len(warp))
+            mean_visits = float(np.mean(visits)) if visits else 0.0
+            if mean_visits > 0.0:
+                straggler_ratios.append(float(np.max(visits)) / mean_visits)
+
+    return WarpDivergenceReport(
+        n_warps=len(warps),
+        n_rounds_total=rounds_total,
+        mean_active_fraction=float(np.mean(active_fractions)),
+        straggler_ratio=float(np.mean(straggler_ratios)) if straggler_ratios else 0.0,
+        mean_round_spread=float(np.mean(spreads)),
+        idle_lane_fraction=(
+            idle_lane_rounds / lane_rounds_total if lane_rounds_total else 0.0
+        ),
+    )

@@ -1,0 +1,111 @@
+"""Affine transforms for TLAS instance nodes.
+
+The central trick in GRTX-SW is that an anisotropic Gaussian ellipsoid
+becomes a *unit sphere* once rays are mapped into the Gaussian's local
+frame. A TLAS leaf therefore stores the world->object transform
+``x_obj = S^-1 R^T (x_world - mu)`` derived from the Gaussian's rotation
+``R``, scale ``S`` and mean ``mu``. This module provides that transform
+(and its inverse) in a batched, explicit form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AffineTransform:
+    """An affine map ``y = linear @ x + offset``.
+
+    ``linear`` has shape ``(3, 3)`` (or ``(n, 3, 3)`` batched) and
+    ``offset`` shape ``(3,)`` (or ``(n, 3)``). Instances are immutable so
+    they can be shared between TLAS leaves and the hardware model.
+    """
+
+    linear: np.ndarray
+    offset: np.ndarray
+
+    def apply_point(self, points: np.ndarray) -> np.ndarray:
+        """Transform points (applies both linear part and offset)."""
+        return transform_points(self.linear, self.offset, points)
+
+    def apply_vector(self, vectors: np.ndarray) -> np.ndarray:
+        """Transform directions (linear part only; no translation)."""
+        return transform_vectors(self.linear, vectors)
+
+    def inverse(self) -> "AffineTransform":
+        """Return the inverse affine map."""
+        inv = np.linalg.inv(self.linear)
+        if self.linear.ndim == 3:
+            off = -np.einsum("nij,nj->ni", inv, self.offset)
+        else:
+            off = -inv @ self.offset
+        return AffineTransform(linear=inv, offset=off)
+
+    @property
+    def matrix4(self) -> np.ndarray:
+        """The 4x4 homogeneous form (single transform only).
+
+        Used by the size accounting: a TLAS instance stores a 3x4 matrix
+        (48 bytes), mirroring Vulkan's ``VkTransformMatrixKHR``.
+        """
+        if self.linear.ndim != 2:
+            raise ValueError("matrix4 is only defined for a single transform")
+        mat = np.eye(4)
+        mat[:3, :3] = self.linear
+        mat[:3, 3] = self.offset
+        return mat
+
+
+def transform_points(linear: np.ndarray, offset: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Apply ``linear @ p + offset`` with broadcasting over batches."""
+    linear = np.asarray(linear, dtype=np.float64)
+    offset = np.asarray(offset, dtype=np.float64)
+    points = np.asarray(points, dtype=np.float64)
+    if linear.ndim == 2:
+        return points @ linear.T + offset
+    return np.einsum("nij,nj->ni", linear, points) + offset
+
+
+def transform_vectors(linear: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+    """Apply the linear part only (directions ignore translation)."""
+    linear = np.asarray(linear, dtype=np.float64)
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if linear.ndim == 2:
+        return vectors @ linear.T
+    return np.einsum("nij,nj->ni", linear, vectors)
+
+
+def compose_trs(translation: np.ndarray, rotation: np.ndarray, scale: np.ndarray) -> AffineTransform:
+    """Compose object->world transforms from translate/rotate/scale parts.
+
+    ``rotation`` is ``(n, 3, 3)``, ``scale`` ``(n, 3)`` (per-axis), and
+    ``translation`` ``(n, 3)``. The resulting map sends the unit sphere to
+    the Gaussian's ellipsoid: ``x_world = R S x_obj + mu``.
+    """
+    rotation = np.asarray(rotation, dtype=np.float64)
+    scale = np.asarray(scale, dtype=np.float64)
+    translation = np.asarray(translation, dtype=np.float64)
+    linear = rotation * scale[..., None, :]
+    return AffineTransform(linear=linear, offset=translation)
+
+
+def invert_rigid_scale(translation: np.ndarray, rotation: np.ndarray, scale: np.ndarray) -> AffineTransform:
+    """World->object transform for a rotate+scale+translate instance.
+
+    Exploits ``(R S)^-1 = S^-1 R^T`` instead of a generic matrix inverse,
+    matching what RT hardware computes from the stored instance matrix.
+    """
+    rotation = np.asarray(rotation, dtype=np.float64)
+    scale = np.asarray(scale, dtype=np.float64)
+    translation = np.asarray(translation, dtype=np.float64)
+    inv_scale = 1.0 / scale
+    rot_t = np.swapaxes(rotation, -1, -2)
+    linear = inv_scale[..., :, None] * rot_t
+    if linear.ndim == 3:
+        offset = -np.einsum("nij,nj->ni", linear, translation)
+    else:
+        offset = -linear @ translation
+    return AffineTransform(linear=linear, offset=offset)

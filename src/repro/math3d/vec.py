@@ -1,0 +1,63 @@
+"""Small vector helpers shared by the geometry and rendering code.
+
+These are thin wrappers over numpy that fix conventions (last axis is the
+spatial axis, zero-length vectors normalize to zero instead of NaN) so the
+rest of the codebase never has to repeat the same guards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def dot(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dot product along the last axis.
+
+    Works for single vectors ``(3,)`` and batches ``(n, 3)`` alike; the
+    result drops the spatial axis.
+    """
+    return np.sum(np.asarray(a) * np.asarray(b), axis=-1)
+
+
+def norm(a: np.ndarray) -> np.ndarray:
+    """Euclidean length along the last axis."""
+    return np.linalg.norm(np.asarray(a), axis=-1)
+
+
+def normalize(a: np.ndarray) -> np.ndarray:
+    """Return unit vectors; zero-length inputs map to zero vectors.
+
+    Mapping zero to zero (rather than NaN) keeps degenerate rays inert
+    instead of poisoning whole image tiles with NaNs.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    length = np.linalg.norm(a, axis=-1, keepdims=True)
+    safe = np.where(length > _EPS, length, 1.0)
+    out = a / safe
+    return np.where(length > _EPS, out, np.zeros_like(a))
+
+
+def cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Cross product along the last axis."""
+    return np.cross(np.asarray(a), np.asarray(b))
+
+
+def orthonormal_basis(direction: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build a right-handed orthonormal basis ``(u, v, w)`` with ``w`` along
+    ``direction``.
+
+    Used by the camera to turn a view direction into an image plane and by
+    the secondary-ray generators to sample around a normal.
+    """
+    w = normalize(np.asarray(direction, dtype=np.float64))
+    if w.ndim != 1 or w.shape[0] != 3:
+        raise ValueError("orthonormal_basis expects a single 3-vector")
+    if abs(w[0]) < 0.9:
+        helper = np.array([1.0, 0.0, 0.0])
+    else:
+        helper = np.array([0.0, 1.0, 0.0])
+    u = normalize(np.cross(helper, w))
+    v = np.cross(w, u)
+    return u, v, w

@@ -1,0 +1,43 @@
+"""End-to-end Gaussian rendering: cameras, the ray tracer front end, the
+3DGS rasterizer baseline, and secondary-ray effects."""
+
+from repro.render.camera import PinholeCamera, default_camera_for
+from repro.render.cameras import (
+    DistortedPinholeCamera,
+    EquirectangularCamera,
+    FisheyeCamera,
+    OrthographicCamera,
+    rasterizer_fisheye_error,
+)
+from repro.render.image import ImageBuffer, psnr, write_ppm
+from repro.render.metrics import popping_score, ssim
+from repro.render.path import dolly_path, lerp_cameras, orbit_path
+from repro.render.renderer import GaussianRayTracer, RenderResult, RenderStats
+from repro.render.raster import GaussianRasterizer, RasterResult
+from repro.render.effects import SceneObjects, GlassSphere, Mirror
+
+__all__ = [
+    "DistortedPinholeCamera",
+    "EquirectangularCamera",
+    "FisheyeCamera",
+    "GaussianRasterizer",
+    "GaussianRayTracer",
+    "GlassSphere",
+    "ImageBuffer",
+    "Mirror",
+    "PinholeCamera",
+    "RasterResult",
+    "RenderResult",
+    "RenderStats",
+    "OrthographicCamera",
+    "SceneObjects",
+    "default_camera_for",
+    "dolly_path",
+    "lerp_cameras",
+    "orbit_path",
+    "popping_score",
+    "psnr",
+    "rasterizer_fisheye_error",
+    "ssim",
+    "write_ppm",
+]

@@ -1,0 +1,169 @@
+"""Analytic scene objects for secondary-ray effects (Figure 23).
+
+The paper augments each scene with "a spherical glass object for
+refractions and a rectangular mirror for reflections, both placed at
+random locations" and measures GRTX-HW separately on primary and secondary
+rays. These objects are analytic (not Gaussians): a primary ray that hits
+one is clipped at the hit point, and a single secondary ray (reflected or
+refracted) is traced through the Gaussian scene from there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gaussians import GaussianCloud
+from repro.geometry.intersect import ray_sphere
+from repro.math3d import normalize
+
+_EPS = 1e-6
+
+
+def reflect(direction: np.ndarray, normal: np.ndarray) -> np.ndarray:
+    """Mirror reflection of ``direction`` about ``normal``."""
+    direction = np.asarray(direction, dtype=np.float64)
+    normal = np.asarray(normal, dtype=np.float64)
+    return direction - 2.0 * np.dot(direction, normal) * normal
+
+
+def refract(direction: np.ndarray, normal: np.ndarray, eta: float) -> np.ndarray | None:
+    """Snell refraction; returns ``None`` on total internal reflection.
+
+    ``eta`` is the ratio of the incident medium's index to the
+    transmitting medium's index; ``normal`` faces the incident side.
+    """
+    direction = normalize(direction)
+    normal = np.asarray(normal, dtype=np.float64)
+    cos_i = -float(np.dot(direction, normal))
+    sin2_t = eta * eta * max(0.0, 1.0 - cos_i * cos_i)
+    if sin2_t > 1.0:
+        return None
+    cos_t = np.sqrt(1.0 - sin2_t)
+    return eta * direction + (eta * cos_i - cos_t) * normal
+
+
+@dataclass(frozen=True)
+class GlassSphere:
+    """A refractive sphere: the secondary ray is the doubly refracted exit
+    ray (entry interface + exit interface, with TIR falling back to
+    internal reflection)."""
+
+    center: np.ndarray
+    radius: float
+    ior: float = 1.5
+    tint: np.ndarray = field(default_factory=lambda: np.array([0.9, 0.95, 1.0]))
+
+    def intersect(self, origin: np.ndarray, direction: np.ndarray) -> float | None:
+        """Nearest positive hit distance, or ``None``."""
+        roots = ray_sphere(origin, direction, np.asarray(self.center), self.radius)
+        if roots is None:
+            return None
+        t0, t1 = roots
+        if t0 > _EPS:
+            return t0
+        if t1 > _EPS:
+            return t1
+        return None
+
+    def scatter(self, origin: np.ndarray, direction: np.ndarray, t_hit: float) -> tuple[np.ndarray, np.ndarray]:
+        """Refract through the sphere; returns the exit ray."""
+        direction = normalize(direction)
+        center = np.asarray(self.center, dtype=np.float64)
+        entry = origin + t_hit * direction
+        n_in = normalize(entry - center)
+        inner = refract(direction, n_in, 1.0 / self.ior)
+        if inner is None:
+            return entry + _EPS * reflect(direction, n_in), reflect(direction, n_in)
+        inner = normalize(inner)
+        roots = ray_sphere(entry + _EPS * inner, inner, center, self.radius)
+        if roots is None:
+            return entry + _EPS * inner, inner
+        exit_point = entry + _EPS * inner + max(roots[1], 0.0) * inner
+        n_out = normalize(exit_point - center)
+        out = refract(inner, -n_out, self.ior)
+        if out is None:
+            out = reflect(inner, n_out)
+        out = normalize(out)
+        return exit_point + _EPS * out, out
+
+
+@dataclass(frozen=True)
+class Mirror:
+    """A rectangular mirror defined by center, two half-edge vectors and
+    the implied normal."""
+
+    center: np.ndarray
+    half_u: np.ndarray
+    half_v: np.ndarray
+    tint: np.ndarray = field(default_factory=lambda: np.array([0.95, 0.95, 0.95]))
+
+    @property
+    def normal(self) -> np.ndarray:
+        return normalize(np.cross(np.asarray(self.half_u), np.asarray(self.half_v)))
+
+    def intersect(self, origin: np.ndarray, direction: np.ndarray) -> float | None:
+        normal = self.normal
+        denom = float(np.dot(direction, normal))
+        if abs(denom) < 1e-12:
+            return None
+        t = float(np.dot(np.asarray(self.center) - origin, normal)) / denom
+        if t <= _EPS:
+            return None
+        point = origin + t * np.asarray(direction)
+        offset = point - np.asarray(self.center)
+        u = np.asarray(self.half_u)
+        v = np.asarray(self.half_v)
+        pu = float(np.dot(offset, u)) / float(np.dot(u, u))
+        pv = float(np.dot(offset, v)) / float(np.dot(v, v))
+        if abs(pu) > 1.0 or abs(pv) > 1.0:
+            return None
+        return t
+
+    def scatter(self, origin: np.ndarray, direction: np.ndarray, t_hit: float) -> tuple[np.ndarray, np.ndarray]:
+        point = origin + t_hit * np.asarray(direction)
+        normal = self.normal
+        if float(np.dot(direction, normal)) > 0.0:
+            normal = -normal
+        out = normalize(reflect(direction, normal))
+        return point + _EPS * out, out
+
+
+class SceneObjects:
+    """The analytic objects injected into a scene for Figure 23."""
+
+    def __init__(self, objects: list[GlassSphere | Mirror]) -> None:
+        self.objects = list(objects)
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def nearest(self, origin: np.ndarray, direction: np.ndarray):
+        """Closest object hit along the ray: ``(t, object)`` or ``(inf, None)``."""
+        best_t = float("inf")
+        best_obj = None
+        for obj in self.objects:
+            t = obj.intersect(origin, direction)
+            if t is not None and t < best_t:
+                best_t = t
+                best_obj = obj
+        return best_t, best_obj
+
+    @classmethod
+    def default_for(cls, cloud: GaussianCloud, seed: int = 7) -> "SceneObjects":
+        """One glass sphere + one mirror at reproducible pseudo-random
+        spots inside the scene, as the paper does."""
+        rng = np.random.default_rng(seed)
+        center = cloud.means.mean(axis=0)
+        spread = cloud.means.std(axis=0)
+        sphere_pos = center + rng.uniform(-0.5, 0.5, 3) * spread
+        mirror_pos = center + rng.uniform(-0.5, 0.5, 3) * spread
+        radius = 0.35 * float(spread.mean())
+        size = 0.8 * float(spread.mean())
+        u = np.array([size, 0.0, 0.0])
+        v = np.array([0.0, 0.6 * size, size * 0.4])
+        return cls([
+            GlassSphere(center=sphere_pos, radius=radius),
+            Mirror(center=mirror_pos, half_u=u, half_v=v),
+        ])

@@ -1,0 +1,54 @@
+"""Image buffer, PPM output, and PSNR."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+
+class ImageBuffer:
+    """A float RGB framebuffer with row-major pixel indexing."""
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 1 or height < 1:
+            raise ValueError("image dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.pixels = np.zeros((height * width, 3), dtype=np.float64)
+
+    @property
+    def array(self) -> np.ndarray:
+        """The image as ``(height, width, 3)``."""
+        return self.pixels.reshape(self.height, self.width, 3)
+
+    def set_pixel(self, pixel_id: int, color: np.ndarray) -> None:
+        self.pixels[pixel_id] = color
+
+    def accumulate(self, pixel_id: int, color: np.ndarray, weight: float = 1.0) -> None:
+        self.pixels[pixel_id] += weight * np.asarray(color)
+
+
+def psnr(a: np.ndarray, b: np.ndarray, peak: float = 1.0) -> float:
+    """Peak signal-to-noise ratio between two images (dB)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    mse = float(np.mean((a - b) ** 2))
+    if mse == 0.0:
+        return float("inf")
+    return 10.0 * np.log10(peak * peak / mse)
+
+
+def write_ppm(path: str | Path, image: np.ndarray) -> None:
+    """Write an ``(h, w, 3)`` float image as a binary PPM (tonemapped by
+    simple clipping to [0, 1])."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError("expected an (h, w, 3) image")
+    data = (np.clip(image, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+    height, width, _ = data.shape
+    with open(Path(path), "wb") as handle:
+        handle.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        handle.write(data.tobytes())

@@ -1,0 +1,103 @@
+"""Camera paths for animation, view-consistency, and coherence studies.
+
+The popping ablation, the predictor analysis, and dynamic-scene demos all
+need "the next frame's camera": small, smooth viewpoint changes. This
+module generates deterministic paths — orbits around a scene center and
+linear dollies — as lists of :class:`PinholeCamera`, reusing the pose and
+projection of a base camera.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.render.camera import PinholeCamera
+
+
+def orbit_path(
+    base: PinholeCamera,
+    center: np.ndarray,
+    n_frames: int,
+    total_angle: float,
+    axis: str = "z",
+) -> list[PinholeCamera]:
+    """Rotate the camera position around ``center`` about a world axis.
+
+    ``total_angle`` radians are spread evenly over ``n_frames`` (the first
+    frame is the base pose). The look-at target stays fixed, so the orbit
+    sweeps viewpoints the way the popping study needs.
+    """
+    if n_frames < 1:
+        raise ValueError("n_frames must be positive")
+    axes = {"x": 0, "y": 1, "z": 2}
+    if axis not in axes:
+        raise ValueError(f"axis must be one of {sorted(axes)}")
+    fixed = axes[axis]
+    i, j = [k for k in range(3) if k != fixed]
+
+    center = np.asarray(center, dtype=np.float64)
+    radius_vec = base.position - center
+    cameras = []
+    for frame in range(n_frames):
+        angle = total_angle * frame / max(n_frames - 1, 1)
+        cos_a, sin_a = np.cos(angle), np.sin(angle)
+        rotated = radius_vec.copy()
+        rotated[i] = cos_a * radius_vec[i] - sin_a * radius_vec[j]
+        rotated[j] = sin_a * radius_vec[i] + cos_a * radius_vec[j]
+        cameras.append(PinholeCamera(
+            position=center + rotated,
+            look_at=base.look_at,
+            up=base.up,
+            width=base.width,
+            height=base.height,
+            fov_y=base.fov_y,
+        ))
+    return cameras
+
+
+def dolly_path(
+    base: PinholeCamera,
+    offset: np.ndarray,
+    n_frames: int,
+) -> list[PinholeCamera]:
+    """Translate the camera linearly by ``offset`` over ``n_frames``.
+
+    Both position and look-at shift together (a dolly, not a zoom), so
+    the view direction is constant — the maximally coherent path, used as
+    the easy case in coherence studies.
+    """
+    if n_frames < 1:
+        raise ValueError("n_frames must be positive")
+    offset = np.asarray(offset, dtype=np.float64)
+    cameras = []
+    for frame in range(n_frames):
+        t = frame / max(n_frames - 1, 1)
+        cameras.append(PinholeCamera(
+            position=base.position + t * offset,
+            look_at=base.look_at + t * offset,
+            up=base.up,
+            width=base.width,
+            height=base.height,
+            fov_y=base.fov_y,
+        ))
+    return cameras
+
+
+def lerp_cameras(a: PinholeCamera, b: PinholeCamera, n_frames: int) -> list[PinholeCamera]:
+    """Linear interpolation between two camera poses (position, target, fov)."""
+    if n_frames < 1:
+        raise ValueError("n_frames must be positive")
+    if (a.width, a.height) != (b.width, b.height):
+        raise ValueError("cannot interpolate cameras with different resolutions")
+    cameras = []
+    for frame in range(n_frames):
+        t = frame / max(n_frames - 1, 1)
+        cameras.append(PinholeCamera(
+            position=(1 - t) * a.position + t * b.position,
+            look_at=(1 - t) * a.look_at + t * b.look_at,
+            up=a.up,
+            width=a.width,
+            height=a.height,
+            fov_y=(1 - t) * a.fov_y + t * b.fov_y,
+        ))
+    return cameras

@@ -1,0 +1,185 @@
+"""The end-to-end Gaussian ray tracer.
+
+Glues together camera ray generation, the multi-round tracer, optional
+analytic objects (mirror / glass) for secondary rays, and per-render
+statistics. The returned :class:`RenderResult` carries the per-ray fetch
+traces, which :mod:`repro.hwsim` replays for cycle-level timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bvh.monolithic import MonolithicBVH
+from repro.bvh.two_level import TwoLevelBVH
+from repro.gaussians import GaussianCloud
+from repro.render.camera import PinholeCamera
+from repro.render.effects import SceneObjects
+from repro.render.image import ImageBuffer
+from repro.rt import RayTrace, SceneShading, TraceConfig, Tracer
+
+#: Secondary rays whose carried weight is below this contribute nothing
+#: visible; skip them (matches shooting secondary rays only from surviving
+#: primary paths).
+_MIN_SECONDARY_WEIGHT = 1e-3
+
+
+@dataclass
+class RenderStats:
+    """Aggregate functional statistics for one render."""
+
+    n_rays: int = 0
+    n_primary: int = 0
+    n_secondary: int = 0
+    rounds_total: int = 0
+    blended_total: int = 0
+    anyhit_calls: int = 0
+    kbuffer_ops: int = 0
+    false_positives: int = 0
+    total_internal_visits: int = 0
+    total_leaf_visits: int = 0
+    unique_internal_visits: int = 0
+    unique_leaf_visits: int = 0
+    checkpoints_written: int = 0
+    evictions_written: int = 0
+    ckpt_high_water: int = 0
+    evict_high_water: int = 0
+    rays_terminated_early: int = 0
+
+    @property
+    def total_visits(self) -> int:
+        return self.total_internal_visits + self.total_leaf_visits
+
+    @property
+    def unique_visits(self) -> int:
+        return self.unique_internal_visits + self.unique_leaf_visits
+
+    @property
+    def redundancy(self) -> float:
+        """Total / unique node visits — the gap Figure 7 quantifies."""
+        unique = self.unique_visits
+        return self.total_visits / unique if unique else 0.0
+
+    def absorb(self, trace: RayTrace, rounds: int, blended: int, terminated: bool) -> None:
+        self.n_rays += 1
+        if trace.label == "primary":
+            self.n_primary += 1
+        else:
+            self.n_secondary += 1
+        self.rounds_total += rounds
+        self.blended_total += blended
+        self.total_internal_visits += trace.total_internal
+        self.total_leaf_visits += trace.total_leaf
+        self.unique_internal_visits += len(trace.unique_internal)
+        self.unique_leaf_visits += len(trace.unique_leaf)
+        self.ckpt_high_water = max(self.ckpt_high_water, trace.ckpt_high_water)
+        self.evict_high_water = max(self.evict_high_water, trace.evict_high_water)
+        if terminated:
+            self.rays_terminated_early += 1
+        for rt in trace.rounds:
+            self.anyhit_calls += rt.anyhit_calls
+            self.kbuffer_ops += rt.kbuffer_ops
+            self.false_positives += rt.false_positives
+            self.checkpoints_written += rt.checkpoints_written
+            self.evictions_written += rt.evictions_written
+
+
+@dataclass
+class RenderResult:
+    """One rendered frame plus everything the evaluation needs."""
+
+    image: np.ndarray
+    stats: RenderStats
+    traces: list[RayTrace] = field(repr=False, default_factory=list)
+    config: TraceConfig | None = None
+    structure_bytes: int = 0
+
+    def drop_traces(self) -> None:
+        """Free the (large) per-ray traces once timing replay is done."""
+        self.traces = []
+
+
+class GaussianRayTracer:
+    """Public renderer API: scene + acceleration structure -> image.
+
+    Parameters
+    ----------
+    cloud:
+        The Gaussian scene.
+    structure:
+        A :class:`MonolithicBVH` or :class:`TwoLevelBVH` built over it.
+    config:
+        Tracing configuration (k, multi/single round, checkpointing, ...).
+    """
+
+    def __init__(
+        self,
+        cloud: GaussianCloud,
+        structure: MonolithicBVH | TwoLevelBVH,
+        config: TraceConfig | None = None,
+    ) -> None:
+        self.cloud = cloud
+        self.structure = structure
+        self.config = config or TraceConfig()
+        self.shading = SceneShading(cloud)
+        self.tracer = Tracer(structure, self.shading, self.config)
+
+    def render(
+        self,
+        camera: PinholeCamera,
+        objects: SceneObjects | None = None,
+        keep_traces: bool = True,
+    ) -> RenderResult:
+        """Render one frame.
+
+        When ``objects`` is given, primary rays hitting a mirror or glass
+        object are clipped there and a single secondary ray continues
+        through the Gaussian scene (the Figure 23 setup).
+        """
+        bundle = camera.generate_rays()
+        framebuffer = ImageBuffer(camera.width, camera.height)
+        stats = RenderStats()
+        traces: list[RayTrace] = []
+        tracer = self.tracer
+
+        for i in range(len(bundle)):
+            origin = bundle.origins[i]
+            direction = bundle.directions[i]
+            pixel = int(bundle.pixel_ids[i])
+
+            t_obj = float("inf")
+            obj = None
+            if objects is not None:
+                t_obj, obj = objects.nearest(origin, direction)
+
+            trace = RayTrace(label="primary")
+            outcome = tracer.trace_ray(origin, direction, trace, t_clip=t_obj)
+            stats.absorb(trace, outcome.rounds, outcome.blended, outcome.terminated_early)
+            if keep_traces:
+                traces.append(trace)
+            color = outcome.color
+
+            if obj is not None and outcome.transmittance > _MIN_SECONDARY_WEIGHT:
+                sec_origin, sec_direction = obj.scatter(origin, direction, t_obj)
+                sec_trace = RayTrace(label="secondary")
+                sec_outcome = tracer.trace_ray(sec_origin, sec_direction, sec_trace)
+                stats.absorb(
+                    sec_trace, sec_outcome.rounds, sec_outcome.blended,
+                    sec_outcome.terminated_early,
+                )
+                if keep_traces:
+                    traces.append(sec_trace)
+                weight = outcome.transmittance
+                color = color + weight * np.asarray(obj.tint) * sec_outcome.color
+
+            framebuffer.set_pixel(pixel, color)
+
+        return RenderResult(
+            image=framebuffer.array,
+            stats=stats,
+            traces=traces,
+            config=self.config,
+            structure_bytes=self.structure.total_bytes,
+        )

@@ -1,0 +1,136 @@
+"""The k-buffer and eviction buffer of Listing 1.
+
+The k-buffer keeps the k closest accepted Gaussians in depth order via
+insertion sort (exactly the any-hit shader of the paper). The eviction
+buffer is the GRTX-HW addition: Gaussians rejected from a full k-buffer
+are parked there and get "a second opportunity" at the start of the next
+round instead of being re-discovered by a root-restarted traversal.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+#: Serialized entry sizes from Section IV-B of the paper.
+CHECKPOINT_ENTRY_BYTES = 20  # 8 B node addr + 8 B TLAS leaf addr + 4 B t
+EVICTION_ENTRY_BYTES = 8  # 4 B primitive id + 4 B t
+
+
+@dataclass(frozen=True)
+class KBufferEntry:
+    """One accepted hit: depth, Gaussian id, and its precomputed alpha."""
+
+    t: float
+    gaussian_id: int
+    alpha: float
+
+
+class KBuffer:
+    """Depth-sorted buffer of the k closest Gaussians for one ray.
+
+    ``insert`` implements the any-hit shader's insertion-sort semantics:
+
+    * buffer not full -> insert, return ``None`` (ignoreIntersection);
+    * buffer full, new hit closer than the farthest -> insert, evict and
+      return the old farthest (ignoreIntersection);
+    * buffer full, new hit farthest -> return the new entry itself
+      (the shader *reports* the hit, shrinking ``t_max``).
+    """
+
+    __slots__ = ("k", "_entries", "_members", "insertions")
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._entries: list[KBufferEntry] = []
+        self._keys: list[float]
+        self._members: set[int] = set()
+        self.insertions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.k
+
+    def __contains__(self, gaussian_id: int) -> bool:
+        return gaussian_id in self._members
+
+    @property
+    def farthest_t(self) -> float:
+        """Depth of the current farthest entry (inf when empty)."""
+        return self._entries[-1].t if self._entries else float("inf")
+
+    def insert(self, entry: KBufferEntry) -> KBufferEntry | None:
+        """Insert an accepted hit; return the rejected entry, if any.
+
+        The returned entry is either the evicted old farthest (new hit was
+        closer) or ``entry`` itself (new hit was beyond all k). ``None``
+        means the buffer absorbed the hit without rejecting anything.
+        """
+        self.insertions += 1
+        if self.full and entry.t >= self._entries[-1].t:
+            return entry
+        keys = [e.t for e in self._entries]
+        pos = bisect.bisect_right(keys, entry.t)
+        self._entries.insert(pos, entry)
+        self._members.add(entry.gaussian_id)
+        if len(self._entries) > self.k:
+            evicted = self._entries.pop()
+            self._members.discard(evicted.gaussian_id)
+            return evicted
+        return None
+
+    def drain(self) -> list[KBufferEntry]:
+        """Remove and return all entries in depth order (round blending)."""
+        entries = self._entries
+        self._entries = []
+        self._members = set()
+        return entries
+
+    def peek(self) -> list[KBufferEntry]:
+        """Entries in depth order without draining."""
+        return list(self._entries)
+
+
+class EvictionBuffer:
+    """Per-ray eviction buffer (GRTX-HW, global-memory resident).
+
+    Tracks its high-water mark so Figure 20's memory-usage numbers can be
+    reproduced: the hardware sizes the allocation by the maximum number of
+    entries any concurrent ray holds.
+    """
+
+    __slots__ = ("_entries", "high_water")
+
+    def __init__(self) -> None:
+        self._entries: list[KBufferEntry] = []
+        self.high_water = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, entry: KBufferEntry) -> None:
+        self._entries.append(entry)
+        if len(self._entries) > self.high_water:
+            self.high_water = len(self._entries)
+
+    def drain_sorted(self, t_min: float) -> list[KBufferEntry]:
+        """Remove all entries, deduplicated by Gaussian id, depth order.
+
+        Entries at or before ``t_min`` belong to already-blended Gaussians
+        and are dropped (the baseline would equally skip them via the
+        strict ``t > t_min`` traversal interval).
+        """
+        best: dict[int, KBufferEntry] = {}
+        for entry in self._entries:
+            if entry.t <= t_min:
+                continue
+            prev = best.get(entry.gaussian_id)
+            if prev is None or entry.t < prev.t:
+                best[entry.gaussian_id] = entry
+        self._entries = []
+        return sorted(best.values(), key=lambda e: (e.t, e.gaussian_id))

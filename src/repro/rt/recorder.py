@@ -1,0 +1,148 @@
+"""Fetch-trace recording for the timing model.
+
+The functional tracer emits, per ray and per tracing round, the exact
+sequence of BVH node fetches (byte address, size, kind) together with the
+intersection-test work done at each node. :mod:`repro.hwsim` replays these
+streams through its cache hierarchy and RT-unit model.
+
+The stream is a flat ``array('q')`` of int64 records to keep the memory
+cost of millions of events tolerable in pure Python:
+
+    [addr, nbytes, kind, box_tests, prim_tests, prim_kind,
+     n_prefetch, pf_addr0, pf_bytes0, pf_addr1, pf_bytes1, ...]
+
+``prefetch`` entries model the sibling-node prefetcher the paper adds to
+Vulkan-Sim to match real-GPU L1 hit rates (Section V-A): when an internal
+node's box tests identify the intersected children, those children's
+addresses are staged into the L1.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+FETCH_INTERNAL = 1
+FETCH_LEAF = 2
+
+PRIM_NONE = 0
+PRIM_TRI = 1
+PRIM_SPHERE = 2
+PRIM_CUSTOM = 3
+PRIM_TRANSFORM = 4
+
+
+class RoundTrace:
+    """Events and counters for one ray x one tracing round."""
+
+    __slots__ = (
+        "stream",
+        "anyhit_calls",
+        "kbuffer_ops",
+        "false_positives",
+        "blended",
+        "checkpoints_written",
+        "evictions_written",
+    )
+
+    def __init__(self) -> None:
+        self.stream = array("q")
+        self.anyhit_calls = 0
+        self.kbuffer_ops = 0
+        self.false_positives = 0
+        self.blended = 0
+        self.checkpoints_written = 0
+        self.evictions_written = 0
+
+    def fetch(
+        self,
+        addr: int,
+        nbytes: int,
+        kind: int,
+        box_tests: int = 0,
+        prim_tests: int = 0,
+        prim_kind: int = PRIM_NONE,
+        prefetch: list[tuple[int, int]] | None = None,
+    ) -> None:
+        """Record one node fetch and the work performed at that node."""
+        stream = self.stream
+        if prefetch:
+            stream.extend((addr, nbytes, kind, box_tests, prim_tests, prim_kind,
+                           len(prefetch)))
+            for pair in prefetch:
+                stream.extend(pair)
+        else:
+            stream.extend((addr, nbytes, kind, box_tests, prim_tests, prim_kind, 0))
+
+    def iter_events(self):
+        """Yield ``(addr, nbytes, kind, box, prim, prim_kind, prefetch)``."""
+        stream = self.stream
+        i = 0
+        n = len(stream)
+        while i < n:
+            addr, nbytes, kind, box, prim, prim_kind, n_pf = stream[i : i + 7]
+            i += 7
+            prefetch = []
+            for _ in range(n_pf):
+                prefetch.append((stream[i], stream[i + 1]))
+                i += 2
+            yield addr, nbytes, kind, box, prim, prim_kind, prefetch
+
+    @property
+    def n_fetches(self) -> int:
+        return sum(1 for _ in self.iter_events())
+
+
+class RayTrace:
+    """Whole-render trace for one ray.
+
+    Tracks per-ray unique node sets across rounds (Figure 7's unique vs
+    total redundancy measurement) plus checkpoint/eviction high-water
+    marks (Figure 20's buffer sizing).
+    """
+
+    __slots__ = (
+        "rounds",
+        "unique_internal",
+        "unique_leaf",
+        "total_internal",
+        "total_leaf",
+        "ckpt_high_water",
+        "evict_high_water",
+        "label",
+    )
+
+    def __init__(self, label: str = "primary") -> None:
+        self.rounds: list[RoundTrace] = []
+        self.unique_internal: set[int] = set()
+        self.unique_leaf: set[int] = set()
+        self.total_internal = 0
+        self.total_leaf = 0
+        self.ckpt_high_water = 0
+        self.evict_high_water = 0
+        self.label = label
+
+    def begin_round(self) -> RoundTrace:
+        trace = RoundTrace()
+        self.rounds.append(trace)
+        return trace
+
+    def note_fetch(self, addr: int, kind: int) -> None:
+        """Update the unique/total visit statistics for one fetch."""
+        if kind == FETCH_INTERNAL:
+            self.total_internal += 1
+            self.unique_internal.add(addr)
+        else:
+            self.total_leaf += 1
+            self.unique_leaf.add(addr)
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def total_fetches(self) -> int:
+        return self.total_internal + self.total_leaf
+
+    @property
+    def unique_fetches(self) -> int:
+        return len(self.unique_internal) + len(self.unique_leaf)

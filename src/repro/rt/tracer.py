@@ -1,0 +1,952 @@
+"""Multi-round Gaussian ray tracing with optional checkpoint & replay.
+
+This module is the heart of the reproduction. It implements:
+
+* interval-constrained BVH traversal over both structure families
+  (monolithic proxy BVH and GRTX-SW's TLAS + shared BLAS);
+* the any-hit k-buffer algorithm of Listing 1, including the
+  ``ignoreIntersectionEXT`` / hit-report ``t_max`` semantics;
+* multi-round tracing with early ray termination (the 3DGRT baseline);
+* single-round tracing (Figure 6a's comparison point);
+* GRTX-HW traversal checkpointing: nodes and instances whose entry
+  distance fails the ``t_max`` validation are checkpointed (node address +
+  TLAS leaf address + t, Figure 11), rejected k-buffer entries go to the
+  eviction buffer, and subsequent rounds resume from the checkpointed
+  frontier instead of the root.
+
+Every node fetch is recorded with its byte address so the hardware model
+can replay the exact memory behaviour.
+
+Implementation note: the traversal inner loops deliberately use plain
+Python floats and pre-converted lists for per-slot scalar work, and numpy
+only for the vectorized slab and triangle tests. Pure-Python BVH traversal
+over hundreds of thousands of nodes is the throughput bottleneck of the
+whole reproduction and this hybrid is ~10x faster than idiomatic
+numpy-everywhere code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bvh.layout import INSTANCE_BYTES, LEAF_HEADER_BYTES, SPHERE_PRIM_BYTES, internal_node_bytes
+from repro.bvh.monolithic import MonolithicBVH
+from repro.bvh.node import KIND_INTERNAL, KIND_LEAF
+from repro.bvh.two_level import TwoLevelBVH
+
+from repro.rt.kbuffer import EvictionBuffer, KBuffer, KBufferEntry
+from repro.rt.recorder import (
+    FETCH_INTERNAL,
+    FETCH_LEAF,
+    PRIM_CUSTOM,
+    PRIM_SPHERE,
+    PRIM_TRANSFORM,
+    PRIM_TRI,
+    RayTrace,
+)
+from repro.rt.shading import SceneShading
+
+# Checkpoint entry kinds (what the 20-byte checkpoint record refers to).
+CKPT_NODE = 0
+CKPT_LEAF = 1
+CKPT_INSTANCE = 2
+CKPT_BLAS_NODE = 3
+CKPT_BLAS_LEAF = 4
+
+# Any-hit outcome codes.
+_HIT_ACCEPTED = 0
+_HIT_REJECTED = 1
+_HIT_BEYOND = 2
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Rendering algorithm configuration.
+
+    Attributes
+    ----------
+    k:
+        k-buffer capacity per tracing round (paper default: 16 for the
+        motivation study, 8 for GRTX).
+    mode:
+        ``"multiround"`` (3DGRT's k-buffer rounds) or ``"singleround"``
+        (collect every intersection in one traversal, sort, then blend).
+    checkpointing:
+        Enable GRTX-HW checkpoint & replay across rounds.
+    transmittance_min:
+        Early-ray-termination threshold: blending stops once accumulated
+        transmittance drops below this.
+    max_rounds:
+        Safety bound on tracing rounds per ray.
+    kbuffer_layout:
+        ``"soa"`` (k-buffer in global memory, our Vulkan-style layout) or
+        ``"payload"`` (OptiX-style ray payload registers). Only affects
+        the timing model (Figure 21), never the image.
+    """
+
+    k: int = 16
+    mode: str = "multiround"
+    checkpointing: bool = False
+    transmittance_min: float = 0.01
+    max_rounds: int = 64
+    kbuffer_layout: str = "soa"
+    record_blended: bool = False
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.mode not in ("multiround", "singleround"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.kbuffer_layout not in ("soa", "payload"):
+            raise ValueError(f"unknown kbuffer layout {self.kbuffer_layout!r}")
+        if not 0.0 < self.transmittance_min < 1.0:
+            raise ValueError("transmittance_min must be in (0, 1)")
+        if self.mode == "singleround" and self.checkpointing:
+            raise ValueError("checkpointing only applies to multiround tracing")
+
+
+@dataclass
+class RayOutcome:
+    """Result of tracing one ray to completion."""
+
+    color: np.ndarray
+    transmittance: float
+    rounds: int
+    blended: int
+    terminated_early: bool
+    #: (gaussian_id, alpha, t) triples in blend order, populated when
+    #: TraceConfig.record_blended is set (the training substrate needs
+    #: the exact blend lists for its backward pass).
+    blend_records: list[tuple[int, float, float]] | None = None
+
+
+class _RoundState:
+    """Mutable per-round traversal state (one traceRayEXT invocation)."""
+
+    __slots__ = (
+        "t_min",
+        "t_max",
+        "t_clip",
+        "kbuffer",
+        "evict_out",
+        "ckpt_out",
+        "round_trace",
+        "collect_all",
+        "hits",
+        "hits_seen",
+        "ckpt_enabled",
+    )
+
+    def __init__(
+        self,
+        t_min: float,
+        kbuffer: KBuffer | None,
+        round_trace,
+        collect_all: bool,
+        ckpt_enabled: bool,
+        t_clip: float = _INF,
+    ):
+        self.t_min = t_min
+        self.t_max = _INF
+        self.t_clip = t_clip
+        self.kbuffer = kbuffer
+        self.evict_out = EvictionBuffer()
+        self.ckpt_out: list[tuple[float, int, int, int, int]] = []
+        self.round_trace = round_trace
+        self.collect_all = collect_all
+        self.hits: list[KBufferEntry] = []
+        self.hits_seen: set[int] = set()
+        self.ckpt_enabled = ckpt_enabled
+
+    def checkpoint(self, kind: int, ref: int, gid: int, inst_addr: int, t: float) -> None:
+        """Record a checkpoint entry (no-op when GRTX-HW is disabled: the
+        baseline drops the node and re-finds it from the root next round)."""
+        if not self.ckpt_enabled:
+            return
+        self.ckpt_out.append((t, kind, ref, gid, inst_addr))
+        self.round_trace.checkpoints_written += 1
+
+
+class Tracer:
+    """Traces rays through one scene + acceleration structure.
+
+    The tracer is built once per (scene, structure, config) and reused for
+    every ray; construction precomputes leaf-contiguous primitive arrays
+    and plain-list views of the BVH tables for the hot loops.
+    """
+
+    def __init__(
+        self,
+        structure: MonolithicBVH | TwoLevelBVH,
+        shading: SceneShading,
+        config: TraceConfig | None = None,
+    ) -> None:
+        self.structure = structure
+        self.shading = shading
+        self.config = config or TraceConfig()
+        self.two_level = isinstance(structure, TwoLevelBVH)
+        if self.two_level:
+            self._bvh = structure.tlas
+            self._blas = structure.blas
+        else:
+            self._bvh = structure.bvh
+            self._blas = None
+        self._node_bytes = internal_node_bytes(self._bvh.width)
+        self._sphere_blas_bytes = LEAF_HEADER_BYTES + 24 + SPHERE_PRIM_BYTES
+        self._prepare_tables()
+        # Per-ray scratch, set by trace_ray.
+        self._o = np.zeros(3)
+        self._d = np.zeros(3)
+        self._inv_d = np.zeros(3)
+        self._blend_log: list[tuple[int, float, float]] | None = None
+
+    def _prepare_tables(self) -> None:
+        """Precompute list views and leaf-contiguous primitive arrays."""
+        bvh = self._bvh
+        self._child_lo_l = bvh.child_lo.tolist()
+        self._child_hi_l = bvh.child_hi.tolist()
+        self._child_kind = bvh.child_kind.tolist()
+        self._child_ref = bvh.child_ref.tolist()
+        self._node_addr = bvh.node_addr.tolist()
+        self._leaf_addr = bvh.leaf_addr.tolist()
+        self._leaf_bytes = bvh.leaf_bytes.tolist()
+        self._leaf_start = bvh.leaf_start.tolist()
+        self._leaf_count = bvh.leaf_count.tolist()
+        # Child (address, size) for prefetch lists, any slot kind.
+        node_bytes = self._node_bytes
+        addr, sizes, leaf_mask = [], [], []
+        for n in range(bvh.n_nodes):
+            row_a, row_s, row_l = [], [], []
+            for slot in range(bvh.width):
+                kind = self._child_kind[n][slot]
+                ref = self._child_ref[n][slot]
+                if kind == KIND_INTERNAL:
+                    row_a.append(self._node_addr[ref])
+                    row_s.append(node_bytes)
+                    row_l.append(False)
+                elif kind == KIND_LEAF:
+                    row_a.append(self._leaf_addr[ref])
+                    row_s.append(self._leaf_bytes[ref])
+                    row_l.append(True)
+                else:
+                    row_a.append(0)
+                    row_s.append(0)
+                    row_l.append(False)
+            addr.append(row_a)
+            sizes.append(row_s)
+            leaf_mask.append(row_l)
+        self._child_addr = addr
+        self._child_bytes = sizes
+        self._child_is_leaf = leaf_mask
+
+        structure = self.structure
+        order = bvh.prim_order
+        if self.two_level:
+            self._ordered_gids = order.tolist()
+            blas = self._blas
+            if blas.kind == "icosphere":
+                bbvh = blas.bvh
+                self._blas_tables = _BlasTables(bbvh, blas)
+        elif structure.is_triangle_proxy:
+            v0 = structure.tri_v0[order]
+            e1 = structure.tri_v1[order] - structure.tri_v0[order]
+            e2 = structure.tri_v2[order] - structure.tri_v0[order]
+            # Plain-list copies: leaves hold <= a handful of triangles, and
+            # a scalar Moller-Trumbore over Python floats beats numpy's
+            # per-call overhead by ~6x at that size.
+            self._v0l = v0.tolist()
+            self._e1l = e1.tolist()
+            self._e2l = e2.tolist()
+            self._ownero = structure.tri_gaussian[order].tolist()
+        else:
+            self._ordered_gids = order.tolist()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def trace_ray(
+        self,
+        origin: np.ndarray,
+        direction: np.ndarray,
+        ray_trace: RayTrace | None = None,
+        t_clip: float = _INF,
+    ) -> RayOutcome:
+        """Trace one ray to completion and return its blended color.
+
+        ``t_clip`` bounds the traced segment: Gaussians beyond it are
+        ignored entirely (used when an analytic scene object — mirror or
+        glass — truncates the primary segment before a secondary ray is
+        spawned).
+        """
+        ray_trace = ray_trace if ray_trace is not None else RayTrace()
+        self._o = np.asarray(origin, dtype=np.float64)
+        d = np.asarray(direction, dtype=np.float64)
+        self._d = d
+        safe = np.where(np.abs(d) < 1e-12, 1e-12, d)
+        self._inv_d = 1.0 / safe
+
+        if self.config.mode == "singleround":
+            return self._trace_single_round(ray_trace, t_clip)
+        return self._trace_multi_round(ray_trace, t_clip)
+
+    # ------------------------------------------------------------------
+    # Round drivers
+    # ------------------------------------------------------------------
+
+    def _trace_single_round(self, ray_trace: RayTrace, t_clip: float) -> RayOutcome:
+        """One exhaustive traversal, then a global sort + blend.
+
+        Figure 6(a)'s single-round configuration: no t_max shrinking
+        during traversal and no per-hit sorting in the any-hit shader;
+        all intersections are collected and sorted afterwards.
+        """
+        round_trace = ray_trace.begin_round()
+        state = _RoundState(0.0, None, round_trace, collect_all=True,
+                            ckpt_enabled=False, t_clip=t_clip)
+        self._drain([(KIND_INTERNAL, 0, 0.0)], state, ray_trace)
+        hits = sorted(state.hits, key=lambda e: (e.t, e.gaussian_id))
+        round_trace.kbuffer_ops += len(hits)
+        self._blend_log = [] if self.config.record_blended else None
+        color, transmittance, blended, terminated = self._blend(hits, 1.0, np.zeros(3))
+        round_trace.blended = blended
+        return RayOutcome(
+            color=color,
+            transmittance=transmittance,
+            rounds=1,
+            blended=blended,
+            terminated_early=terminated,
+            blend_records=self._blend_log,
+        )
+
+    def _trace_multi_round(self, ray_trace: RayTrace, t_clip: float) -> RayOutcome:
+        config = self.config
+        hw = config.checkpointing
+        t_min = 0.0
+        transmittance = 1.0
+        color = np.zeros(3)
+        blended_total = 0
+        terminated = False
+        self._blend_log = [] if config.record_blended else None
+        ckpt_src: list[tuple[float, int, int, int, int]] = []
+        evict_src: list[KBufferEntry] = []
+        rounds = 0
+
+        for round_index in range(config.max_rounds):
+            round_trace = ray_trace.begin_round()
+            rounds += 1
+            kbuffer = KBuffer(config.k)
+            state = _RoundState(t_min, kbuffer, round_trace, collect_all=False,
+                                ckpt_enabled=hw, t_clip=t_clip)
+
+            if hw and round_index > 0:
+                self._prefill_from_evictions(evict_src, state)
+                self._replay_checkpoints(ckpt_src, state, ray_trace)
+            else:
+                self._drain([(KIND_INTERNAL, 0, 0.0)], state, ray_trace)
+
+            entries = sorted(kbuffer.drain(), key=lambda e: (e.t, e.gaussian_id))
+            round_trace.kbuffer_ops += kbuffer.insertions
+            round_trace.evictions_written += len(state.evict_out)
+            if state.evict_out.high_water > ray_trace.evict_high_water:
+                ray_trace.evict_high_water = state.evict_out.high_water
+            if len(state.ckpt_out) > ray_trace.ckpt_high_water:
+                ray_trace.ckpt_high_water = len(state.ckpt_out)
+
+            if not entries:
+                break
+
+            color, transmittance, blended, terminated = self._blend(
+                entries, transmittance, color
+            )
+            round_trace.blended = blended
+            blended_total += blended
+            if terminated:
+                break
+            t_min = entries[-1].t
+            if len(entries) < config.k:
+                # Traversal exhausted the scene beyond t_min.
+                break
+            if hw:
+                ckpt_src = state.ckpt_out
+                evict_src = state.evict_out.drain_sorted(t_min)
+                if not ckpt_src and not evict_src:
+                    break
+
+        return RayOutcome(
+            color=color,
+            transmittance=transmittance,
+            rounds=rounds,
+            blended=blended_total,
+            terminated_early=terminated,
+            blend_records=self._blend_log,
+        )
+
+    def _blend(
+        self,
+        entries: list[KBufferEntry],
+        transmittance: float,
+        color: np.ndarray,
+    ) -> tuple[np.ndarray, float, int, bool]:
+        """Front-to-back alpha blending with early ray termination."""
+        if not entries:
+            return color, transmittance, 0, False
+        gids = np.fromiter((e.gaussian_id for e in entries), dtype=np.int64, count=len(entries))
+        colors = self.shading.colors(gids, self._d)
+        blended = 0
+        terminated = False
+        threshold = self.config.transmittance_min
+        log = self._blend_log
+        for i, entry in enumerate(entries):
+            color = color + transmittance * entry.alpha * colors[i]
+            transmittance *= 1.0 - entry.alpha
+            blended += 1
+            if log is not None:
+                log.append((entry.gaussian_id, entry.alpha, entry.t))
+            if transmittance < threshold:
+                terminated = True
+                break
+        return color, transmittance, blended, terminated
+
+    # ------------------------------------------------------------------
+    # GRTX-HW: eviction prefill and checkpoint replay
+    # ------------------------------------------------------------------
+
+    def _prefill_from_evictions(self, evict_src: list[KBufferEntry], state: _RoundState) -> None:
+        """Move evicted Gaussians into the new round's k-buffer.
+
+        The first k entries (closest first) seed the k-buffer; the
+        remainder is immediately beyond the buffer, so the first of them
+        reports a hit (shrinking ``t_max``) and all of them carry over to
+        the next eviction buffer — Listing 1 semantics applied to the
+        replayed entries.
+        """
+        kbuffer = state.kbuffer
+        k = kbuffer.k
+        for i, entry in enumerate(evict_src):
+            if i < k:
+                kbuffer.insert(entry)
+                continue
+            if i == k:
+                state.t_max = entry.t
+            state.evict_out.push(entry)
+
+    def _replay_checkpoints(
+        self,
+        ckpt_src: list[tuple[float, int, int, int, int]],
+        state: _RoundState,
+        ray_trace: RayTrace,
+    ) -> None:
+        """Resume traversal from checkpointed nodes, nearest first.
+
+        Each checkpointed subtree is traversed to completion before the
+        next checkpoint is taken up (the paper traverses the checkpointed
+        subtrees sequentially).
+        """
+        for t, kind, ref, gid, inst_addr in sorted(ckpt_src, key=lambda c: c[0]):
+            if t > state.t_max:
+                # Still beyond the committed hit; defer again.
+                state.checkpoint(kind, ref, gid, inst_addr, t)
+                continue
+            if kind == CKPT_NODE:
+                self._drain([(KIND_INTERNAL, ref, t)], state, ray_trace)
+            elif kind == CKPT_LEAF:
+                self._drain([(KIND_LEAF, ref, t)], state, ray_trace)
+            elif kind == CKPT_INSTANCE:
+                # Re-fetch the instance record to recover the transform.
+                state.round_trace.fetch(
+                    inst_addr, INSTANCE_BYTES, FETCH_LEAF, prim_tests=1,
+                    prim_kind=PRIM_TRANSFORM,
+                )
+                ray_trace.note_fetch(inst_addr, FETCH_LEAF)
+                self._process_instance(ref, inst_addr, state, ray_trace)
+            else:
+                # BLAS node/leaf checkpoint: recover the instance transform
+                # from the stored TLAS leaf address, then resume inside the
+                # shared BLAS.
+                state.round_trace.fetch(
+                    inst_addr, INSTANCE_BYTES, FETCH_LEAF, prim_tests=1,
+                    prim_kind=PRIM_TRANSFORM,
+                )
+                ray_trace.note_fetch(inst_addr, FETCH_LEAF)
+                linear = self.shading.w2o_linear[gid]
+                o2 = linear @ self._o + self.shading.w2o_offset[gid]
+                d2 = linear @ self._d
+                start_kind = KIND_INTERNAL if kind == CKPT_BLAS_NODE else KIND_LEAF
+                hit_t = self._traverse_blas(o2, d2, gid, inst_addr, state, ray_trace,
+                                            start=(start_kind, ref, t))
+                if hit_t is not None:
+                    code, t_hit = self._anyhit(gid, state, hit_t)
+                    if code == _HIT_BEYOND:
+                        state.checkpoint(CKPT_INSTANCE, gid, gid, inst_addr, t_hit)
+
+    # ------------------------------------------------------------------
+    # Core traversal
+    # ------------------------------------------------------------------
+
+    def _drain(
+        self,
+        seeds: list[tuple[int, int, float]],
+        state: _RoundState,
+        ray_trace: RayTrace,
+    ) -> None:
+        """Depth-first traversal of the main BVH from the seed entries.
+
+        Stack entries are ``(child_kind, ref, t_entry)``; entries whose
+        recorded entry distance has fallen beyond the current ``t_max``
+        are checkpointed without being fetched (the RT unit's t-value
+        validation rejects them at pop time).
+        """
+        kind_rows = self._child_kind
+        ref_rows = self._child_ref
+        addr_rows = self._child_addr
+        bytes_rows = self._child_bytes
+        leaf_rows = self._child_is_leaf
+        lo_rows = self._child_lo_l
+        hi_rows = self._child_hi_l
+        node_addr = self._node_addr
+        node_bytes = self._node_bytes
+        o = self._o
+        inv_d = self._inv_d
+        ox, oy, oz = o[0], o[1], o[2]
+        ix, iy, iz = inv_d[0], inv_d[1], inv_d[2]
+        rt = state.round_trace
+
+        stack = list(seeds)
+        while stack:
+            kind, ref, t_entry = stack.pop()
+            if t_entry > state.t_max:
+                ckpt_kind = CKPT_NODE if kind == KIND_INTERNAL else CKPT_LEAF
+                state.checkpoint(ckpt_kind, ref, -1, -1, t_entry)
+                continue
+            if kind == KIND_LEAF:
+                self._process_leaf(ref, state, ray_trace)
+                continue
+
+            # Internal node: fetch, then slab-test each child (scalar slab
+            # over list-backed boxes: faster than numpy at width 6).
+            kinds = kind_rows[ref]
+            refs = ref_rows[ref]
+            lo_row = lo_rows[ref]
+            hi_row = hi_rows[ref]
+            t_min = state.t_min
+            t_max = state.t_max
+            t_clip = state.t_clip
+
+            occupied = 0
+            visit: list[tuple[float, int, int]] = []
+            prefetch: list[tuple[int, int]] | None = None
+            addr_row = addr_rows[ref]
+            bytes_row = bytes_rows[ref]
+            leaf_row = leaf_rows[ref]
+            for slot in range(len(kinds)):
+                ckind = kinds[slot]
+                if ckind == 0:
+                    break
+                occupied += 1
+                lo = lo_row[slot]
+                hi = hi_row[slot]
+                a = (lo[0] - ox) * ix
+                b = (hi[0] - ox) * ix
+                if a > b:
+                    tn, tf = b, a
+                else:
+                    tn, tf = a, b
+                a = (lo[1] - oy) * iy
+                b = (hi[1] - oy) * iy
+                if a > b:
+                    a, b = b, a
+                if a > tn:
+                    tn = a
+                if b < tf:
+                    tf = b
+                a = (lo[2] - oz) * iz
+                b = (hi[2] - oz) * iz
+                if a > b:
+                    a, b = b, a
+                if a > tn:
+                    tn = a
+                if b < tf:
+                    tf = b
+                if tn > tf or tf < t_min or tf < 0.0 or tn > t_clip:
+                    continue
+                if tn > t_max:
+                    ckpt_kind = CKPT_NODE if ckind == KIND_INTERNAL else CKPT_LEAF
+                    state.checkpoint(ckpt_kind, refs[slot], -1, -1, tn)
+                    continue
+                visit.append((tn, ckind, refs[slot]))
+                if leaf_row[slot]:
+                    # Sibling-leaf prefetch (Section V-A): intersected leaf
+                    # children are staged into the L1 when the first of
+                    # them is demand-fetched.
+                    if prefetch is None:
+                        prefetch = []
+                    prefetch.append((addr_row[slot], bytes_row[slot]))
+
+            addr = node_addr[ref]
+            rt.fetch(addr, node_bytes, FETCH_INTERNAL, box_tests=occupied,
+                     prefetch=prefetch)
+            ray_trace.note_fetch(addr, FETCH_INTERNAL)
+
+            if visit:
+                # Push far-to-near so the nearest child is popped first.
+                visit.sort(key=lambda item: -item[0])
+                for tn, ckind, cref in visit:
+                    stack.append((ckind, cref, tn))
+
+    def _process_leaf(self, leaf_ref: int, state: _RoundState, ray_trace: RayTrace) -> None:
+        if self.two_level:
+            self._process_tlas_leaf(leaf_ref, state, ray_trace)
+        elif self.structure.is_triangle_proxy:
+            self._process_triangle_leaf(leaf_ref, state, ray_trace)
+        else:
+            self._process_custom_leaf(leaf_ref, state, ray_trace)
+
+    # -- monolithic leaves ---------------------------------------------
+
+    def _process_triangle_leaf(self, leaf_ref: int, state: _RoundState, ray_trace: RayTrace) -> None:
+        start = self._leaf_start[leaf_ref]
+        count = self._leaf_count[leaf_ref]
+        end = start + count
+        addr = self._leaf_addr[leaf_ref]
+        rt = state.round_trace
+        rt.fetch(addr, self._leaf_bytes[leaf_ref], FETCH_LEAF,
+                 prim_tests=count, prim_kind=PRIM_TRI)
+        ray_trace.note_fetch(addr, FETCH_LEAF)
+
+        o = self._o
+        d = self._d
+        ox, oy, oz = o[0], o[1], o[2]
+        dx, dy, dz = d[0], d[1], d[2]
+        v0l, e1l, e2l = self._v0l, self._e1l, self._e2l
+        owners = self._ownero
+        hits: list[tuple[float, int]] = []
+        for i in range(start, end):
+            e2 = e2l[i]
+            pvx = dy * e2[2] - dz * e2[1]
+            pvy = dz * e2[0] - dx * e2[2]
+            pvz = dx * e2[1] - dy * e2[0]
+            e1 = e1l[i]
+            det = e1[0] * pvx + e1[1] * pvy + e1[2] * pvz
+            if det > -1e-12:
+                continue  # backface or parallel: not an entering hit
+            inv_det = 1.0 / det
+            v0 = v0l[i]
+            tvx = ox - v0[0]
+            tvy = oy - v0[1]
+            tvz = oz - v0[2]
+            u = (tvx * pvx + tvy * pvy + tvz * pvz) * inv_det
+            if u < 0.0 or u > 1.0:
+                continue
+            qvx = tvy * e1[2] - tvz * e1[1]
+            qvy = tvz * e1[0] - tvx * e1[2]
+            qvz = tvx * e1[1] - tvy * e1[0]
+            v = (dx * qvx + dy * qvy + dz * qvz) * inv_det
+            if v < 0.0 or u + v > 1.0:
+                continue
+            t = (e2[0] * qvx + e2[1] * qvy + e2[2] * qvz) * inv_det
+            if t > 0.0:
+                hits.append((t, owners[i]))
+        if not hits:
+            return
+        hits.sort()
+        seen: set[int] = set()
+        beyond_t = _INF
+        for t_proxy, gid in hits:
+            if gid in seen:
+                continue
+            seen.add(gid)
+            code, t_hit = self._anyhit(gid, state, t_proxy)
+            if code == _HIT_BEYOND and t_hit < beyond_t:
+                beyond_t = t_hit
+        if beyond_t < _INF:
+            state.checkpoint(CKPT_LEAF, leaf_ref, -1, -1, beyond_t)
+
+    def _process_custom_leaf(self, leaf_ref: int, state: _RoundState, ray_trace: RayTrace) -> None:
+        start = self._leaf_start[leaf_ref]
+        count = self._leaf_count[leaf_ref]
+        addr = self._leaf_addr[leaf_ref]
+        rt = state.round_trace
+        rt.fetch(addr, self._leaf_bytes[leaf_ref], FETCH_LEAF,
+                 prim_tests=count, prim_kind=PRIM_CUSTOM)
+        ray_trace.note_fetch(addr, FETCH_LEAF)
+        gids = self._ordered_gids
+        beyond_t = _INF
+        for i in range(start, start + count):
+            code, t_hit = self._anyhit(gids[i], state)
+            if code == _HIT_BEYOND and t_hit < beyond_t:
+                beyond_t = t_hit
+        if beyond_t < _INF:
+            state.checkpoint(CKPT_LEAF, leaf_ref, -1, -1, beyond_t)
+
+    # -- two-level leaves ------------------------------------------------
+
+    def _process_tlas_leaf(self, leaf_ref: int, state: _RoundState, ray_trace: RayTrace) -> None:
+        start = self._leaf_start[leaf_ref]
+        count = self._leaf_count[leaf_ref]
+        addr = self._leaf_addr[leaf_ref]
+        rt = state.round_trace
+        rt.fetch(addr, self._leaf_bytes[leaf_ref], FETCH_LEAF,
+                 prim_tests=count, prim_kind=PRIM_TRANSFORM)
+        ray_trace.note_fetch(addr, FETCH_LEAF)
+        gids = self._ordered_gids
+        base = addr + LEAF_HEADER_BYTES
+        for slot in range(count):
+            self._process_instance(gids[start + slot], base + slot * INSTANCE_BYTES,
+                                   state, ray_trace)
+
+    def _process_instance(
+        self,
+        gid: int,
+        inst_addr: int,
+        state: _RoundState,
+        ray_trace: RayTrace,
+    ) -> None:
+        """Transform the ray into the instance's object space and test the
+        shared BLAS (one box + one sphere test for the sphere BLAS)."""
+        shading = self.shading
+        blas = self._blas
+        rt = state.round_trace
+        linear = shading.w2o_linear[gid]
+        o2 = linear @ self._o + shading.w2o_offset[gid]
+        d2 = linear @ self._d
+
+        if blas.kind == "sphere":
+            # One root-box test + one sphere test, both against the shared
+            # BLAS record that stays hot in the L1.
+            ox, oy, oz = o2[0], o2[1], o2[2]
+            dx, dy, dz = d2[0], d2[1], d2[2]
+            t_near = -_INF
+            t_far = _INF
+            for oc, dc in ((ox, dx), (oy, dy), (oz, dz)):
+                if dc == 0.0:
+                    dc = 1e-12
+                a = (-1.0 - oc) / dc
+                b = (1.0 - oc) / dc
+                if a > b:
+                    a, b = b, a
+                if a > t_near:
+                    t_near = a
+                if b < t_far:
+                    t_far = b
+            rt.fetch(blas.root_address, self._sphere_blas_bytes, FETCH_LEAF,
+                     box_tests=1, prim_tests=1, prim_kind=PRIM_SPHERE)
+            ray_trace.note_fetch(blas.root_address, FETCH_LEAF)
+            if t_near > t_far or t_far < state.t_min or t_far < 0.0 or t_near > state.t_clip:
+                return
+            if t_near > state.t_max:
+                state.checkpoint(CKPT_INSTANCE, gid, gid, inst_addr, t_near)
+                return
+            code, t_hit = self._anyhit(gid, state)
+            if code == _HIT_BEYOND:
+                state.checkpoint(CKPT_INSTANCE, gid, gid, inst_addr, t_hit)
+            return
+
+        # Icosphere BLAS: traverse the small template triangle BVH.
+        tables = self._blas_tables
+        root_lo, root_hi = tables.root_lo, tables.root_hi
+        safe = np.where(np.abs(d2) < 1e-12, 1e-12, d2)
+        inv_d2 = 1.0 / safe
+        t0 = (root_lo - o2) * inv_d2
+        t1 = (root_hi - o2) * inv_d2
+        t_near = float(np.minimum(t0, t1).max())
+        t_far = float(np.maximum(t0, t1).min())
+        if t_near > t_far or t_far < state.t_min or t_far < 0.0 or t_near > state.t_clip:
+            return
+        if t_near > state.t_max:
+            state.checkpoint(CKPT_INSTANCE, gid, gid, inst_addr, t_near)
+            return
+        hit_t = self._traverse_blas(o2, d2, gid, inst_addr, state, ray_trace,
+                                    start=(KIND_INTERNAL, 0, t_near), inv_d2=inv_d2)
+        if hit_t is not None:
+            code, t_hit = self._anyhit(gid, state, hit_t)
+            if code == _HIT_BEYOND:
+                state.checkpoint(CKPT_INSTANCE, gid, gid, inst_addr, t_hit)
+
+    def _traverse_blas(
+        self,
+        o2: np.ndarray,
+        d2: np.ndarray,
+        gid: int,
+        inst_addr: int,
+        state: _RoundState,
+        ray_trace: RayTrace,
+        start: tuple[int, int, float],
+        inv_d2: np.ndarray | None = None,
+    ) -> float | None:
+        """Traverse the shared template BLAS in object space.
+
+        Returns the nearest proxy-triangle hit distance, or ``None``.
+        BLAS children failing the t_max validation are checkpointed with
+        the TLAS leaf (instance) address so replay can re-transform.
+        """
+        tables = self._blas_tables
+        bbvh = tables.bvh
+        if inv_d2 is None:
+            safe = np.where(np.abs(d2) < 1e-12, 1e-12, d2)
+            inv_d2 = 1.0 / safe
+        rt = state.round_trace
+        best: float | None = None
+
+        stack = [start]
+        while stack:
+            kind, ref, t_entry = stack.pop()
+            if t_entry > state.t_max:
+                ckpt_kind = CKPT_BLAS_NODE if kind == KIND_INTERNAL else CKPT_BLAS_LEAF
+                state.checkpoint(ckpt_kind, ref, gid, inst_addr, t_entry)
+                continue
+            if kind == KIND_LEAF:
+                start_p = tables.leaf_start[ref]
+                count = tables.leaf_count[ref]
+                end = start_p + count
+                addr = tables.leaf_addr[ref]
+                rt.fetch(addr, tables.leaf_bytes[ref], FETCH_LEAF,
+                         prim_tests=count, prim_kind=PRIM_TRI)
+                ray_trace.note_fetch(addr, FETCH_LEAF)
+                ox, oy, oz = o2[0], o2[1], o2[2]
+                dx, dy, dz = d2[0], d2[1], d2[2]
+                v0l, e1l, e2l = tables.v0, tables.e1, tables.e2
+                for i in range(start_p, end):
+                    e2t = e2l[i]
+                    pvx = dy * e2t[2] - dz * e2t[1]
+                    pvy = dz * e2t[0] - dx * e2t[2]
+                    pvz = dx * e2t[1] - dy * e2t[0]
+                    e1t = e1l[i]
+                    det = e1t[0] * pvx + e1t[1] * pvy + e1t[2] * pvz
+                    if det > -1e-12:
+                        continue
+                    inv_det = 1.0 / det
+                    v0t = v0l[i]
+                    tvx = ox - v0t[0]
+                    tvy = oy - v0t[1]
+                    tvz = oz - v0t[2]
+                    u = (tvx * pvx + tvy * pvy + tvz * pvz) * inv_det
+                    if u < 0.0 or u > 1.0:
+                        continue
+                    qvx = tvy * e1t[2] - tvz * e1t[1]
+                    qvy = tvz * e1t[0] - tvx * e1t[2]
+                    qvz = tvx * e1t[1] - tvy * e1t[0]
+                    v = (dx * qvx + dy * qvy + dz * qvz) * inv_det
+                    if v < 0.0 or u + v > 1.0:
+                        continue
+                    t = (e2t[0] * qvx + e2t[1] * qvy + e2t[2] * qvz) * inv_det
+                    if t > 0.0 and (best is None or t < best):
+                        best = t
+                continue
+
+            t0 = (bbvh.child_lo[ref] - o2) * inv_d2
+            t1 = (bbvh.child_hi[ref] - o2) * inv_d2
+            t_near = np.minimum(t0, t1).max(axis=1).tolist()
+            t_far = np.maximum(t0, t1).min(axis=1).tolist()
+            kinds = tables.child_kind[ref]
+            refs = tables.child_ref[ref]
+            occupied = 0
+            visit: list[tuple[float, int, int]] = []
+            for slot in range(len(kinds)):
+                ckind = kinds[slot]
+                if ckind == 0:
+                    break
+                occupied += 1
+                tn = t_near[slot]
+                tf = t_far[slot]
+                if tn > tf or tf < state.t_min or tf < 0.0 or tn > state.t_clip:
+                    continue
+                if tn > state.t_max:
+                    ckpt_kind = CKPT_BLAS_NODE if ckind == KIND_INTERNAL else CKPT_BLAS_LEAF
+                    state.checkpoint(ckpt_kind, refs[slot], gid, inst_addr, tn)
+                    continue
+                visit.append((tn, ckind, refs[slot]))
+            addr = tables.node_addr[ref]
+            rt.fetch(addr, tables.node_bytes, FETCH_INTERNAL, box_tests=occupied)
+            ray_trace.note_fetch(addr, FETCH_INTERNAL)
+            if visit:
+                visit.sort(key=lambda item: -item[0])
+                for tn, ckind, cref in visit:
+                    stack.append((ckind, cref, tn))
+        return best
+
+    # ------------------------------------------------------------------
+    # Canonical any-hit shader
+    # ------------------------------------------------------------------
+
+    def _anyhit(self, gid: int, state: _RoundState,
+                t_depth: float | None = None) -> tuple[int, float]:
+        """Canonical any-hit evaluation + Listing 1 k-buffer update.
+
+        ``t_depth`` is the proxy hit distance reported by the traversal
+        (the entering triangle's t). Exact-primitive paths (unit sphere,
+        custom ellipsoid) pass ``None`` and use the exact ellipsoid entry
+        distance. The depth is what the k-buffer sorts by and what the
+        interval (t_min, t_max] validates — matching 3DGRT, where the
+        reported hit t of the bounding primitive drives the k-buffer.
+
+        Returns ``(code, t)``: ``_HIT_ACCEPTED`` (inserted or reported),
+        ``_HIT_REJECTED`` (false positive / negligible alpha / already
+        handled), or ``_HIT_BEYOND`` (fails the ``t_max`` validation — the
+        caller checkpoints the enclosing node so the hit is recoverable
+        next round).
+        """
+        result = self.shading.evaluate_hit(gid, self._o, self._d)
+        if result is None:
+            state.round_trace.false_positives += 1
+            return _HIT_REJECTED, 0.0
+        t_exact, alpha = result
+        t_hit = t_exact if t_depth is None else t_depth
+
+        if t_hit > state.t_clip:
+            return _HIT_REJECTED, t_hit
+
+        if state.collect_all:
+            if t_hit > state.t_min and gid not in state.hits_seen:
+                state.hits_seen.add(gid)
+                state.round_trace.anyhit_calls += 1
+                state.hits.append(KBufferEntry(t_hit, gid, alpha))
+            return _HIT_ACCEPTED, t_hit
+
+        if t_hit <= state.t_min:
+            return _HIT_REJECTED, t_hit
+        if t_hit > state.t_max:
+            return _HIT_BEYOND, t_hit
+        kbuffer = state.kbuffer
+        if gid in kbuffer:
+            return _HIT_REJECTED, t_hit
+        state.round_trace.anyhit_calls += 1
+        rejected = kbuffer.insert(KBufferEntry(t_hit, gid, alpha))
+        if rejected is not None:
+            if self.config.checkpointing:
+                state.evict_out.push(rejected)
+            if rejected.gaussian_id == gid:
+                # The new hit itself was beyond the k closest: report it so
+                # the RT unit shrinks t_max (Listing 1, lines 18-20).
+                state.t_max = t_hit
+        return _HIT_ACCEPTED, t_hit
+
+
+class _BlasTables:
+    """Precomputed fast-path tables for the shared icosphere BLAS."""
+
+    __slots__ = (
+        "bvh", "child_kind", "child_ref", "node_addr", "leaf_addr",
+        "leaf_bytes", "leaf_start", "leaf_count", "node_bytes",
+        "v0", "e1", "e2", "root_lo", "root_hi",
+    )
+
+    def __init__(self, bbvh, blas) -> None:
+        self.bvh = bbvh
+        self.child_kind = bbvh.child_kind.tolist()
+        self.child_ref = bbvh.child_ref.tolist()
+        self.node_addr = bbvh.node_addr.tolist()
+        self.leaf_addr = bbvh.leaf_addr.tolist()
+        self.leaf_bytes = bbvh.leaf_bytes.tolist()
+        self.leaf_start = bbvh.leaf_start.tolist()
+        self.leaf_count = bbvh.leaf_count.tolist()
+        self.node_bytes = internal_node_bytes(bbvh.width)
+        order = bbvh.prim_order
+        self.v0 = blas.tri_v0[order].tolist()
+        self.e1 = (blas.tri_v1[order] - blas.tri_v0[order]).tolist()
+        self.e2 = (blas.tri_v2[order] - blas.tri_v0[order]).tolist()
+        self.root_lo, self.root_hi = bbvh.root_box()

@@ -1,0 +1,58 @@
+"""Shared fixtures: tiny scenes and structures sized for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bvh import build_monolithic, build_two_level
+from repro.gaussians import GaussianCloud, make_workload
+
+#: Tests run at a much smaller scale than benchmarks.
+TEST_SCALE = 1.0 / 2000.0
+
+
+def tiny_cloud(n: int = 64, seed: int = 0, kappa: float = 3.0) -> GaussianCloud:
+    """A small random cloud for unit tests (not one of the workloads)."""
+    rng = np.random.default_rng(seed)
+    from repro.math3d import quat_random
+
+    return GaussianCloud(
+        means=rng.uniform(-4.0, 4.0, size=(n, 3)),
+        scales=np.exp(rng.uniform(np.log(0.05), np.log(0.6), size=(n, 3))),
+        rotations=quat_random(n, rng),
+        opacities=np.clip(rng.beta(1.5, 6.0, size=n), 0.02, 1.0),
+        sh=rng.normal(0.0, 0.2, size=(n, 4, 3)),
+        kappa=kappa,
+        name="tiny",
+    )
+
+
+@pytest.fixture(scope="session")
+def small_cloud() -> GaussianCloud:
+    return tiny_cloud(n=96, seed=3)
+
+
+@pytest.fixture(scope="session")
+def workload_cloud() -> GaussianCloud:
+    return make_workload("room", scale=TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def mono_20tri(small_cloud):
+    return build_monolithic(small_cloud, "20-tri")
+
+
+@pytest.fixture(scope="session")
+def mono_custom(small_cloud):
+    return build_monolithic(small_cloud, "custom")
+
+
+@pytest.fixture(scope="session")
+def tlas_sphere(small_cloud):
+    return build_two_level(small_cloud, "sphere")
+
+
+@pytest.fixture(scope="session")
+def tlas_icosphere(small_cloud):
+    return build_two_level(small_cloud, "icosphere", 0)

@@ -1,0 +1,259 @@
+"""Tests for BVH construction: builder invariants, both structure
+families, byte-size accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bvh import (
+    BuildParams,
+    build_bvh,
+    build_monolithic,
+    build_two_level,
+    internal_node_bytes,
+    structure_stats,
+)
+from repro.bvh.layout import (
+    CACHE_LINE_BYTES,
+    CUSTOM_PRIM_BYTES,
+    INSTANCE_BYTES,
+    LEAF_HEADER_BYTES,
+    TRIANGLE_BYTES,
+    leaf_node_bytes,
+)
+from repro.bvh.node import KIND_EMPTY, KIND_INTERNAL, KIND_LEAF
+from repro.gaussians import world_aabbs
+
+from tests.conftest import tiny_cloud
+
+
+def _random_boxes(n: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(-10, 10, size=(n, 3))
+    hi = lo + rng.uniform(0.01, 1.0, size=(n, 3))
+    return lo, hi
+
+
+class TestBuilder:
+    def test_validate_invariants(self):
+        lo, hi = _random_boxes(500)
+        bvh = build_bvh(lo, hi, TRIANGLE_BYTES)
+        bvh.validate()
+
+    def test_validate_median_strategy(self):
+        lo, hi = _random_boxes(300, seed=1)
+        bvh = build_bvh(lo, hi, TRIANGLE_BYTES, BuildParams(strategy="median"))
+        bvh.validate()
+
+    @given(st.integers(1, 200), st.sampled_from([2, 4, 6, 8]), st.sampled_from([1, 4]))
+    @settings(max_examples=25, deadline=None)
+    def test_all_prims_reachable_any_config(self, n, width, leaf_size):
+        lo, hi = _random_boxes(n, seed=n)
+        bvh = build_bvh(lo, hi, TRIANGLE_BYTES, BuildParams(width=width, leaf_size=leaf_size))
+        bvh.validate()
+        assert bvh.n_prims == n
+
+    def test_width_respected(self):
+        lo, hi = _random_boxes(400)
+        for width in (2, 4, 6):
+            bvh = build_bvh(lo, hi, TRIANGLE_BYTES, BuildParams(width=width))
+            occupied = (bvh.child_kind != KIND_EMPTY).sum(axis=1)
+            assert occupied.max() <= width
+
+    def test_leaf_size_respected(self):
+        lo, hi = _random_boxes(400)
+        bvh = build_bvh(lo, hi, TRIANGLE_BYTES, BuildParams(leaf_size=4))
+        assert bvh.leaf_count.max() <= 4
+
+    def test_root_box_covers_all(self):
+        lo, hi = _random_boxes(256, seed=2)
+        bvh = build_bvh(lo, hi, TRIANGLE_BYTES)
+        root_lo, root_hi = bvh.root_box()
+        assert np.all(root_lo <= lo.min(axis=0) + 1e-12)
+        assert np.all(root_hi >= hi.max(axis=0) - 1e-12)
+
+    def test_single_primitive(self):
+        lo, hi = _random_boxes(1)
+        bvh = build_bvh(lo, hi, TRIANGLE_BYTES)
+        bvh.validate()
+        assert bvh.n_leaves == 1
+        assert bvh.height >= 1
+
+    def test_identical_centroids(self):
+        """All primitives at the same point must still build a valid tree
+        (the even-split fallback)."""
+        lo = np.zeros((64, 3))
+        hi = np.ones((64, 3))
+        bvh = build_bvh(lo, hi, TRIANGLE_BYTES, BuildParams(leaf_size=2))
+        bvh.validate()
+        assert bvh.n_prims == 64
+
+    def test_zero_prims_rejected(self):
+        with pytest.raises(ValueError):
+            build_bvh(np.zeros((0, 3)), np.zeros((0, 3)), TRIANGLE_BYTES)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            BuildParams(width=1)
+        with pytest.raises(ValueError):
+            BuildParams(leaf_size=0)
+        with pytest.raises(ValueError):
+            BuildParams(strategy="bogus")
+
+    def test_sah_beats_or_matches_median_on_clustered_input(self):
+        """SAH should produce a tree whose total child surface area is no
+        worse than the median split on strongly clustered input."""
+        rng = np.random.default_rng(3)
+        cluster_a = rng.normal(0.0, 0.1, size=(200, 3))
+        cluster_b = rng.normal(8.0, 0.1, size=(200, 3))
+        centers = np.concatenate([cluster_a, cluster_b])
+        lo = centers - 0.05
+        hi = centers + 0.05
+
+        def tree_area(bvh):
+            ext = np.maximum(bvh.child_hi - bvh.child_lo, 0.0)
+            areas = ext[..., 0] * ext[..., 1] + ext[..., 1] * ext[..., 2] + ext[..., 2] * ext[..., 0]
+            occupied = bvh.child_kind != KIND_EMPTY
+            return float(areas[occupied].sum())
+
+        sah = build_bvh(lo, hi, TRIANGLE_BYTES, BuildParams(strategy="sah"))
+        median = build_bvh(lo, hi, TRIANGLE_BYTES, BuildParams(strategy="median"))
+        assert tree_area(sah) <= tree_area(median) * 1.05
+
+    def test_node_addresses_disjoint(self):
+        lo, hi = _random_boxes(200, seed=4)
+        bvh = build_bvh(lo, hi, TRIANGLE_BYTES)
+        nb = internal_node_bytes(bvh.width)
+        spans = [(int(a), int(a) + nb) for a in bvh.node_addr]
+        spans += [(int(a), int(a) + int(s)) for a, s in zip(bvh.leaf_addr, bvh.leaf_bytes)]
+        spans.sort()
+        for (s0, e0), (s1, _e1) in zip(spans, spans[1:]):
+            assert e0 <= s1, "overlapping byte ranges"
+
+    def test_rebase_shifts_addresses(self):
+        lo, hi = _random_boxes(50, seed=5)
+        bvh = build_bvh(lo, hi, TRIANGLE_BYTES)
+        before = bvh.node_addr.copy()
+        bvh.rebase(4096)
+        np.testing.assert_array_equal(bvh.node_addr, before + 4096)
+        assert bvh.base_address == 4096
+
+
+class TestLayout:
+    def test_internal_node_bytes(self):
+        assert internal_node_bytes(6) == 16 + 6 * 32
+        with pytest.raises(ValueError):
+            internal_node_bytes(1)
+
+    def test_leaf_node_bytes(self):
+        assert leaf_node_bytes(4, TRIANGLE_BYTES) == LEAF_HEADER_BYTES + 4 * 48
+        with pytest.raises(ValueError):
+            leaf_node_bytes(-1, TRIANGLE_BYTES)
+
+    def test_cache_line(self):
+        assert CACHE_LINE_BYTES == 128
+
+
+class TestMonolithic:
+    def test_triangle_counts(self, small_cloud, mono_20tri):
+        assert mono_20tri.bvh.n_prims == 20 * len(small_cloud)
+        mono80 = build_monolithic(small_cloud, "80-tri")
+        assert mono80.bvh.n_prims == 80 * len(small_cloud)
+
+    def test_custom_one_prim_per_gaussian(self, small_cloud, mono_custom):
+        assert mono_custom.bvh.n_prims == len(small_cloud)
+
+    def test_size_ordering(self, small_cloud, mono_20tri, mono_custom):
+        """Fig 5b: triangle-proxy BVHs dwarf custom-primitive BVHs."""
+        mono80 = build_monolithic(small_cloud, "80-tri")
+        assert mono80.total_bytes > mono_20tri.total_bytes > mono_custom.total_bytes
+
+    def test_unknown_proxy(self, small_cloud):
+        with pytest.raises(ValueError):
+            build_monolithic(small_cloud, "12-tri")
+
+    def test_proxy_triangles_bound_gaussians(self, small_cloud, mono_20tri):
+        """Every Gaussian's world AABB must be inside the union box of
+        its proxy triangles."""
+        lo, hi = world_aabbs(small_cloud)
+        for gid in range(0, len(small_cloud), 7):
+            mask = mono_20tri.tri_gaussian == gid
+            tri_lo = np.minimum(
+                np.minimum(mono_20tri.tri_v0[mask], mono_20tri.tri_v1[mask]),
+                mono_20tri.tri_v2[mask],
+            ).min(axis=0)
+            tri_hi = np.maximum(
+                np.maximum(mono_20tri.tri_v0[mask], mono_20tri.tri_v1[mask]),
+                mono_20tri.tri_v2[mask],
+            ).max(axis=0)
+            assert np.all(tri_lo <= lo[gid] + 1e-9)
+            assert np.all(tri_hi >= hi[gid] - 1e-9)
+
+    def test_validate(self, mono_20tri, mono_custom):
+        mono_20tri.bvh.validate()
+        mono_custom.bvh.validate()
+
+
+class TestTwoLevel:
+    def test_tlas_one_instance_per_gaussian(self, small_cloud, tlas_sphere):
+        assert tlas_sphere.tlas.n_prims == len(small_cloud)
+
+    def test_shared_blas_is_tiny(self, tlas_sphere, tlas_icosphere):
+        """The headline GRTX-SW property: the BLAS is shared and a few
+        hundred bytes, not gigabytes."""
+        assert tlas_sphere.blas.total_bytes < 256
+        assert tlas_icosphere.blas.total_bytes < 8 * 1024
+
+    def test_two_level_much_smaller_than_monolithic(self, mono_20tri, tlas_icosphere):
+        assert tlas_icosphere.total_bytes < mono_20tri.total_bytes / 3
+
+    def test_blas_region_disjoint_from_tlas(self, tlas_icosphere):
+        tlas_end = tlas_icosphere.tlas.total_bytes
+        assert tlas_icosphere.blas.base_address >= tlas_end
+        assert int(tlas_icosphere.blas.bvh.node_addr.min()) >= tlas_end
+
+    def test_proxy_names(self, tlas_sphere, tlas_icosphere, small_cloud):
+        assert tlas_sphere.proxy == "tlas+sphere"
+        assert tlas_icosphere.proxy == "tlas+20-tri"
+        tlas80 = build_two_level(small_cloud, "icosphere", 1)
+        assert tlas80.proxy == "tlas+80-tri"
+
+    def test_instance_addresses_inside_leaves(self, tlas_sphere):
+        tlas = tlas_sphere.tlas
+        for leaf in range(tlas.n_leaves):
+            count = int(tlas.leaf_count[leaf])
+            for slot in range(count):
+                addr = tlas_sphere.instance_address(leaf, slot)
+                leaf_lo = int(tlas.leaf_addr[leaf])
+                leaf_hi = leaf_lo + int(tlas.leaf_bytes[leaf])
+                assert leaf_lo + LEAF_HEADER_BYTES <= addr
+                assert addr + INSTANCE_BYTES <= leaf_hi
+
+    def test_unknown_blas_kind(self, small_cloud):
+        with pytest.raises(ValueError):
+            build_two_level(small_cloud, "torus")
+
+    def test_height_includes_blas(self, tlas_sphere, tlas_icosphere):
+        assert tlas_icosphere.height > tlas_icosphere.tlas.height
+        assert tlas_sphere.height == tlas_sphere.tlas.height + 1
+
+
+class TestStats:
+    def test_monolithic_stats(self, small_cloud, mono_20tri):
+        stats = structure_stats(mono_20tri)
+        assert stats.proxy == "20-tri"
+        assert stats.n_primitives == 20 * len(small_cloud)
+        assert stats.total_bytes == mono_20tri.total_bytes
+        assert stats.total_mb == pytest.approx(stats.total_bytes / 2 ** 20)
+
+    def test_two_level_stats(self, small_cloud, tlas_icosphere):
+        stats = structure_stats(tlas_icosphere)
+        assert stats.proxy == "tlas+20-tri"
+        assert stats.n_primitives == len(small_cloud) + 20
+
+    def test_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            structure_stats(object())

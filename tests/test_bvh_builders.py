@@ -1,0 +1,239 @@
+"""Tests for Morton codes, the LBVH strategy, refit, and quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.bvh import (
+    BuildParams,
+    build_bvh,
+    build_two_level,
+    measure_drift,
+    morton_codes,
+    radix_split,
+    refit_bvh,
+    sah_cost,
+    tree_quality,
+)
+from repro.bvh.morton import MORTON_BITS, common_prefix_length, expand_bits
+from repro.bvh.quality import leaf_size_histogram, mean_sibling_overlap
+from repro.gaussians import make_workload
+
+
+def _random_boxes(n, seed=0, extent=10.0):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-extent, extent, (n, 3))
+    half = rng.uniform(0.01, 0.4, (n, 1))
+    return centers - half, centers + half
+
+
+class TestMortonCodes:
+    def test_expand_bits_interleaves(self):
+        # 0b1111111111 expanded: every third bit set over 28 bits.
+        out = int(expand_bits(np.array([0x3FF], dtype=np.uint64))[0])
+        assert out == 0x09249249
+
+    def test_codes_fit_in_30_bits(self):
+        lo, hi = _random_boxes(500)
+        codes = morton_codes(0.5 * (lo + hi))
+        assert int(codes.max()) < (1 << (3 * MORTON_BITS))
+
+    def test_corner_points_map_to_extremes(self):
+        pts = np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]])
+        codes = morton_codes(pts, lo=np.zeros(3), hi=np.ones(3))
+        assert int(codes[0]) == 0
+        assert int(codes[1]) == (1 << (3 * MORTON_BITS)) - 1
+
+    def test_spatial_locality(self):
+        # Points close in space get closer codes than distant points.
+        pts = np.array([[0.1, 0.1, 0.1], [0.11, 0.1, 0.1], [0.9, 0.9, 0.9]])
+        codes = morton_codes(pts, lo=np.zeros(3), hi=np.ones(3))
+        assert abs(int(codes[0]) - int(codes[1])) < abs(int(codes[0]) - int(codes[2]))
+
+    def test_degenerate_axis_is_tolerated(self):
+        pts = np.array([[0.0, 5.0, 1.0], [1.0, 5.0, 0.0]])  # y extent zero
+        codes = morton_codes(pts)
+        assert codes.shape == (2,)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            morton_codes(np.zeros((4, 2)))
+
+    @given(hnp.arrays(np.float64, (20, 3),
+                      elements=st.floats(-100, 100, allow_nan=False)))
+    @settings(max_examples=30, deadline=None)
+    def test_codes_deterministic(self, pts):
+        a = morton_codes(pts)
+        b = morton_codes(pts)
+        assert np.array_equal(a, b)
+
+
+class TestRadixSplit:
+    def test_splits_at_highest_differing_bit(self):
+        codes = np.array([0b000, 0b001, 0b100, 0b101], dtype=np.uint64)
+        assert radix_split(codes, 0, 4) == 2
+
+    def test_identical_codes_return_none(self):
+        codes = np.array([7, 7, 7], dtype=np.uint64)
+        assert radix_split(codes, 0, 3) is None
+
+    def test_split_never_degenerate(self):
+        rng = np.random.default_rng(3)
+        codes = np.sort(rng.integers(0, 1 << 30, 200).astype(np.uint64))
+        pos = radix_split(codes, 0, len(codes))
+        assert 0 < pos < len(codes)
+
+    def test_subrange_split(self):
+        codes = np.array([1, 2, 3, 8, 9, 10], dtype=np.uint64)
+        pos = radix_split(codes, 1, 5)  # codes 2,3,8,9 -> split before 8
+        assert pos == 3
+
+    def test_common_prefix_length(self):
+        assert common_prefix_length(0, 0) == 30
+        assert common_prefix_length(0b100, 0b101, bits=3) == 2
+        assert common_prefix_length(0b100, 0b000, bits=3) == 0
+
+
+class TestLbvhStrategy:
+    def test_lbvh_tree_is_valid(self):
+        lo, hi = _random_boxes(3000, seed=1)
+        bvh = build_bvh(lo, hi, 48, BuildParams(strategy="lbvh"))
+        bvh.validate()
+
+    def test_lbvh_order_is_morton_sorted(self):
+        lo, hi = _random_boxes(300, seed=2)
+        bvh = build_bvh(lo, hi, 48, BuildParams(strategy="lbvh"))
+        codes = morton_codes(0.5 * (lo + hi))
+        sorted_codes = codes[bvh.prim_order]
+        assert np.all(np.diff(sorted_codes.astype(np.int64)) >= 0)
+
+    def test_sah_beats_lbvh_beats_nothing(self):
+        # On clustered scenes SAH should produce a cheaper tree than LBVH.
+        cloud = make_workload("bonsai", scale=1 / 1000)
+        from repro.gaussians import world_aabbs
+
+        lo, hi = world_aabbs(cloud)
+        sah = build_bvh(lo, hi, 48, BuildParams(strategy="sah"))
+        lbvh = build_bvh(lo, hi, 48, BuildParams(strategy="lbvh"))
+        assert sah_cost(sah) <= sah_cost(lbvh) * 1.1
+
+    def test_all_strategies_render_identically(self):
+        cloud = make_workload("room", scale=1 / 1500)
+        from repro.render import GaussianRayTracer, default_camera_for
+        from repro.rt import TraceConfig
+
+        camera = default_camera_for(cloud, 6, 6)
+        images = []
+        for strategy in ("sah", "median", "lbvh"):
+            structure = build_two_level(
+                cloud, "sphere", params=BuildParams(strategy=strategy)
+            )
+            result = GaussianRayTracer(cloud, structure, TraceConfig(k=8)).render(
+                camera, keep_traces=False
+            )
+            images.append(result.image)
+        assert np.allclose(images[0], images[1], atol=1e-9)
+        assert np.allclose(images[0], images[2], atol=1e-9)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            BuildParams(strategy="hlbvh")
+
+
+class TestRefit:
+    def test_refit_preserves_validity(self):
+        lo, hi = _random_boxes(1000, seed=4)
+        bvh = build_bvh(lo, hi, 48, BuildParams())
+        rng = np.random.default_rng(5)
+        shift = rng.normal(0, 0.3, lo.shape)
+        refit_bvh(bvh, lo + shift, hi + shift)
+        bvh.validate()
+
+    def test_refit_boxes_contain_primitives(self):
+        lo, hi = _random_boxes(500, seed=6)
+        bvh = build_bvh(lo, hi, 48, BuildParams())
+        lo2, hi2 = _random_boxes(500, seed=7, extent=12.0)
+        refit_bvh(bvh, lo2, hi2)
+        root_lo, root_hi = bvh.root_box()
+        assert np.all(root_lo <= lo2.min(axis=0) + 1e-9)
+        assert np.all(root_hi >= hi2.max(axis=0) - 1e-9)
+
+    def test_refit_identity_is_noop(self):
+        lo, hi = _random_boxes(300, seed=8)
+        bvh = build_bvh(lo, hi, 48, BuildParams())
+        before_lo = bvh.child_lo.copy()
+        refit_bvh(bvh, lo, hi)
+        assert np.allclose(bvh.child_lo, before_lo)
+
+    def test_refit_rejects_wrong_count(self):
+        lo, hi = _random_boxes(100)
+        bvh = build_bvh(lo, hi, 48, BuildParams())
+        with pytest.raises(ValueError):
+            refit_bvh(bvh, lo[:50], hi[:50])
+
+    def test_drift_grows_with_motion(self):
+        lo, hi = _random_boxes(800, seed=9)
+        bvh_small = build_bvh(lo, hi, 48, BuildParams())
+        bvh_large = build_bvh(lo, hi, 48, BuildParams())
+        rng = np.random.default_rng(10)
+        small = rng.normal(0, 0.05, lo.shape)
+        large = rng.normal(0, 2.0, lo.shape)
+        refit_bvh(bvh_small, lo + small, hi + small)
+        refit_bvh(bvh_large, lo + large, hi + large)
+        rebuild_small = build_bvh(lo + small, hi + small, 48, BuildParams())
+        rebuild_large = build_bvh(lo + large, hi + large, 48, BuildParams())
+        drift_small = measure_drift(bvh_small, rebuild_small)
+        drift_large = measure_drift(bvh_large, rebuild_large)
+        assert drift_small.sah_ratio < drift_large.sah_ratio
+        assert not drift_small.should_rebuild
+        assert drift_large.should_rebuild
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_refit_containment_property(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 60))
+        centers = rng.uniform(-3, 3, (n, 3))
+        half = rng.uniform(0.01, 0.5, (n, 1))
+        bvh = build_bvh(centers - half, centers + half, 48, BuildParams(width=4))
+        moved = centers + rng.normal(0, 1.0, centers.shape)
+        refit_bvh(bvh, moved - half, moved + half)
+        bvh.validate()  # parent-contains-child is part of validate()
+
+
+class TestQualityMetrics:
+    def test_sah_cost_positive(self):
+        lo, hi = _random_boxes(200)
+        bvh = build_bvh(lo, hi, 48, BuildParams())
+        assert sah_cost(bvh) > 0.0
+
+    def test_overlap_bounded(self):
+        lo, hi = _random_boxes(400, seed=11)
+        bvh = build_bvh(lo, hi, 48, BuildParams())
+        overlap = mean_sibling_overlap(bvh)
+        assert 0.0 <= overlap <= 1.0 + 1e-9
+
+    def test_disjoint_grid_has_low_overlap(self):
+        # A perfect grid of disjoint boxes: siblings barely overlap.
+        xs = np.arange(8, dtype=np.float64)
+        grid = np.stack(np.meshgrid(xs, xs, xs), axis=-1).reshape(-1, 3)
+        lo = grid
+        hi = grid + 0.4
+        bvh = build_bvh(lo, hi, 48, BuildParams())
+        assert mean_sibling_overlap(bvh) < 0.1
+
+    def test_leaf_histogram_sums_to_leaf_count(self):
+        lo, hi = _random_boxes(333, seed=12)
+        bvh = build_bvh(lo, hi, 48, BuildParams(leaf_size=3))
+        hist = leaf_size_histogram(bvh)
+        assert sum(hist.values()) == bvh.n_leaves
+        assert max(hist) <= 3
+
+    def test_tree_quality_row(self):
+        lo, hi = _random_boxes(100)
+        q = tree_quality(build_bvh(lo, hi, 48, BuildParams()))
+        row = q.as_row()
+        assert set(row) == {"sah_cost", "overlap", "nodes", "leaves", "height", "mean_leaf"}
+        assert q.max_leaf_size >= 1

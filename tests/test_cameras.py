@@ -1,0 +1,198 @@
+"""Tests for the non-pinhole camera models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.render.camera import PinholeCamera
+from repro.render.cameras import (
+    DistortedPinholeCamera,
+    EquirectangularCamera,
+    FisheyeCamera,
+    OrthographicCamera,
+    rasterizer_fisheye_error,
+)
+
+EYE = np.array([0.0, -5.0, 0.0])
+TARGET = np.zeros(3)
+UP = np.array([0.0, 0.0, 1.0])
+
+
+def _forward(camera):
+    r, u, f = camera.basis
+    return f
+
+
+class TestFisheyeCamera:
+    def test_ray_count_matches_resolution(self):
+        cam = FisheyeCamera(EYE, TARGET, UP, 9, 7, fov=np.pi)
+        assert len(cam.generate_rays()) == 63
+        assert cam.n_pixels == 63
+
+    def test_directions_are_unit(self):
+        cam = FisheyeCamera(EYE, TARGET, UP, 8, 8, fov=np.pi)
+        d = cam.generate_rays().directions
+        assert np.allclose(np.linalg.norm(d, axis=1), 1.0)
+
+    def test_center_ray_points_forward(self):
+        cam = FisheyeCamera(EYE, TARGET, UP, 9, 9, fov=np.pi)
+        rays = cam.generate_rays()
+        center = rays.directions[4 * 9 + 4]
+        assert np.allclose(center, _forward(cam), atol=1e-6)
+
+    def test_fov_sets_edge_angle(self):
+        # A pixel at the image-circle edge must sit fov/2 from the axis.
+        fov = np.deg2rad(120)
+        cam = FisheyeCamera(EYE, TARGET, UP, 201, 1, fov=fov)
+        rays = cam.generate_rays()
+        f = _forward(cam)
+        # x of the leftmost pixel center: (0.5/201)*2-1 ~ -0.995
+        edge = rays.directions[0]
+        angle = np.arccos(np.clip(edge @ f, -1, 1))
+        assert angle == pytest.approx(0.995 * fov / 2.0, rel=1e-3)
+
+    def test_valid_mask_is_image_circle(self):
+        cam = FisheyeCamera(EYE, TARGET, UP, 16, 16, fov=np.pi)
+        mask = cam.valid_mask()
+        assert mask.shape == (16, 16)
+        assert mask[8, 8]  # center valid
+        assert not mask[0, 0]  # corner outside the circle
+
+    def test_over_180_degree_fov_supported(self):
+        cam = FisheyeCamera(EYE, TARGET, UP, 64, 64, fov=np.deg2rad(220))
+        rays = cam.generate_rays()
+        f = _forward(cam)
+        cosines = rays.directions @ f
+        assert cosines.min() < 0.0  # some rays point behind the image plane
+
+    def test_rejects_bad_fov(self):
+        with pytest.raises(ValueError):
+            FisheyeCamera(EYE, TARGET, UP, 8, 8, fov=0.0)
+        with pytest.raises(ValueError):
+            FisheyeCamera(EYE, TARGET, UP, 8, 8, fov=7.0)
+
+    def test_rejects_degenerate_pose(self):
+        with pytest.raises(ValueError):
+            FisheyeCamera(EYE, EYE, UP, 8, 8, fov=np.pi)
+
+
+class TestEquirectangularCamera:
+    def test_covers_full_sphere(self):
+        cam = EquirectangularCamera(EYE, TARGET, UP, 64, 32)
+        d = cam.generate_rays().directions
+        # Directions should span all octants of the sphere.
+        for axis in range(3):
+            assert d[:, axis].min() < -0.5
+            assert d[:, axis].max() > 0.5
+
+    def test_center_pixel_faces_forward(self):
+        cam = EquirectangularCamera(EYE, TARGET, UP, 63, 31)
+        rays = cam.generate_rays()
+        center = rays.directions[15 * 63 + 31]
+        assert np.allclose(center, _forward(cam), atol=0.05)
+
+    def test_directions_unit_norm(self):
+        cam = EquirectangularCamera(EYE, TARGET, UP, 16, 8)
+        d = cam.generate_rays().directions
+        assert np.allclose(np.linalg.norm(d, axis=1), 1.0)
+
+
+class TestDistortedPinholeCamera:
+    def test_zero_distortion_matches_pinhole(self):
+        fov = np.deg2rad(60)
+        distorted = DistortedPinholeCamera(EYE, TARGET, UP, 8, 8, fov_y=fov)
+        pinhole = PinholeCamera(EYE, TARGET, UP, 8, 8, fov_y=fov)
+        assert np.allclose(
+            distorted.generate_rays().directions,
+            pinhole.generate_rays().directions,
+            atol=1e-12,
+        )
+
+    def test_barrel_distortion_pulls_edges_inward(self):
+        fov = np.deg2rad(60)
+        base = PinholeCamera(EYE, TARGET, UP, 33, 33, fov_y=fov)
+        barrel = DistortedPinholeCamera(EYE, TARGET, UP, 33, 33, fov_y=fov, k1=-0.3)
+        f = _forward(barrel)
+        edge = 16 * 33  # leftmost pixel of the middle row
+        angle_base = np.arccos(
+            np.clip(base.generate_rays().directions[edge] @ f, -1, 1))
+        angle_barrel = np.arccos(
+            np.clip(barrel.generate_rays().directions[edge] @ f, -1, 1))
+        assert angle_barrel < angle_base
+
+    def test_tangential_distortion_breaks_symmetry(self):
+        cam = DistortedPinholeCamera(EYE, TARGET, UP, 9, 9,
+                                     fov_y=np.deg2rad(60), p1=0.05)
+        d = cam.generate_rays().directions.reshape(9, 9, 3)
+        assert not np.allclose(d[0, 4], d[8, 4] * np.array([1, 1, 1]))
+
+    def test_distort_is_identity_without_coefficients(self):
+        cam = DistortedPinholeCamera(EYE, TARGET, UP, 4, 4)
+        x = np.linspace(-1, 1, 5)
+        y = np.linspace(-1, 1, 5)
+        xd, yd = cam.distort(x, y)
+        assert np.allclose(xd, x)
+        assert np.allclose(yd, y)
+
+
+class TestOrthographicCamera:
+    def test_all_directions_parallel(self):
+        cam = OrthographicCamera(EYE, TARGET, UP, 8, 8, half_extent=2.0)
+        d = cam.generate_rays().directions
+        assert np.allclose(d, d[0])
+
+    def test_origins_span_extent(self):
+        cam = OrthographicCamera(EYE, TARGET, UP, 64, 64, half_extent=3.0)
+        o = cam.generate_rays().origins
+        right, up, _ = cam.basis
+        spans = (o - EYE) @ up
+        assert spans.max() == pytest.approx(3.0, rel=0.05)
+        assert spans.min() == pytest.approx(-3.0, rel=0.05)
+
+    def test_rejects_nonpositive_extent(self):
+        with pytest.raises(ValueError):
+            OrthographicCamera(EYE, TARGET, UP, 8, 8, half_extent=0.0)
+
+
+class TestLookAtProtocol:
+    @pytest.mark.parametrize("ctor", [
+        lambda: FisheyeCamera(EYE, TARGET, UP, 6, 4, fov=np.pi),
+        lambda: EquirectangularCamera(EYE, TARGET, UP, 6, 4),
+        lambda: DistortedPinholeCamera(EYE, TARGET, UP, 6, 4),
+        lambda: OrthographicCamera(EYE, TARGET, UP, 6, 4),
+    ])
+    def test_renderer_camera_protocol(self, ctor):
+        cam = ctor()
+        assert cam.width == 6 and cam.height == 4
+        assert cam.n_pixels == 24
+        assert len(cam.generate_rays()) == 24
+
+    def test_with_resolution_preserves_pose(self):
+        cam = FisheyeCamera(EYE, TARGET, UP, 6, 4, fov=np.pi)
+        bigger = cam.with_resolution(12, 8)
+        assert bigger.width == 12 and bigger.height == 8
+        assert np.allclose(bigger.position, cam.position)
+        assert bigger.fov == cam.fov
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            EquirectangularCamera(EYE, TARGET, UP, 0, 4)
+
+
+class TestFisheyeApproximationError:
+    def test_error_grows_with_fov(self):
+        errors = [rasterizer_fisheye_error(np.deg2rad(d)) for d in (60, 120, 170)]
+        assert errors[0] < errors[1] < errors[2]
+
+    def test_small_fov_is_nearly_exact(self):
+        assert rasterizer_fisheye_error(np.deg2rad(20)) < 1e-3
+
+    def test_rejects_bad_fov(self):
+        with pytest.raises(ValueError):
+            rasterizer_fisheye_error(0.0)
+
+    @given(st.floats(min_value=0.2, max_value=3.0))
+    @settings(max_examples=25, deadline=None)
+    def test_error_is_nonnegative(self, fov):
+        assert rasterizer_fisheye_error(fov) >= 0.0

@@ -1,0 +1,139 @@
+"""Tests for the CLI and the text-mode plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.eval.plotting import bar_chart, chart_for_result, grouped_bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_longest_bar_belongs_to_max(self):
+        chart = bar_chart(["a", "bb", "ccc"], [1.0, 3.0, 2.0])
+        lines = chart.splitlines()
+        bar_lengths = [line.count("█") for line in lines]
+        assert bar_lengths[1] == max(bar_lengths)
+
+    def test_values_appear_in_output(self):
+        chart = bar_chart(["x"], [42.0], unit="ms")
+        assert "42" in chart and "ms" in chart
+
+    def test_title_included(self):
+        assert bar_chart(["a"], [1.0], title="Figure 99").startswith("Figure 99")
+
+    def test_empty_input(self):
+        assert bar_chart([], [], title="nothing") == "nothing"
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_zero_values_render(self):
+        chart = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "a" in chart
+
+
+class TestGroupedBarChart:
+    def test_all_series_rendered_per_group(self):
+        chart = grouped_bar_chart(
+            ["train", "truck"],
+            {"Baseline": [2.0, 3.0], "GRTX": [1.0, 1.5]},
+        )
+        assert chart.count("Baseline") == 2
+        assert chart.count("GRTX") == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a"], {"s": [1.0, 2.0]})
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        chart = line_chart([1, 2, 4, 8], {"time": [4.0, 2.5, 2.0, 2.6]})
+        assert "o time" in chart
+        body = "\n".join(chart.splitlines()[1:-2])  # grid rows only
+        assert body.count("o") >= 4  # every point plotted
+
+    def test_multiple_series_distinct_markers(self):
+        chart = line_chart([1, 2], {"a": [1.0, 2.0], "b": [2.0, 1.0]})
+        assert "o a" in chart and "x b" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = line_chart([1, 2, 3], {"flat": [5.0, 5.0, 5.0]})
+        assert "flat" in chart
+
+    def test_empty_input(self):
+        assert line_chart([], {}, title="t") == "t"
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"s": [1.0]})
+
+
+class TestChartForResult:
+    def test_extracts_labels_and_values(self):
+        class FakeResult:
+            exp_id = "fig99"
+            columns = ["scene", "speedup"]
+            rows = [["train", 2.0], ["truck", 3.0]]
+
+        chart = chart_for_result(FakeResult())
+        assert "fig99" in chart
+        assert "train" in chart and "truck" in chart
+
+    def test_non_numeric_cells_become_zero(self):
+        class FakeResult:
+            exp_id = "figX"
+            columns = ["scene", "val"]
+            rows = [["a", "n/a"], ["b", 1.0]]
+
+        chart = chart_for_result(FakeResult())
+        assert "a" in chart
+
+
+class TestCli:
+    def test_workloads_lists_scenes(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for scene in ("train", "truck", "bonsai", "room", "drjohnson", "playroom"):
+            assert scene in out
+
+    def test_render_writes_ppm(self, tmp_path, capsys):
+        out_path = tmp_path / "r.ppm"
+        code = main([
+            "render", "room", "--size", "6", "--scale", "0.000666",
+            "--out", str(out_path),
+        ])
+        assert code == 0
+        data = out_path.read_bytes()
+        assert data.startswith(b"P6\n6 6\n255\n")
+        assert "node fetches" in capsys.readouterr().out
+
+    def test_render_fisheye_camera(self, tmp_path):
+        out_path = tmp_path / "f.ppm"
+        code = main([
+            "render", "room", "--size", "6", "--scale", "0.000666",
+            "--camera", "fisheye", "--out", str(out_path),
+        ])
+        assert code == 0
+        assert out_path.exists()
+
+    def test_experiment_list(self, capsys):
+        assert main(["experiment", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out
+        assert "table2" in out
+
+    def test_experiment_unknown_id(self, capsys):
+        assert main(["experiment", "no-such-figure"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_structures_compares_proxies(self, capsys):
+        assert main(["structures", "room", "--scale", "0.000666"]) == 0
+        out = capsys.readouterr().out
+        assert "tlas+sphere" in out
+        assert "20-tri" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

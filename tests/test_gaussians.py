@@ -1,0 +1,315 @@
+"""Tests for the Gaussian scene representation and response math."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gaussians import (
+    GaussianCloud,
+    WORKLOAD_SPECS,
+    build_covariance,
+    build_inverse_covariance,
+    canonical_transforms,
+    eval_sh,
+    gaussian_alpha_along_ray,
+    gaussian_response,
+    make_workload,
+    num_sh_coeffs,
+    t_alpha,
+    world_aabbs,
+)
+from repro.gaussians.sh import sh_basis
+from repro.gaussians.synthetic import WORKLOAD_ORDER, size_boost
+from repro.math3d import quat_random, quat_to_rotation_matrix
+
+from tests.conftest import tiny_cloud
+
+
+class TestGaussianCloud:
+    def test_roundtrip_save_load(self, tmp_path):
+        cloud = tiny_cloud(16)
+        path = tmp_path / "scene.npz"
+        cloud.save(path)
+        loaded = GaussianCloud.load(path)
+        np.testing.assert_array_equal(loaded.means, cloud.means)
+        np.testing.assert_array_equal(loaded.sh, cloud.sh)
+        assert loaded.kappa == cloud.kappa
+        assert loaded.name == cloud.name
+
+    def test_rotations_normalized_on_construction(self):
+        cloud = tiny_cloud(8)
+        cloud2 = GaussianCloud(
+            means=cloud.means, scales=cloud.scales,
+            rotations=cloud.rotations * 3.0,
+            opacities=cloud.opacities, sh=cloud.sh,
+        )
+        np.testing.assert_allclose(np.linalg.norm(cloud2.rotations, axis=1), 1.0)
+
+    def test_sh_degree(self):
+        cloud = tiny_cloud(4)
+        assert cloud.sh.shape[1] == 4
+        assert cloud.sh_degree == 1
+
+    def test_rejects_bad_shapes(self):
+        cloud = tiny_cloud(4)
+        with pytest.raises(ValueError):
+            GaussianCloud(means=cloud.means[:, :2], scales=cloud.scales,
+                          rotations=cloud.rotations, opacities=cloud.opacities,
+                          sh=cloud.sh)
+
+    def test_rejects_nonpositive_scales(self):
+        cloud = tiny_cloud(4)
+        bad = cloud.scales.copy()
+        bad[0, 0] = 0.0
+        with pytest.raises(ValueError):
+            GaussianCloud(means=cloud.means, scales=bad, rotations=cloud.rotations,
+                          opacities=cloud.opacities, sh=cloud.sh)
+
+    def test_rejects_bad_opacity(self):
+        cloud = tiny_cloud(4)
+        bad = cloud.opacities.copy()
+        bad[1] = 1.5
+        with pytest.raises(ValueError):
+            GaussianCloud(means=cloud.means, scales=cloud.scales,
+                          rotations=cloud.rotations, opacities=bad, sh=cloud.sh)
+
+    def test_subset(self):
+        cloud = tiny_cloud(10)
+        sub = cloud.subset(np.array([1, 3, 5]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.means[1], cloud.means[3])
+
+    def test_concatenate(self):
+        a, b = tiny_cloud(5, seed=1), tiny_cloud(7, seed=2)
+        merged = a.concatenate(b)
+        assert len(merged) == 12
+        np.testing.assert_array_equal(merged.means[5:], b.means)
+
+    def test_concatenate_rejects_kappa_mismatch(self):
+        a = tiny_cloud(4, kappa=3.0)
+        b = tiny_cloud(4, kappa=2.0)
+        with pytest.raises(ValueError):
+            a.concatenate(b)
+
+
+class TestCovariance:
+    def test_covariance_spd(self):
+        cloud = tiny_cloud(32)
+        cov = build_covariance(cloud)
+        eig = np.linalg.eigvalsh(cov)
+        assert np.all(eig > 0.0)
+        np.testing.assert_allclose(cov, np.swapaxes(cov, -1, -2), atol=1e-12)
+
+    def test_inverse_covariance_is_inverse(self):
+        cloud = tiny_cloud(32)
+        cov = build_covariance(cloud)
+        inv = build_inverse_covariance(cloud)
+        eye = cov @ inv
+        np.testing.assert_allclose(eye, np.broadcast_to(np.eye(3), eye.shape), atol=1e-8)
+
+    def test_canonical_transform_maps_ellipsoid_to_unit_sphere(self):
+        """The GRTX-SW core claim: kappa-sigma ellipsoid surface points map
+        to the unit sphere under the world->object transform."""
+        cloud = tiny_cloud(16)
+        obj_to_world, world_to_obj = canonical_transforms(cloud)
+        rng = np.random.default_rng(0)
+        unit = rng.normal(size=(16, 3))
+        unit /= np.linalg.norm(unit, axis=1, keepdims=True)
+        world = np.einsum("nij,nj->ni", obj_to_world.linear, unit) + obj_to_world.offset
+        back = np.einsum("nij,nj->ni", world_to_obj.linear, world) + world_to_obj.offset
+        np.testing.assert_allclose(np.linalg.norm(back, axis=1), 1.0, atol=1e-9)
+
+    def test_canonical_transform_consistent_with_mahalanobis(self):
+        """kappa^2 * |x_obj|^2 equals the Mahalanobis distance — the
+        identity that lets the canonical any-hit shader evaluate alpha in
+        unit-sphere space."""
+        cloud = tiny_cloud(8)
+        inv_cov = build_inverse_covariance(cloud)
+        _, world_to_obj = canonical_transforms(cloud)
+        rng = np.random.default_rng(1)
+        points = cloud.means + rng.normal(0, 0.3, size=(8, 3))
+        diff = points - cloud.means
+        mahal = np.einsum("ni,nij,nj->n", diff, inv_cov, diff)
+        obj = np.einsum("nij,nj->ni", world_to_obj.linear, points) + world_to_obj.offset
+        np.testing.assert_allclose(cloud.kappa ** 2 * np.sum(obj * obj, axis=1),
+                                   mahal, rtol=1e-8)
+
+    def test_world_aabbs_contain_ellipsoid_samples(self):
+        cloud = tiny_cloud(12)
+        lo, hi = world_aabbs(cloud)
+        obj_to_world, _ = canonical_transforms(cloud)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            unit = rng.normal(size=(12, 3))
+            unit /= np.linalg.norm(unit, axis=1, keepdims=True)
+            world = np.einsum("nij,nj->ni", obj_to_world.linear, unit) + obj_to_world.offset
+            assert np.all(world >= lo - 1e-9)
+            assert np.all(world <= hi + 1e-9)
+
+    def test_world_aabbs_tight(self):
+        """The AABB must touch the ellipsoid (not be arbitrarily loose)."""
+        cloud = tiny_cloud(12)
+        lo, hi = world_aabbs(cloud)
+        obj_to_world, _ = canonical_transforms(cloud)
+        rng = np.random.default_rng(3)
+        unit = rng.normal(size=(4096, 3))
+        unit /= np.linalg.norm(unit, axis=1, keepdims=True)
+        for g in range(12):
+            world = unit @ obj_to_world.linear[g].T + obj_to_world.offset[g]
+            sampled_lo = world.min(axis=0)
+            sampled_hi = world.max(axis=0)
+            ext = hi[g] - lo[g]
+            assert np.all(sampled_lo - lo[g] < 0.05 * ext + 1e-9)
+            assert np.all(hi[g] - sampled_hi < 0.05 * ext + 1e-9)
+
+
+class TestResponse:
+    def test_t_alpha_is_argmax_of_response(self):
+        cloud = tiny_cloud(8)
+        inv_cov = build_inverse_covariance(cloud)
+        rng = np.random.default_rng(4)
+        origins = cloud.means + rng.uniform(-3, -2, size=(8, 3))
+        directions = rng.normal(size=(8, 3))
+        t_peak = t_alpha(inv_cov, cloud.means, origins, directions)
+        for eps in (-1e-3, 1e-3):
+            shifted = origins + (t_peak + eps)[:, None] * directions
+            peak = origins + t_peak[:, None] * directions
+            assert np.all(
+                gaussian_response(inv_cov, cloud.means, peak)
+                >= gaussian_response(inv_cov, cloud.means, shifted)
+            )
+
+    def test_response_at_mean_is_one(self):
+        cloud = tiny_cloud(8)
+        inv_cov = build_inverse_covariance(cloud)
+        np.testing.assert_allclose(
+            gaussian_response(inv_cov, cloud.means, cloud.means), 1.0
+        )
+
+    def test_alpha_bounded_by_opacity(self):
+        cloud = tiny_cloud(16)
+        inv_cov = build_inverse_covariance(cloud)
+        rng = np.random.default_rng(5)
+        origins = rng.uniform(-10, 10, size=(16, 3))
+        directions = rng.normal(size=(16, 3))
+        alpha, _ = gaussian_alpha_along_ray(
+            inv_cov, cloud.means, cloud.opacities, origins, directions
+        )
+        assert np.all(alpha <= cloud.opacities + 1e-12)
+        assert np.all(alpha >= 0.0)
+
+    def test_ray_through_mean_gets_full_opacity(self):
+        cloud = tiny_cloud(8)
+        inv_cov = build_inverse_covariance(cloud)
+        origins = cloud.means - np.array([5.0, 0.0, 0.0])
+        directions = np.tile(np.array([1.0, 0.0, 0.0]), (8, 1))
+        alpha, t_eval = gaussian_alpha_along_ray(
+            inv_cov, cloud.means, cloud.opacities, origins, directions
+        )
+        np.testing.assert_allclose(alpha, cloud.opacities, rtol=1e-9)
+        np.testing.assert_allclose(t_eval, 5.0, atol=1e-9)
+
+    def test_degenerate_direction(self):
+        cloud = tiny_cloud(1)
+        inv_cov = build_inverse_covariance(cloud)
+        t = t_alpha(inv_cov, cloud.means, cloud.means + 1.0, np.zeros((1, 3)))
+        assert t[0] == 0.0
+
+
+class TestSphericalHarmonics:
+    def test_coeff_counts(self):
+        assert [num_sh_coeffs(d) for d in range(4)] == [1, 4, 9, 16]
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            num_sh_coeffs(4)
+
+    def test_degree0_isotropic(self):
+        coeffs = np.zeros((1, 1, 3))
+        coeffs[0, 0] = [1.0, 2.0, 3.0]
+        a = eval_sh(coeffs, np.array([[0.0, 0.0, 1.0]]))
+        b = eval_sh(coeffs, np.array([[1.0, 0.0, 0.0]]))
+        np.testing.assert_allclose(a, b)
+
+    def test_view_dependence_with_degree1(self):
+        coeffs = np.zeros((1, 4, 3))
+        coeffs[0, 3] = [1.0, 1.0, 1.0]  # the -C1*x basis function
+        a = eval_sh(coeffs, np.array([[1.0, 0.0, 0.0]]))
+        b = eval_sh(coeffs, np.array([[-1.0, 0.0, 0.0]]))
+        assert not np.allclose(a, b)
+
+    @given(st.integers(0, 3))
+    @settings(max_examples=8)
+    def test_basis_orthogonality(self, degree):
+        """Monte-Carlo check that distinct SH basis functions are
+        orthogonal over the sphere (the defining property)."""
+        rng = np.random.default_rng(degree)
+        dirs = rng.normal(size=(20000, 3))
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        basis = sh_basis(dirs, degree)
+        gram = basis.T @ basis / dirs.shape[0] * 4 * np.pi
+        off_diag = gram - np.diag(np.diag(gram))
+        assert np.abs(off_diag).max() < 0.15
+
+    def test_colors_non_negative(self):
+        rng = np.random.default_rng(6)
+        coeffs = rng.normal(0, 2.0, size=(32, 9, 3))
+        dirs = rng.normal(size=(32, 3))
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        assert np.all(eval_sh(coeffs, dirs) >= 0.0)
+
+
+class TestSyntheticWorkloads:
+    def test_all_six_scenes_exist(self):
+        assert set(WORKLOAD_ORDER) == set(WORKLOAD_SPECS)
+        assert len(WORKLOAD_ORDER) == 6
+
+    def test_counts_scale_with_paper_counts(self):
+        scale = 1.0 / 2000.0
+        counts = {name: len(make_workload(name, scale)) for name in WORKLOAD_ORDER}
+        assert counts["truck"] > counts["train"] > counts["bonsai"]
+        assert counts["room"] == min(counts.values())
+
+    def test_reproducible(self):
+        a = make_workload("bonsai", scale=1 / 4000)
+        b = make_workload("bonsai", scale=1 / 4000)
+        np.testing.assert_array_equal(a.means, b.means)
+        np.testing.assert_array_equal(a.sh, b.sh)
+
+    def test_unknown_scene_raises(self):
+        with pytest.raises(KeyError):
+            make_workload("nonexistent")
+
+    def test_bonsai_is_more_clustered_than_truck(self):
+        """The paper's characterization: Bonsai concentrates small
+        Gaussians in dense regions, Truck spreads them uniformly."""
+        bonsai = make_workload("bonsai", scale=1 / 1000)
+        truck = make_workload("truck", scale=1 / 1000)
+        bonsai_spread = np.std(bonsai.means / WORKLOAD_SPECS["bonsai"].extent, axis=0).mean()
+        truck_spread = np.std(truck.means / WORKLOAD_SPECS["truck"].extent, axis=0).mean()
+        assert bonsai_spread < truck_spread
+        bonsai_size = np.median(bonsai.scales)
+        truck_size = np.median(truck.scales)
+        assert bonsai_size < truck_size
+
+    def test_wall_scenes_have_opaque_tail(self):
+        drj = make_workload("drjohnson", scale=1 / 1000)
+        frac_opaque = np.mean(drj.opacities > 0.5)
+        assert frac_opaque > 0.1
+
+    def test_size_boost_monotonic(self):
+        assert size_boost(1.0) == pytest.approx(1.0)
+        assert size_boost(0.01) > size_boost(0.1) > 1.0
+
+    def test_size_boost_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            size_boost(0.0)
+        with pytest.raises(ValueError):
+            size_boost(2.0)
+
+    def test_sh_degree_parameter(self):
+        cloud = make_workload("room", scale=1 / 4000, sh_degree=2)
+        assert cloud.sh_degree == 2

@@ -1,0 +1,267 @@
+"""Tests for geometry kernels: AABBs, rays, proxy meshes, intersections."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    AABB,
+    Ray,
+    RayBundle,
+    icosahedron,
+    icosphere,
+    merge_aabbs,
+    ray_aabb,
+    ray_aabbs,
+    ray_ellipsoid,
+    ray_sphere,
+    ray_triangle,
+    ray_triangles,
+    ray_unit_sphere,
+    stretched_proxy_mesh,
+    unit_icosahedron_circumscribed,
+)
+from repro.math3d import invert_rigid_scale, quat_to_rotation_matrix
+
+
+class TestAABB:
+    def test_from_points(self):
+        pts = np.array([[0, 0, 0], [1, 2, 3], [-1, 1, 0]], dtype=float)
+        box = AABB.from_points(pts)
+        np.testing.assert_array_equal(box.lo, [-1, 0, 0])
+        np.testing.assert_array_equal(box.hi, [1, 2, 3])
+
+    def test_union(self):
+        a = AABB(np.zeros(3), np.ones(3))
+        b = AABB(np.array([2.0, 0, 0]), np.array([3.0, 1, 1]))
+        u = a.union(b)
+        np.testing.assert_array_equal(u.lo, [0, 0, 0])
+        np.testing.assert_array_equal(u.hi, [3, 1, 1])
+
+    def test_empty_is_union_identity(self):
+        a = AABB(np.array([1.0, 2, 3]), np.array([4.0, 5, 6]))
+        u = AABB.empty().union(a)
+        np.testing.assert_array_equal(u.lo, a.lo)
+        np.testing.assert_array_equal(u.hi, a.hi)
+
+    def test_surface_area(self):
+        box = AABB(np.zeros(3), np.array([1.0, 2.0, 3.0]))
+        assert box.surface_area == pytest.approx(2 * (2 + 6 + 3))
+
+    def test_surface_area_empty(self):
+        assert AABB.empty().surface_area == 0.0
+
+    def test_contains(self):
+        outer = AABB(np.zeros(3), np.ones(3) * 4)
+        inner = AABB(np.ones(3), np.ones(3) * 2)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_merge_aabbs(self):
+        lo = np.array([[0, 0, 0], [1, -1, 0]], dtype=float)
+        hi = np.array([[1, 1, 1], [2, 0, 5]], dtype=float)
+        box = merge_aabbs(lo, hi)
+        np.testing.assert_array_equal(box.lo, [0, -1, 0])
+        np.testing.assert_array_equal(box.hi, [2, 1, 5])
+
+
+class TestRayAABB:
+    def test_hit_through_center(self):
+        hit, t = ray_aabb(np.array([-2.0, 0.5, 0.5]), 1.0 / np.array([1.0, 1e-12, 1e-12]),
+                          np.zeros(3), np.ones(3), 0.0, np.inf)
+        assert hit
+        assert t == pytest.approx(2.0)
+
+    def test_miss(self):
+        hit, _ = ray_aabb(np.array([-2.0, 5.0, 0.5]), 1.0 / np.array([1.0, 1e-12, 1e-12]),
+                          np.zeros(3), np.ones(3), 0.0, np.inf)
+        assert not hit
+
+    def test_origin_inside(self):
+        hit, t = ray_aabb(np.array([0.5, 0.5, 0.5]), 1.0 / np.array([1.0, 1e-12, 1e-12]),
+                          np.zeros(3), np.ones(3), 0.0, np.inf)
+        assert hit
+        assert t == 0.0
+
+    def test_t_max_cull(self):
+        hit, _ = ray_aabb(np.array([-10.0, 0.5, 0.5]), 1.0 / np.array([1.0, 1e-12, 1e-12]),
+                          np.zeros(3), np.ones(3), 0.0, 5.0)
+        assert not hit
+
+    def test_batched_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        lo = rng.uniform(-5, 0, size=(64, 3))
+        hi = lo + rng.uniform(0.1, 3.0, size=(64, 3))
+        origin = np.array([-8.0, 0.0, 0.0])
+        direction = np.array([1.0, 0.05, -0.02])
+        inv = 1.0 / direction
+        hits, entries = ray_aabbs(origin, inv, lo, hi, 0.0, np.inf)
+        for i in range(64):
+            hit, entry = ray_aabb(origin, inv, lo[i], hi[i], 0.0, np.inf)
+            assert hit == hits[i]
+            if hit:
+                assert entry == pytest.approx(entries[i])
+
+
+class TestRay:
+    def test_ray_at(self):
+        ray = Ray(np.zeros(3), np.array([0.0, 1.0, 0.0]))
+        np.testing.assert_allclose(ray.at(2.5), [0.0, 2.5, 0.0])
+
+    def test_ray_rejects_batch(self):
+        with pytest.raises(ValueError):
+            Ray(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_bundle_normalizes_directions(self):
+        bundle = RayBundle(np.zeros((3, 3)), np.array([[2.0, 0, 0], [0, 3.0, 0], [0, 0, 1.0]]))
+        np.testing.assert_allclose(np.linalg.norm(bundle.directions, axis=1), 1.0)
+
+    def test_bundle_default_pixel_ids(self):
+        bundle = RayBundle(np.zeros((4, 3)), np.tile([1.0, 0, 0], (4, 1)))
+        np.testing.assert_array_equal(bundle.pixel_ids, np.arange(4))
+
+    def test_bundle_subset(self):
+        bundle = RayBundle(np.arange(12.0).reshape(4, 3), np.tile([1.0, 0, 0], (4, 1)))
+        sub = bundle.subset(np.array([2, 0]))
+        np.testing.assert_array_equal(sub.pixel_ids, [2, 0])
+
+
+class TestProxyMeshes:
+    def test_icosahedron_counts(self):
+        verts, faces = icosahedron()
+        assert verts.shape == (12, 3)
+        assert faces.shape == (20, 3)
+
+    def test_icosphere_counts(self):
+        verts, faces = icosphere(1)
+        assert faces.shape == (80, 3)
+        np.testing.assert_allclose(np.linalg.norm(verts, axis=1), 1.0, atol=1e-12)
+
+    def test_icosphere_is_watertight(self):
+        """Every edge must be shared by exactly two faces."""
+        for sub in (0, 1):
+            _, faces = icosphere(sub)
+            edges: dict[tuple[int, int], int] = {}
+            for a, b, c in faces:
+                for e in ((a, b), (b, c), (c, a)):
+                    key = (min(e), max(e))
+                    edges[key] = edges.get(key, 0) + 1
+            assert all(count == 2 for count in edges.values())
+
+    def test_circumscribed_contains_unit_sphere(self):
+        """Every face plane of the circumscribed proxy lies at distance
+        >= 1 from the origin, so the proxy fully contains the sphere —
+        the conservativeness property that makes proxy hits a superset
+        of true ellipsoid hits."""
+        for sub in (0, 1):
+            verts, faces = unit_icosahedron_circumscribed(sub)
+            tri = verts[faces]
+            normals = np.cross(tri[:, 1] - tri[:, 0], tri[:, 2] - tri[:, 0])
+            normals /= np.linalg.norm(normals, axis=1, keepdims=True)
+            dist = np.abs(np.einsum("fi,fi->f", normals, tri[:, 0]))
+            assert np.all(dist >= 1.0 - 1e-12)
+            assert dist.min() == pytest.approx(1.0, abs=1e-9)
+
+    def test_stretched_mesh_contains_ellipsoid_samples(self):
+        rng = np.random.default_rng(1)
+        mean = np.array([1.0, -2.0, 0.5])
+        quat = rng.normal(size=4)
+        radii = np.array([0.5, 1.5, 0.2])
+        verts, faces = stretched_proxy_mesh(mean, quat, radii)
+        # Sample ellipsoid surface points and check they are inside the
+        # proxy by testing the ray from the centroid.
+        rot = quat_to_rotation_matrix(quat / np.linalg.norm(quat))
+        unit = rng.normal(size=(128, 3))
+        unit /= np.linalg.norm(unit, axis=1, keepdims=True)
+        surface = (unit * radii) @ rot.T + mean
+        # All face planes, outward normals: points must be on inner side.
+        tri = verts[faces]
+        normals = np.cross(tri[:, 1] - tri[:, 0], tri[:, 2] - tri[:, 0])
+        centers = tri.mean(axis=1)
+        outward = np.einsum("fi,fi->f", normals, centers - mean) > 0
+        normals[~outward] *= -1.0
+        for p in surface:
+            side = np.einsum("fi,fi->f", normals, p[None, :] - centers)
+            assert np.all(side <= 1e-9)
+
+
+class TestIntersections:
+    def test_ray_triangle_hit(self):
+        t = ray_triangle(np.array([0.25, 0.25, -1.0]), np.array([0.0, 0.0, 1.0]),
+                         np.zeros(3), np.array([1.0, 0, 0]), np.array([0, 1.0, 0]))
+        assert t == pytest.approx(1.0)
+
+    def test_ray_triangle_miss(self):
+        t = ray_triangle(np.array([2.0, 2.0, -1.0]), np.array([0.0, 0.0, 1.0]),
+                         np.zeros(3), np.array([1.0, 0, 0]), np.array([0, 1.0, 0]))
+        assert t is None
+
+    def test_ray_triangle_parallel(self):
+        t = ray_triangle(np.array([0.0, 0.0, 1.0]), np.array([1.0, 0.0, 0.0]),
+                         np.zeros(3), np.array([1.0, 0, 0]), np.array([0, 1.0, 0]))
+        assert t is None
+
+    def test_ray_triangle_backface_reported(self):
+        t = ray_triangle(np.array([0.25, 0.25, 1.0]), np.array([0.0, 0.0, -1.0]),
+                         np.zeros(3), np.array([1.0, 0, 0]), np.array([0, 1.0, 0]))
+        assert t == pytest.approx(1.0)
+
+    def test_batched_triangles_match_scalar(self):
+        rng = np.random.default_rng(2)
+        v0 = rng.uniform(-2, 2, size=(64, 3))
+        v1 = v0 + rng.uniform(-1, 1, size=(64, 3))
+        v2 = v0 + rng.uniform(-1, 1, size=(64, 3))
+        origin = np.array([0.0, 0.0, -5.0])
+        direction = np.array([0.05, -0.02, 1.0])
+        ts = ray_triangles(origin, direction, v0, v1, v2)
+        for i in range(64):
+            t = ray_triangle(origin, direction, v0[i], v1[i], v2[i])
+            if t is None:
+                assert not np.isfinite(ts[i])
+            else:
+                assert ts[i] == pytest.approx(t)
+
+    def test_ray_sphere_two_roots(self):
+        roots = ray_sphere(np.array([-3.0, 0, 0]), np.array([1.0, 0, 0]), np.zeros(3), 1.0)
+        assert roots == pytest.approx((2.0, 4.0))
+
+    def test_ray_sphere_tangent(self):
+        roots = ray_sphere(np.array([-3.0, 1.0, 0]), np.array([1.0, 0, 0]), np.zeros(3), 1.0)
+        assert roots is not None
+        assert roots[0] == pytest.approx(roots[1], abs=1e-6)
+
+    def test_ray_sphere_miss(self):
+        assert ray_sphere(np.array([-3.0, 2.0, 0]), np.array([1.0, 0, 0]),
+                          np.zeros(3), 1.0) is None
+
+    def test_unit_sphere_unnormalized_direction_preserves_t(self):
+        """Scaled directions rescale t — the parametrization the shared
+        BLAS relies on after an instance transform."""
+        o = np.array([-4.0, 0.0, 0.0])
+        d = np.array([2.0, 0.0, 0.0])
+        roots = ray_unit_sphere(o, d)
+        assert roots == pytest.approx((1.5, 2.5))
+
+    @given(st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=30)
+    def test_ray_ellipsoid_matches_transformed_sphere(self, seed):
+        rng = np.random.default_rng(seed)
+        mean = rng.uniform(-2, 2, 3)
+        radii = np.exp(rng.uniform(-1, 0.5, 3))
+        quat = rng.normal(size=4)
+        rot = quat_to_rotation_matrix(quat / np.linalg.norm(quat))
+        w2o = invert_rigid_scale(mean, rot, radii)
+        o = rng.uniform(-6, 6, 3)
+        d = rng.normal(size=3)
+        result = ray_ellipsoid(o, d, w2o.linear, w2o.offset)
+        if result is None:
+            return
+        t0, t1 = result
+        # The entry/exit points must lie on the ellipsoid surface.
+        for t in (t0, t1):
+            p = o + t * d
+            obj = w2o.linear @ p + w2o.offset
+            assert np.linalg.norm(obj) == pytest.approx(1.0, abs=1e-6)

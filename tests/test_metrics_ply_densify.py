@@ -1,0 +1,232 @@
+"""Tests for image metrics, PLY serialization, and density control."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gaussians import GaussianCloud, load_ply, make_workload, save_ply
+from repro.gaussians.densify import (
+    ContributionStats,
+    DensifyParams,
+    clone,
+    collect_stats,
+    densify_round,
+    prune,
+    split,
+)
+from repro.render import default_camera_for
+from repro.render.metrics import frame_deltas, popping_score, ssim
+
+
+def _tiny_cloud(n=10, seed=0, sh_coeffs=4):
+    rng = np.random.default_rng(seed)
+    return GaussianCloud(
+        means=rng.uniform(-2, 2, (n, 3)),
+        scales=rng.uniform(0.05, 0.5, (n, 3)),
+        rotations=rng.normal(size=(n, 4)),
+        opacities=rng.uniform(0.2, 0.9, n),
+        sh=rng.normal(0, 0.3, (n, sh_coeffs, 3)),
+        name="tiny",
+    )
+
+
+class TestSsim:
+    def test_identical_images_score_one(self):
+        img = np.random.default_rng(0).random((24, 24, 3))
+        assert ssim(img, img) == pytest.approx(1.0)
+
+    def test_independent_noise_scores_low(self):
+        rng = np.random.default_rng(1)
+        assert ssim(rng.random((32, 32, 3)), rng.random((32, 32, 3))) < 0.2
+
+    def test_small_perturbation_scores_high(self):
+        rng = np.random.default_rng(2)
+        img = rng.random((32, 32, 3))
+        assert ssim(img, img + 0.01) > 0.9
+
+    def test_grayscale_supported(self):
+        img = np.random.default_rng(3).random((20, 20))
+        assert ssim(img, img) == pytest.approx(1.0)
+
+    def test_tiny_image_fallback(self):
+        img = np.random.default_rng(4).random((3, 3, 3))
+        assert ssim(img, img) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((4, 4)), np.zeros((5, 5)))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_symmetry(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.random((16, 16))
+        b = rng.random((16, 16))
+        assert ssim(a, b) == pytest.approx(ssim(b, a), abs=1e-9)
+
+
+class TestPopping:
+    def test_smooth_sequence_scores_zero(self):
+        frames = [np.full((8, 8, 3), 0.1 * i) for i in range(6)]
+        assert popping_score(frames) == pytest.approx(0.0, abs=1e-12)
+
+    def test_spike_raises_score(self):
+        frames = [np.full((8, 8, 3), 0.1 * i) for i in range(6)]
+        spiked = [f.copy() for f in frames]
+        spiked[3] += 0.5
+        assert popping_score(spiked) > popping_score(frames)
+
+    def test_frame_deltas_length(self):
+        frames = [np.zeros((4, 4, 3))] * 5
+        assert len(frame_deltas(frames)) == 4
+
+    def test_needs_two_frames(self):
+        with pytest.raises(ValueError):
+            frame_deltas([np.zeros((4, 4, 3))])
+
+    def test_two_frames_score_zero(self):
+        assert popping_score([np.zeros((2, 2)), np.ones((2, 2))]) == 0.0
+
+
+class TestPly:
+    def test_round_trip(self, tmp_path):
+        cloud = _tiny_cloud(n=50, sh_coeffs=9)
+        path = tmp_path / "scene.ply"
+        save_ply(cloud, path)
+        back = load_ply(path)
+        assert len(back) == 50
+        assert back.sh.shape == (50, 9, 3)
+        assert np.allclose(back.means, cloud.means, atol=1e-4)
+        assert np.allclose(back.scales, cloud.scales, rtol=1e-4)
+        assert np.allclose(back.opacities, cloud.opacities, atol=1e-5)
+        assert np.allclose(back.sh, cloud.sh, atol=1e-3)
+        # Quaternions are normalized on construction; compare up to sign.
+        dots = np.abs(np.sum(back.rotations * cloud.rotations, axis=1))
+        assert np.allclose(dots, 1.0, atol=1e-4)
+
+    def test_degree_zero_round_trip(self, tmp_path):
+        cloud = _tiny_cloud(n=5, sh_coeffs=1)
+        path = tmp_path / "dc.ply"
+        save_ply(cloud, path)
+        back = load_ply(path)
+        assert back.sh.shape == (5, 1, 3)
+
+    def test_header_is_3dgs_convention(self, tmp_path):
+        cloud = _tiny_cloud(n=3, sh_coeffs=4)
+        path = tmp_path / "hdr.ply"
+        save_ply(cloud, path)
+        header = path.read_bytes().split(b"end_header")[0].decode()
+        for prop in ("f_dc_0", "f_rest_8", "opacity", "scale_2", "rot_3"):
+            assert f"property float {prop}" in header
+
+    def test_rejects_non_ply(self, tmp_path):
+        path = tmp_path / "bad.ply"
+        path.write_bytes(b"not a ply at all")
+        with pytest.raises(ValueError, match="end_header"):
+            load_ply(path)
+
+    def test_rejects_truncated_body(self, tmp_path):
+        cloud = _tiny_cloud(n=10)
+        path = tmp_path / "trunc.ply"
+        save_ply(cloud, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-40])
+        with pytest.raises(ValueError, match="truncated"):
+            load_ply(path)
+
+    def test_rejects_ascii_ply(self, tmp_path):
+        path = tmp_path / "ascii.ply"
+        path.write_bytes(
+            b"ply\nformat ascii 1.0\nelement vertex 0\nend_header\n"
+        )
+        with pytest.raises(ValueError, match="binary_little_endian"):
+            load_ply(path)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        cloud = _tiny_cloud(n=3)
+        path = tmp_path / "myscene.ply"
+        save_ply(cloud, path)
+        assert load_ply(path).name == "myscene"
+
+
+class TestDensityControl:
+    def test_prune_keeps_selected(self):
+        cloud = _tiny_cloud(n=20)
+        keep = np.zeros(20, dtype=bool)
+        keep[:5] = True
+        out = prune(cloud, keep)
+        assert len(out) == 5
+        assert np.allclose(out.means, cloud.means[:5])
+
+    def test_prune_refuses_to_empty_scene(self):
+        cloud = _tiny_cloud(n=4)
+        with pytest.raises(ValueError):
+            prune(cloud, np.zeros(4, dtype=bool))
+
+    def test_split_doubles_selected(self):
+        cloud = _tiny_cloud(n=10)
+        out = split(cloud, np.array([0, 1]))
+        assert len(out) == 12  # 8 kept + 2*2 halves
+
+    def test_split_halves_flank_original(self):
+        cloud = _tiny_cloud(n=3)
+        original_mean = cloud.means[1].copy()
+        out = split(cloud, np.array([1]))
+        halves = out.means[-2:]
+        midpoint = halves.mean(axis=0)
+        assert np.allclose(midpoint, original_mean, atol=1e-9)
+
+    def test_split_shrinks_scales(self):
+        cloud = _tiny_cloud(n=3)
+        out = split(cloud, np.array([0]), shrink=2.0)
+        assert np.allclose(out.scales[-1], cloud.scales[0] / 2.0)
+
+    def test_split_empty_selection_is_noop(self):
+        cloud = _tiny_cloud(n=5)
+        out = split(cloud, np.array([], dtype=np.int64))
+        assert out is cloud
+
+    def test_clone_duplicates(self):
+        cloud = _tiny_cloud(n=6)
+        out = clone(cloud, np.array([2]))
+        assert len(out) == 7
+        assert np.allclose(out.means[-1], cloud.means[2])
+
+    def test_contribution_stats_absorb(self):
+        stats = ContributionStats.empty(5)
+        stats.absorb([(0, 0.5, 1.0), (3, 0.2, 2.0), (0, 0.1, 3.0)])
+        stats.absorb(None)
+        assert stats.blend_count[0] == 2
+        assert stats.blend_count[3] == 1
+        assert stats.weight_sum[0] == pytest.approx(0.6)
+        assert stats.mean_weight[1] == 0.0
+
+    def test_densify_round_on_real_scene(self):
+        cloud = make_workload("room", scale=1 / 1500)
+        camera = default_camera_for(cloud, 8, 8)
+        stats = collect_stats(cloud, [camera])
+        outcome = densify_round(cloud, stats)
+        assert len(outcome.cloud) == len(cloud) + outcome.delta
+        assert outcome.pruned >= 0
+        # The result is a valid cloud: constructor invariants all hold.
+        assert outcome.cloud.scales.min() > 0.0
+
+    def test_densify_without_pruning_unseen(self):
+        cloud = _tiny_cloud(n=30, seed=5)
+        stats = ContributionStats.empty(30)
+        stats.blend_count[:10] = 5
+        stats.weight_sum[:10] = 2.0
+        outcome = densify_round(cloud, stats, DensifyParams(prune_unseen=False))
+        assert outcome.pruned == 0
+
+    def test_densify_rejects_mismatched_stats(self):
+        cloud = _tiny_cloud(n=10)
+        with pytest.raises(ValueError):
+            densify_round(cloud, ContributionStats.empty(5))
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            DensifyParams(opacity_floor=1.5)
+        with pytest.raises(ValueError):
+            DensifyParams(split_shrink=0.5)

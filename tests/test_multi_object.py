@@ -1,0 +1,185 @@
+"""Tests for dynamic / multi-object scenes (Section VI)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bvh.multi_object import (
+    GaussianObject,
+    MultiObjectScene,
+    ObjectPose,
+)
+from repro.bvh.node import KIND_EMPTY
+from repro.render import GaussianRayTracer, PinholeCamera
+from repro.rt import TraceConfig
+
+from tests.conftest import tiny_cloud
+
+
+def make_pose(tx=0.0, ty=0.0, tz=0.0, scale=1.0, quat=(1.0, 0.0, 0.0, 0.0)):
+    return ObjectPose(translation=np.array([tx, ty, tz]),
+                      rotation=np.array(quat), scale=scale)
+
+
+@pytest.fixture()
+def scene():
+    scene = MultiObjectScene()
+    obj = GaussianObject(tiny_cloud(48, seed=40))
+    scene.add_object(obj)
+    return scene
+
+
+class TestObjectPose:
+    def test_identity(self):
+        pose = ObjectPose.identity()
+        pts = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(pose.matrix.apply_point(pts), pts)
+
+    def test_compose_matches_matrix_product(self):
+        rng = np.random.default_rng(0)
+        a = ObjectPose(rng.normal(size=3), rng.normal(size=4), 1.5)
+        b = ObjectPose(rng.normal(size=3), rng.normal(size=4), 0.7)
+        composed = a.compose(b)
+        pts = rng.normal(size=(8, 3))
+        expected = a.matrix.apply_point(b.matrix.apply_point(pts))
+        np.testing.assert_allclose(composed.matrix.apply_point(pts), expected, atol=1e-9)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            make_pose(scale=0.0)
+
+
+class TestGaussianObject:
+    def test_world_bounds_translate(self):
+        obj = GaussianObject(tiny_cloud(32, seed=41))
+        lo0, hi0 = obj.world_bounds(ObjectPose.identity())
+        lo1, hi1 = obj.world_bounds(make_pose(tx=10.0))
+        np.testing.assert_allclose(lo1 - lo0, [10.0, 0.0, 0.0], atol=1e-9)
+        np.testing.assert_allclose(hi1 - hi0, [10.0, 0.0, 0.0], atol=1e-9)
+
+    def test_world_bounds_scale(self):
+        obj = GaussianObject(tiny_cloud(32, seed=42))
+        lo1, hi1 = obj.world_bounds(make_pose(scale=2.0))
+        lo0, hi0 = obj.world_bounds(ObjectPose.identity())
+        assert np.all((hi1 - lo1) >= (hi0 - lo0) * 2.0 - 1e-9)
+
+    def test_posed_cloud_preserves_gaussian_count_and_opacity(self):
+        cloud = tiny_cloud(32, seed=43)
+        obj = GaussianObject(cloud)
+        posed = obj.posed_cloud(make_pose(tx=3.0, scale=1.3))
+        assert len(posed) == 32
+        np.testing.assert_array_equal(posed.opacities, cloud.opacities)
+        np.testing.assert_allclose(posed.scales, cloud.scales * 1.3)
+
+    def test_posed_cloud_identity_is_noop(self):
+        cloud = tiny_cloud(16, seed=44)
+        posed = GaussianObject(cloud).posed_cloud(ObjectPose.identity())
+        np.testing.assert_allclose(posed.means, cloud.means)
+        np.testing.assert_allclose(posed.scales, cloud.scales)
+
+
+class TestMultiObjectScene:
+    def test_add_remove_instances(self, scene):
+        a = scene.add_instance(0)
+        b = scene.add_instance(0, make_pose(tx=20.0))
+        assert scene.n_instances == 2
+        assert scene.n_gaussians == 96
+        scene.remove_instance(a)
+        assert scene.n_instances == 1
+        with pytest.raises(KeyError):
+            scene.remove_instance(a)
+        assert b in scene._instances
+
+    def test_tlas_rebuild_counting(self, scene):
+        scene.add_instance(0)
+        scene.scene_tlas()
+        assert scene.stats.rebuilds == 1
+        scene.add_instance(0, make_pose(tx=30.0))
+        scene.scene_tlas()
+        assert scene.stats.rebuilds == 2
+
+    def test_move_refits_without_rebuild(self, scene):
+        iid = scene.add_instance(0)
+        scene.add_instance(0, make_pose(tx=25.0))
+        scene.scene_tlas()
+        rebuilds = scene.stats.rebuilds
+        scene.move_instance(iid, make_pose(ty=40.0))
+        tlas = scene.scene_tlas()
+        assert scene.stats.rebuilds == rebuilds
+        assert scene.stats.refits == 1
+        # The refit TLAS must cover the moved instance.
+        root_lo, root_hi = tlas.root_box()
+        lo, hi = scene._objects[0].world_bounds(make_pose(ty=40.0))
+        assert np.all(root_lo <= lo + 1e-9)
+        assert np.all(root_hi >= hi - 1e-9)
+
+    def test_refit_boxes_contain_children(self, scene):
+        a = scene.add_instance(0)
+        scene.add_instance(0, make_pose(tx=25.0))
+        scene.add_instance(0, make_pose(ty=-18.0))
+        scene.scene_tlas()
+        scene.move_instance(a, make_pose(tz=12.0))
+        tlas = scene.scene_tlas()
+        tlas.validate()
+
+    def test_empty_scene_rejected(self, scene):
+        with pytest.raises(ValueError):
+            scene.scene_tlas()
+        with pytest.raises(ValueError):
+            scene.flatten()
+
+    def test_unknown_object_rejected(self, scene):
+        with pytest.raises(IndexError):
+            scene.add_instance(5)
+
+    def test_instancing_shares_structures(self, scene):
+        for i in range(6):
+            scene.add_instance(0, make_pose(tx=10.0 * i))
+        assert scene.total_bytes() < scene.naive_bytes() / 3
+
+    def test_flatten_and_render(self, scene):
+        scene.add_instance(0)
+        scene.add_instance(0, make_pose(tx=12.0))
+        cloud, structure = scene.flatten()
+        assert len(cloud) == 96
+        camera = PinholeCamera(
+            position=np.array([6.0, -30.0, 4.0]),
+            look_at=np.array([6.0, 0.0, 0.0]),
+            up=np.array([0.0, 0.0, 1.0]),
+            width=8, height=8, fov_y=np.deg2rad(50),
+        )
+        result = GaussianRayTracer(cloud, structure, TraceConfig(k=4)).render(
+            camera, keep_traces=False
+        )
+        assert result.image.sum() > 0.0
+
+    def test_moving_object_changes_render(self, scene):
+        iid = scene.add_instance(0)
+        camera = PinholeCamera(
+            position=np.array([0.0, -25.0, 0.0]),
+            look_at=np.zeros(3),
+            up=np.array([0.0, 0.0, 1.0]),
+            width=8, height=8, fov_y=np.deg2rad(50),
+        )
+        cloud, structure = scene.flatten()
+        before = GaussianRayTracer(cloud, structure, TraceConfig(k=4)).render(
+            camera, keep_traces=False
+        ).image
+        scene.move_instance(iid, make_pose(tx=100.0))
+        cloud2, structure2 = scene.flatten()
+        after = GaussianRayTracer(cloud2, structure2, TraceConfig(k=4)).render(
+            camera, keep_traces=False
+        ).image
+        assert not np.array_equal(before, after)
+        assert after.sum() < before.sum()
+
+    def test_two_distinct_objects(self):
+        scene = MultiObjectScene()
+        scene.add_object(GaussianObject(tiny_cloud(24, seed=50)))
+        scene.add_object(GaussianObject(tiny_cloud(40, seed=51)))
+        scene.add_instance(0)
+        scene.add_instance(1, make_pose(tx=15.0))
+        assert scene.n_gaussians == 64
+        tlas = scene.scene_tlas()
+        assert tlas.n_prims == 2

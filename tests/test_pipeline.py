@@ -1,0 +1,207 @@
+"""Tests for the programmable ray-tracing pipeline (Figure 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bvh import build_monolithic, build_two_level
+from repro.gaussians import GaussianCloud
+from repro.render import PinholeCamera
+from repro.rt import SceneShading
+from repro.rt.pipeline import (
+    ACCEPT,
+    IGNORE,
+    TERMINATE,
+    DepthPayload,
+    Hit,
+    RayTracingPipeline,
+    ShadowPayload,
+    depth_pipeline,
+    shadow_pipeline,
+)
+
+from tests.conftest import tiny_cloud
+
+
+def axis_cloud() -> GaussianCloud:
+    """Three solid Gaussians along +x at distances 3, 6, 9."""
+    means = np.array([[3.0, 0, 0], [6.0, 0, 0], [9.0, 0, 0]])
+    return GaussianCloud(
+        means=means,
+        scales=np.full((3, 3), 0.4),
+        rotations=np.tile([1.0, 0, 0, 0], (3, 1)),
+        opacities=np.array([0.6, 0.7, 0.8]),
+        sh=np.full((3, 1, 3), 0.5),
+    )
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cloud = axis_cloud()
+    structure = build_two_level(cloud, "sphere")
+    return cloud, structure, SceneShading(cloud)
+
+
+ORIGIN = np.array([0.0, 0.0, 0.0])
+DIR = np.array([1.0, 0.0, 0.0])
+
+
+class TestTraceRay:
+    def test_closest_hit_gets_nearest(self, setup):
+        _, structure, shading = setup
+        seen = {}
+
+        def closest(hit, payload, ctx):
+            seen["hit"] = hit
+
+        pipe = RayTracingPipeline(structure, shading, closest_hit=closest)
+        pipe.trace_ray(ORIGIN, DIR, payload={})
+        assert seen["hit"].gaussian_id == 0
+        assert seen["hit"].t < 3.0  # entry point before the mean
+
+    def test_any_hit_sees_all_candidates(self, setup):
+        _, structure, shading = setup
+        visited = []
+
+        def any_hit(hit, payload):
+            visited.append(hit.gaussian_id)
+            return IGNORE
+
+        missed = []
+        pipe = RayTracingPipeline(structure, shading, any_hit=any_hit,
+                                  miss=lambda p: missed.append(True))
+        pipe.trace_ray(ORIGIN, DIR, payload=None)
+        assert sorted(visited) == [0, 1, 2]
+        assert missed == [True]  # all hits ignored -> miss shader
+
+    def test_terminate_stops_traversal(self, setup):
+        _, structure, shading = setup
+        visited = []
+
+        def any_hit(hit, payload):
+            visited.append(hit.gaussian_id)
+            return TERMINATE
+
+        committed = []
+        pipe = RayTracingPipeline(structure, shading, any_hit=any_hit,
+                                  closest_hit=lambda h, p, c: committed.append(h))
+        pipe.trace_ray(ORIGIN, DIR, payload=None)
+        assert len(visited) == 1
+        assert committed[0].gaussian_id == visited[0]
+
+    def test_miss_shader_on_empty_ray(self, setup):
+        _, structure, shading = setup
+        missed = []
+        pipe = RayTracingPipeline(structure, shading,
+                                  miss=lambda p: missed.append(True))
+        pipe.trace_ray(ORIGIN, np.array([0.0, 0.0, 1.0]), payload=None)
+        assert missed == [True]
+
+    def test_t_interval_respected(self, setup):
+        _, structure, shading = setup
+        visited = []
+
+        def any_hit(hit, payload):
+            visited.append(hit.gaussian_id)
+            return ACCEPT
+
+        pipe = RayTracingPipeline(structure, shading, any_hit=any_hit)
+        # Ellipsoid entry points are at mean - kappa*sigma = t-1.2, so the
+        # window (4, 7] admits only the middle Gaussian (entry 4.8).
+        pipe.trace_ray(ORIGIN, DIR, payload=None, t_min=4.0, t_max=7.0)
+        assert visited == [1]
+
+    def test_secondary_rays_via_context(self, setup):
+        """A closest-hit shader casting a secondary ray (recursion)."""
+        _, structure, shading = setup
+        depths = []
+
+        def closest(hit, payload, ctx):
+            depths.append(ctx.depth)
+            if ctx.depth == 0:
+                ctx.trace(hit.position(ORIGIN, DIR) + np.array([0.5, 0, 0]),
+                          DIR, payload)
+
+        pipe = RayTracingPipeline(structure, shading, closest_hit=closest)
+        pipe.trace_ray(ORIGIN, DIR, payload=None)
+        assert depths == [0, 1]
+
+    def test_recursion_bounded(self, setup):
+        _, structure, shading = setup
+        count = [0]
+
+        def closest(hit, payload, ctx):
+            count[0] += 1
+            ctx.trace(ORIGIN, DIR, payload)
+
+        pipe = RayTracingPipeline(structure, shading, closest_hit=closest,
+                                  max_depth=3)
+        pipe.trace_ray(ORIGIN, DIR, payload=None)
+        assert count[0] == 4  # depths 0..3
+
+    def test_monolithic_triangle_structure_supported(self):
+        cloud = axis_cloud()
+        structure = build_monolithic(cloud, "20-tri")
+        shading = SceneShading(cloud)
+        visited = []
+        pipe = RayTracingPipeline(structure, shading,
+                                  any_hit=lambda h, p: visited.append(h.gaussian_id) or IGNORE)
+        pipe.trace_ray(ORIGIN, DIR, payload=None)
+        assert sorted(visited) == [0, 1, 2]
+
+    def test_custom_structure_supported(self):
+        cloud = axis_cloud()
+        structure = build_monolithic(cloud, "custom")
+        shading = SceneShading(cloud)
+        visited = []
+        pipe = RayTracingPipeline(structure, shading,
+                                  any_hit=lambda h, p: visited.append(h.gaussian_id) or IGNORE)
+        pipe.trace_ray(ORIGIN, DIR, payload=None)
+        assert sorted(visited) == [0, 1, 2]
+
+
+class TestPrebuiltPipelines:
+    def test_depth_pipeline_returns_first_solid(self, setup):
+        _, structure, shading = setup
+        pipe = depth_pipeline(structure, shading, alpha_threshold=0.3)
+        payload = pipe.trace_ray(ORIGIN, DIR, DepthPayload())
+        assert payload.hit
+        assert payload.depth == pytest.approx(3.0, abs=1.3)
+
+    def test_depth_pipeline_ignores_translucent(self, setup):
+        """With a threshold above every alpha, nothing commits."""
+        _, structure, shading = setup
+        pipe = depth_pipeline(structure, shading, alpha_threshold=0.95)
+        payload = pipe.trace_ray(ORIGIN, DIR, DepthPayload())
+        assert not payload.hit
+
+    def test_shadow_pipeline_attenuates(self, setup):
+        _, structure, shading = setup
+        pipe = shadow_pipeline(structure, shading)
+        payload = pipe.trace_ray(ORIGIN, DIR, ShadowPayload())
+        assert payload.transmittance < 0.2
+
+    def test_shadow_pipeline_clear_path(self, setup):
+        _, structure, shading = setup
+        pipe = shadow_pipeline(structure, shading)
+        payload = pipe.trace_ray(ORIGIN, np.array([0.0, 1.0, 0.0]), ShadowPayload())
+        assert payload.transmittance == 1.0
+
+    def test_render_depth_map(self, setup):
+        cloud, structure, shading = setup
+        pipe = depth_pipeline(structure, shading, alpha_threshold=0.3)
+        camera = PinholeCamera(
+            position=np.array([-4.0, 0.0, 0.0]),
+            look_at=np.array([3.0, 0.0, 0.0]),
+            up=np.array([0.0, 0.0, 1.0]),
+            width=7, height=7, fov_y=np.deg2rad(40),
+        )
+        image = pipe.render(
+            camera,
+            make_payload=DepthPayload,
+            payload_color=lambda p: np.full(3, p.depth if p.hit else 0.0),
+        )
+        center = image[3, 3, 0]
+        assert center == pytest.approx(7.0 - 1.2, abs=1.5)
+        assert image[0, 0, 0] == 0.0  # corner ray misses

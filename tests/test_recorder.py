@@ -1,0 +1,64 @@
+"""Tests for the fetch-trace recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rt import (
+    FETCH_INTERNAL,
+    FETCH_LEAF,
+    PRIM_SPHERE,
+    PRIM_TRI,
+    RayTrace,
+    RoundTrace,
+)
+
+
+class TestRoundTrace:
+    def test_event_roundtrip(self):
+        rt = RoundTrace()
+        rt.fetch(1000, 208, FETCH_INTERNAL, box_tests=6,
+                 prefetch=[(2000, 144), (3000, 208)])
+        rt.fetch(2000, 144, FETCH_LEAF, prim_tests=4, prim_kind=PRIM_TRI)
+        events = list(rt.iter_events())
+        assert events[0] == (1000, 208, FETCH_INTERNAL, 6, 0, 0, [(2000, 144), (3000, 208)])
+        assert events[1] == (2000, 144, FETCH_LEAF, 0, 4, PRIM_TRI, [])
+        assert rt.n_fetches == 2
+
+    def test_no_prefetch_is_compact(self):
+        rt = RoundTrace()
+        rt.fetch(0, 128, FETCH_LEAF, prim_tests=1, prim_kind=PRIM_SPHERE)
+        assert len(rt.stream) == 7
+
+    def test_counters_default_zero(self):
+        rt = RoundTrace()
+        assert rt.anyhit_calls == 0
+        assert rt.false_positives == 0
+        assert rt.blended == 0
+
+
+class TestRayTrace:
+    def test_unique_vs_total(self):
+        trace = RayTrace()
+        trace.begin_round()
+        for addr in (10, 20, 10):
+            trace.note_fetch(addr, FETCH_INTERNAL)
+        trace.note_fetch(30, FETCH_LEAF)
+        trace.note_fetch(30, FETCH_LEAF)
+        assert trace.total_internal == 3
+        assert len(trace.unique_internal) == 2
+        assert trace.total_leaf == 2
+        assert len(trace.unique_leaf) == 1
+        assert trace.total_fetches == 5
+        assert trace.unique_fetches == 3
+
+    def test_rounds_accumulate(self):
+        trace = RayTrace()
+        r1 = trace.begin_round()
+        r2 = trace.begin_round()
+        assert trace.n_rounds == 2
+        assert trace.rounds == [r1, r2]
+
+    def test_label_default_primary(self):
+        assert RayTrace().label == "primary"
+        assert RayTrace(label="secondary").label == "secondary"

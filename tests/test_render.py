@@ -1,0 +1,284 @@
+"""Tests for cameras, images, the rasterizer, effects and the renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bvh import build_two_level
+from repro.gaussians import GaussianCloud
+from repro.render import (
+    GaussianRasterizer,
+    GaussianRayTracer,
+    GlassSphere,
+    ImageBuffer,
+    Mirror,
+    PinholeCamera,
+    SceneObjects,
+    default_camera_for,
+    psnr,
+    write_ppm,
+)
+from repro.render.effects import reflect, refract
+from repro.rt import TraceConfig
+
+from tests.conftest import tiny_cloud
+
+
+def make_camera(width=8, height=8, fov=60.0):
+    return PinholeCamera(
+        position=np.array([0.0, -10.0, 0.0]),
+        look_at=np.zeros(3),
+        up=np.array([0.0, 0.0, 1.0]),
+        width=width,
+        height=height,
+        fov_y=np.deg2rad(fov),
+    )
+
+
+class TestCamera:
+    def test_ray_count(self):
+        cam = make_camera(6, 4)
+        bundle = cam.generate_rays()
+        assert len(bundle) == 24
+        np.testing.assert_allclose(np.linalg.norm(bundle.directions, axis=1), 1.0)
+
+    def test_central_ray_points_at_target(self):
+        cam = make_camera(9, 9)
+        bundle = cam.generate_rays()
+        center_ray = bundle.directions[4 * 9 + 4]
+        np.testing.assert_allclose(center_ray, [0.0, 1.0, 0.0], atol=1e-9)
+
+    def test_rays_originate_at_camera(self):
+        cam = make_camera()
+        bundle = cam.generate_rays()
+        np.testing.assert_array_equal(bundle.origins, np.tile(cam.position, (64, 1)))
+
+    def test_fov_controls_spread(self):
+        narrow = make_camera(fov=20.0).generate_rays()
+        wide = make_camera(fov=90.0).generate_rays()
+        n_spread = np.dot(narrow.directions[0], narrow.directions[-1])
+        w_spread = np.dot(wide.directions[0], wide.directions[-1])
+        assert w_spread < n_spread
+
+    def test_cropped_preserves_angular_pixel_size(self):
+        """Figure 19b's transformation: halving the resolution with
+        cropping halves the FoV tangent, so per-pixel angles match."""
+        cam = make_camera(16, 16)
+        cropped = cam.cropped(8, 8)
+        full_per_pixel = np.tan(cam.fov_y / 2) / cam.height
+        crop_per_pixel = np.tan(cropped.fov_y / 2) / cropped.height
+        assert crop_per_pixel == pytest.approx(full_per_pixel)
+
+    def test_with_resolution_keeps_fov(self):
+        cam = make_camera(16, 16)
+        assert cam.with_resolution(4, 4).fov_y == cam.fov_y
+
+    def test_view_matrix_maps_lookat_to_forward_axis(self):
+        cam = make_camera()
+        view = cam.view_matrix()
+        target = view @ np.append(cam.look_at, 1.0)
+        assert target[0] == pytest.approx(0.0, abs=1e-12)
+        assert target[1] == pytest.approx(0.0, abs=1e-12)
+        assert target[2] == pytest.approx(10.0)
+
+    def test_default_camera_sees_scene(self):
+        cloud = tiny_cloud(64)
+        cam = default_camera_for(cloud, 8, 8)
+        forward = cloud.means.mean(axis=0) - cam.position
+        assert np.linalg.norm(forward) > 0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            make_camera(0, 4)
+        with pytest.raises(ValueError):
+            make_camera(fov=200.0)
+
+
+class TestImage:
+    def test_buffer_roundtrip(self):
+        buf = ImageBuffer(4, 3)
+        buf.set_pixel(5, np.array([1.0, 0.5, 0.25]))
+        np.testing.assert_array_equal(buf.array[1, 1], [1.0, 0.5, 0.25])
+
+    def test_accumulate(self):
+        buf = ImageBuffer(2, 2)
+        buf.accumulate(0, np.ones(3), 0.5)
+        buf.accumulate(0, np.ones(3), 0.25)
+        np.testing.assert_allclose(buf.array[0, 0], 0.75)
+
+    def test_psnr_identical_inf(self):
+        img = np.random.default_rng(0).random((4, 4, 3))
+        assert psnr(img, img) == float("inf")
+
+    def test_psnr_known_value(self):
+        a = np.zeros((2, 2, 3))
+        b = np.full((2, 2, 3), 0.1)
+        assert psnr(a, b) == pytest.approx(20.0)
+
+    def test_psnr_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((2, 2, 3)), np.zeros((3, 2, 3)))
+
+    def test_write_ppm(self, tmp_path):
+        img = np.random.default_rng(1).random((5, 7, 3))
+        path = tmp_path / "out.ppm"
+        write_ppm(path, img)
+        data = path.read_bytes()
+        assert data.startswith(b"P6\n7 5\n255\n")
+        assert len(data) == len(b"P6\n7 5\n255\n") + 5 * 7 * 3
+
+
+class TestEffects:
+    def test_reflect(self):
+        out = reflect(np.array([1.0, -1.0, 0.0]), np.array([0.0, 1.0, 0.0]))
+        np.testing.assert_allclose(out, [1.0, 1.0, 0.0])
+
+    def test_refract_straight_through(self):
+        out = refract(np.array([0.0, -1.0, 0.0]), np.array([0.0, 1.0, 0.0]), 1.0 / 1.5)
+        np.testing.assert_allclose(out, [0.0, -1.0, 0.0], atol=1e-12)
+
+    def test_refract_bends_toward_normal(self):
+        d = np.array([1.0, -1.0, 0.0]) / np.sqrt(2)
+        out = refract(d, np.array([0.0, 1.0, 0.0]), 1.0 / 1.5)
+        assert out is not None
+        # Entering denser medium: transverse component shrinks.
+        assert abs(out[0]) < abs(d[0])
+
+    def test_total_internal_reflection(self):
+        d = np.array([1.0, -0.1, 0.0])
+        assert refract(d / np.linalg.norm(d), np.array([0.0, 1.0, 0.0]), 1.5) is None
+
+    def test_glass_sphere_intersect(self):
+        sphere = GlassSphere(center=np.array([0.0, 0.0, 0.0]), radius=1.0)
+        t = sphere.intersect(np.array([-3.0, 0.0, 0.0]), np.array([1.0, 0.0, 0.0]))
+        assert t == pytest.approx(2.0)
+        assert sphere.intersect(np.array([-3.0, 2.0, 0.0]), np.array([1.0, 0.0, 0.0])) is None
+
+    def test_glass_sphere_axial_ray_passes_straight(self):
+        sphere = GlassSphere(center=np.zeros(3), radius=1.0)
+        origin, direction = sphere.scatter(
+            np.array([-3.0, 0.0, 0.0]), np.array([1.0, 0.0, 0.0]), 2.0
+        )
+        np.testing.assert_allclose(direction, [1.0, 0.0, 0.0], atol=1e-9)
+        assert origin[0] > 0.9
+
+    def test_mirror_intersect_and_bounds(self):
+        mirror = Mirror(center=np.zeros(3), half_u=np.array([1.0, 0, 0]),
+                        half_v=np.array([0, 1.0, 0]))
+        t = mirror.intersect(np.array([0.2, 0.3, -2.0]), np.array([0.0, 0.0, 1.0]))
+        assert t == pytest.approx(2.0)
+        assert mirror.intersect(np.array([3.0, 0.0, -2.0]), np.array([0.0, 0.0, 1.0])) is None
+
+    def test_mirror_scatter_reflects(self):
+        mirror = Mirror(center=np.zeros(3), half_u=np.array([1.0, 0, 0]),
+                        half_v=np.array([0, 1.0, 0]))
+        d = np.array([0.0, 0.6, 0.8])
+        origin, out = mirror.scatter(np.array([0.0, -0.6 * 2, -0.8 * 2]), d, 2.0)
+        np.testing.assert_allclose(out, [0.0, 0.6, -0.8], atol=1e-9)
+
+    def test_scene_objects_nearest(self):
+        objs = SceneObjects([
+            GlassSphere(center=np.array([5.0, 0, 0]), radius=1.0),
+            Mirror(center=np.array([10.0, 0, 0]), half_u=np.array([0, 5.0, 0]),
+                   half_v=np.array([0, 0, 5.0])),
+        ])
+        t, obj = objs.nearest(np.zeros(3), np.array([1.0, 0.0, 0.0]))
+        assert t == pytest.approx(4.0)
+        assert isinstance(obj, GlassSphere)
+
+    def test_default_objects_deterministic(self):
+        cloud = tiny_cloud(32)
+        a = SceneObjects.default_for(cloud)
+        b = SceneObjects.default_for(cloud)
+        assert len(a) == 2
+        np.testing.assert_array_equal(a.objects[0].center, b.objects[0].center)
+
+
+class TestRasterizer:
+    def _single_gaussian_cloud(self):
+        return GaussianCloud(
+            means=np.array([[0.0, 0.0, 0.0]]),
+            scales=np.array([[0.5, 0.5, 0.5]]),
+            rotations=np.array([[1.0, 0.0, 0.0, 0.0]]),
+            opacities=np.array([0.9]),
+            sh=np.full((1, 1, 3), 0.8),
+        )
+
+    def test_single_gaussian_renders_centered_blob(self):
+        cloud = self._single_gaussian_cloud()
+        cam = make_camera(17, 17)
+        result = GaussianRasterizer(cloud).render(cam)
+        img = result.image
+        assert img[8, 8].sum() > 0.1
+        assert img[8, 8].sum() >= img[0, 0].sum()
+        assert result.n_projected == 1
+
+    def test_behind_camera_culled(self):
+        cloud = self._single_gaussian_cloud()
+        cloud.means[0] = [0.0, -20.0, 0.0]
+        result = GaussianRasterizer(cloud).render(make_camera())
+        assert result.n_culled == 1
+        assert result.image.sum() == 0.0
+
+    def test_work_counters_positive(self):
+        cloud = tiny_cloud(64)
+        result = GaussianRasterizer(cloud).render(default_camera_for(cloud, 16, 16))
+        assert result.pair_ops > 0
+        assert result.sort_ops > 0
+        assert result.preprocess_ops == result.n_projected
+
+    def test_raster_and_rt_agree_on_simple_scene(self):
+        """Rasterization (2D EWA approximation) and ray tracing must agree
+        on a well-conditioned single-Gaussian scene."""
+        cloud = self._single_gaussian_cloud()
+        cam = make_camera(17, 17, fov=40.0)
+        raster = GaussianRasterizer(cloud).render(cam).image
+        structure = build_two_level(cloud, "sphere")
+        rt = GaussianRayTracer(cloud, structure, TraceConfig(k=4)).render(cam).image
+        # Centers should be bright in both, within a few percent.
+        assert raster[8, 8].mean() == pytest.approx(rt[8, 8].mean(), rel=0.1)
+
+
+class TestRenderer:
+    def test_render_shapes_and_stats(self):
+        cloud = tiny_cloud(96, seed=20)
+        structure = build_two_level(cloud, "sphere")
+        cam = default_camera_for(cloud, 6, 5)
+        result = GaussianRayTracer(cloud, structure, TraceConfig(k=4)).render(cam)
+        assert result.image.shape == (5, 6, 3)
+        assert result.stats.n_rays == 30
+        assert result.stats.n_primary == 30
+        assert len(result.traces) == 30
+        result.drop_traces()
+        assert result.traces == []
+
+    def test_secondary_rays_spawned(self):
+        cloud = tiny_cloud(96, seed=21)
+        structure = build_two_level(cloud, "sphere")
+        cam = default_camera_for(cloud, 8, 8)
+        objects = SceneObjects([
+            GlassSphere(center=cloud.means.mean(axis=0), radius=2.0),
+        ])
+        result = GaussianRayTracer(cloud, structure, TraceConfig(k=4)).render(
+            cam, objects=objects
+        )
+        assert result.stats.n_secondary > 0
+        assert result.stats.n_rays == result.stats.n_primary + result.stats.n_secondary
+        labels = {t.label for t in result.traces}
+        assert labels == {"primary", "secondary"}
+
+    def test_objects_change_image(self):
+        cloud = tiny_cloud(96, seed=22)
+        structure = build_two_level(cloud, "sphere")
+        cam = default_camera_for(cloud, 8, 8)
+        renderer = GaussianRayTracer(cloud, structure, TraceConfig(k=4))
+        plain = renderer.render(cam, keep_traces=False).image
+        mirrored = renderer.render(
+            cam,
+            objects=SceneObjects([Mirror(center=cloud.means.mean(axis=0),
+                                         half_u=np.array([3.0, 0, 0]),
+                                         half_v=np.array([0, 3.0, 0]))]),
+            keep_traces=False,
+        ).image
+        assert not np.array_equal(plain, mirrored)

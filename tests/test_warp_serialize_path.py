@@ -1,0 +1,212 @@
+"""Tests for warp divergence analysis, structure serialization, and paths."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GaussianRayTracer,
+    TraceConfig,
+    build_monolithic,
+    build_two_level,
+    default_camera_for,
+    make_workload,
+)
+from repro.bvh import load_structure, save_structure
+from repro.hwsim import analyze_divergence
+from repro.render import dolly_path, lerp_cameras, orbit_path
+from repro.rt.recorder import FETCH_INTERNAL, RayTrace
+
+
+@pytest.fixture(scope="module")
+def scene():
+    cloud = make_workload("bonsai", scale=1 / 1000)
+    return cloud, build_two_level(cloud, blas_kind="sphere")
+
+
+@pytest.fixture(scope="module")
+def render(scene):
+    cloud, structure = scene
+    renderer = GaussianRayTracer(cloud, structure, TraceConfig(k=4))
+    return renderer.render(default_camera_for(cloud, 10, 10))
+
+
+class TestWarpDivergence:
+    def test_report_fields_bounded(self, render):
+        report = analyze_divergence(render.traces)
+        assert report.n_warps >= 1
+        assert 0.0 < report.mean_active_fraction <= 1.0
+        assert report.straggler_ratio >= 1.0
+        assert report.mean_round_spread >= 0.0
+        assert 0.0 <= report.idle_lane_fraction < 1.0
+
+    def test_uniform_traces_have_no_divergence(self):
+        traces = []
+        for _ in range(32):
+            trace = RayTrace()
+            rt = trace.begin_round()
+            rt.fetch(0, 208, FETCH_INTERNAL)
+            rt.fetch(208, 208, FETCH_INTERNAL)
+            traces.append(trace)
+        report = analyze_divergence(traces)
+        assert report.mean_active_fraction == 1.0
+        assert report.straggler_ratio == pytest.approx(1.0)
+        assert report.idle_lane_fraction == 0.0
+
+    def test_one_straggler_detected(self):
+        traces = []
+        for i in range(4):
+            trace = RayTrace()
+            rt = trace.begin_round()
+            rt.fetch(0, 208, FETCH_INTERNAL)
+            if i == 0:  # the straggler traces a second round
+                rt2 = trace.begin_round()
+                rt2.fetch(208, 208, FETCH_INTERNAL)
+            traces.append(trace)
+        report = analyze_divergence(traces, warp_size=4)
+        assert report.mean_round_spread == 1.0
+        assert report.idle_lane_fraction == pytest.approx(3 / 8)
+
+    def test_empty_traces(self):
+        report = analyze_divergence([])
+        assert report.n_warps == 0
+        assert report.mean_active_fraction == 0.0
+
+    def test_rejects_bad_warp_size(self, render):
+        with pytest.raises(ValueError):
+            analyze_divergence(render.traces, warp_size=0)
+
+    def test_smaller_k_more_rounds(self, scene):
+        cloud, structure = scene
+        camera = default_camera_for(cloud, 8, 8)
+        small = GaussianRayTracer(cloud, structure, TraceConfig(k=2)).render(camera)
+        large = GaussianRayTracer(cloud, structure, TraceConfig(k=32)).render(camera)
+        rep_small = analyze_divergence(small.traces)
+        rep_large = analyze_divergence(large.traces)
+        # Figure 18's driver: small k multiplies rounds and idle lanes.
+        assert rep_small.n_rounds_total > rep_large.n_rounds_total
+
+    def test_as_row_keys(self, render):
+        row = analyze_divergence(render.traces).as_row()
+        assert set(row) == {"warps", "active_frac", "straggler",
+                            "round_spread", "idle_frac"}
+
+
+class TestStructureSerialization:
+    @pytest.mark.parametrize("proxy", ["20-tri", "custom"])
+    def test_monolithic_round_trip(self, tmp_path, proxy):
+        cloud = make_workload("room", scale=1 / 1500)
+        structure = build_monolithic(cloud, proxy)
+        path = tmp_path / "mono.npz"
+        save_structure(structure, path)
+        loaded = load_structure(path)
+        assert loaded.proxy == structure.proxy
+        assert loaded.total_bytes == structure.total_bytes
+        assert np.array_equal(loaded.bvh.node_addr, structure.bvh.node_addr)
+        loaded.bvh.validate()
+
+    @pytest.mark.parametrize("blas_kind,subdiv", [("sphere", 0), ("icosphere", 0)])
+    def test_two_level_round_trip(self, tmp_path, blas_kind, subdiv):
+        cloud = make_workload("room", scale=1 / 1500)
+        structure = build_two_level(cloud, blas_kind, subdiv)
+        path = tmp_path / "two.npz"
+        save_structure(structure, path)
+        loaded = load_structure(path)
+        assert loaded.proxy == structure.proxy
+        assert loaded.total_bytes == structure.total_bytes
+        assert loaded.blas.root_address == structure.blas.root_address
+
+    def test_reloaded_structure_renders_identically(self, tmp_path, scene):
+        cloud, structure = scene
+        path = tmp_path / "s.npz"
+        save_structure(structure, path)
+        loaded = load_structure(path)
+        camera = default_camera_for(cloud, 6, 6)
+        a = GaussianRayTracer(cloud, structure, TraceConfig(k=8)).render(
+            camera, keep_traces=False).image
+        b = GaussianRayTracer(cloud, loaded, TraceConfig(k=8)).render(
+            camera, keep_traces=False).image
+        assert np.array_equal(a, b)
+
+    def test_rejects_unknown_type(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_structure(object(), tmp_path / "x.npz")
+
+    def test_rejects_bad_version(self, tmp_path, scene):
+        _cloud, structure = scene
+        path = tmp_path / "v.npz"
+        save_structure(structure, path)
+        import numpy as np_mod
+
+        with np_mod.load(path) as data:
+            contents = {k: data[k] for k in data.files}
+        contents["format_version"] = np_mod.int64(999)
+        np_mod.savez_compressed(path, **contents)
+        with pytest.raises(ValueError, match="version"):
+            load_structure(path)
+
+
+class TestCameraPaths:
+    def _base(self):
+        cloud = make_workload("room", scale=1 / 1500)
+        return cloud, default_camera_for(cloud, 8, 8)
+
+    def test_orbit_preserves_radius(self):
+        cloud, base = self._base()
+        center = cloud.means.mean(axis=0)
+        path = orbit_path(base, center, 5, total_angle=0.5)
+        radii = [np.linalg.norm(cam.position - center) for cam in path]
+        assert np.allclose(radii, radii[0])
+
+    def test_orbit_first_frame_is_base(self):
+        cloud, base = self._base()
+        path = orbit_path(base, cloud.means.mean(axis=0), 4, 0.3)
+        assert np.allclose(path[0].position, base.position)
+
+    def test_orbit_covers_total_angle(self):
+        cloud, base = self._base()
+        center = cloud.means.mean(axis=0)
+        path = orbit_path(base, center, 3, total_angle=np.pi / 2)
+        v0 = path[0].position - center
+        v2 = path[-1].position - center
+        v0[2] = v2[2] = 0.0  # z-axis orbit: compare in-plane components
+        cos_angle = (v0 @ v2) / (np.linalg.norm(v0) * np.linalg.norm(v2))
+        assert np.arccos(np.clip(cos_angle, -1, 1)) == pytest.approx(np.pi / 2, abs=1e-6)
+
+    def test_orbit_axis_choices(self):
+        cloud, base = self._base()
+        center = cloud.means.mean(axis=0)
+        for axis in ("x", "y", "z"):
+            path = orbit_path(base, center, 3, 0.2, axis=axis)
+            assert len(path) == 3
+        with pytest.raises(ValueError):
+            orbit_path(base, center, 3, 0.2, axis="w")
+
+    def test_dolly_moves_position_and_target(self):
+        _cloud, base = self._base()
+        offset = np.array([1.0, 2.0, 0.0])
+        path = dolly_path(base, offset, 3)
+        assert np.allclose(path[-1].position, base.position + offset)
+        assert np.allclose(path[-1].look_at, base.look_at + offset)
+
+    def test_lerp_endpoints(self):
+        _cloud, a = self._base()
+        from repro.render import PinholeCamera
+
+        b = PinholeCamera(a.position + 1.0, a.look_at, a.up, 8, 8, a.fov_y * 0.8)
+        path = lerp_cameras(a, b, 5)
+        assert np.allclose(path[0].position, a.position)
+        assert np.allclose(path[-1].position, b.position)
+        assert path[-1].fov_y == pytest.approx(b.fov_y)
+
+    def test_lerp_rejects_resolution_mismatch(self):
+        _cloud, a = self._base()
+        b = a.with_resolution(16, 16)
+        with pytest.raises(ValueError):
+            lerp_cameras(a, b, 3)
+
+    def test_paths_reject_zero_frames(self):
+        cloud, base = self._base()
+        with pytest.raises(ValueError):
+            orbit_path(base, cloud.means.mean(axis=0), 0, 0.1)
+        with pytest.raises(ValueError):
+            dolly_path(base, np.ones(3), 0)
