@@ -1,0 +1,50 @@
+"""Load generator for the render service (standalone script).
+
+Runs the three serve-bench measurements — tile-parallel speedup, cached
+throughput with p50/p95 latency, and BVH build dedup — and prints the
+report. Unlike the figure benchmarks in this directory (which run under
+``pytest --benchmark-only``), this is a plain script::
+
+    python benchmarks/bench_serve_throughput.py [--workers 4] [--requests 60]
+
+It accepts the same flags as ``python -m repro serve-bench`` and writes
+the report to ``benchmarks/results/serve_throughput.txt``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow running straight from a checkout without installing the package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.cli import _build_parser
+    from repro.serve.bench import run_benchmark
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    args = _build_parser().parse_args(["serve-bench", *argv])
+    report = run_benchmark(
+        scene=args.scene,
+        size=args.size,
+        request_size=args.request_size,
+        scale=args.scale,
+        tile=args.tile,
+        workers=args.workers,
+        requests=args.requests,
+        unique=args.unique,
+    )
+    print(report)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "serve_throughput.txt").write_text(report.report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,8 +41,15 @@ from repro.render import (
     write_ppm,
 )
 from repro.rt import TraceConfig
+from repro.serve import (
+    RenderRequest,
+    RenderServer,
+    SceneRef,
+    SceneRegistry,
+    TileScheduler,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BuildParams",
@@ -51,8 +58,13 @@ __all__ = [
     "GaussianRayTracer",
     "GpuConfig",
     "PinholeCamera",
+    "RenderRequest",
     "RenderResult",
+    "RenderServer",
     "SceneObjects",
+    "SceneRef",
+    "SceneRegistry",
+    "TileScheduler",
     "TimingReport",
     "TraceConfig",
     "build_monolithic",

@@ -23,7 +23,12 @@ from repro.bvh.node import FlatBVH, KIND_EMPTY, KIND_INTERNAL, KIND_LEAF
 from repro.bvh.monolithic import MonolithicBVH, build_monolithic
 from repro.bvh.quality import TreeQuality, sah_cost, tree_quality
 from repro.bvh.refit import RefitDrift, measure_drift, refit_bvh
-from repro.bvh.serialize import load_structure, save_structure
+from repro.bvh.serialize import (
+    FORMAT_VERSION,
+    StructureFormatError,
+    load_structure,
+    save_structure,
+)
 from repro.bvh.multi_object import (
     GaussianObject,
     MultiObjectScene,
@@ -36,6 +41,7 @@ __all__ = [
     "BVHStats",
     "BuildParams",
     "CUSTOM_PRIM_BYTES",
+    "FORMAT_VERSION",
     "FlatBVH",
     "GaussianObject",
     "INSTANCE_BYTES",
@@ -49,6 +55,7 @@ __all__ = [
     "RefitDrift",
     "SPHERE_PRIM_BYTES",
     "SharedBlas",
+    "StructureFormatError",
     "TRIANGLE_BYTES",
     "TreeQuality",
     "TwoLevelBVH",

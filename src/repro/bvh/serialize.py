@@ -10,6 +10,8 @@ exact same fetch traces.
 
 from __future__ import annotations
 
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -18,7 +20,21 @@ from repro.bvh.monolithic import MonolithicBVH
 from repro.bvh.node import FlatBVH
 from repro.bvh.two_level import SharedBlas, TwoLevelBVH
 
-_FORMAT_VERSION = 1
+FORMAT_VERSION = 1
+
+# Backwards-compatible alias (pre-1.1 name).
+_FORMAT_VERSION = FORMAT_VERSION
+
+
+class StructureFormatError(ValueError):
+    """A serialized structure is unreadable: truncated or corrupt bytes,
+    a missing/unknown format version, or fields that do not match the
+    declared structure family.
+
+    The scene registry treats this as a cache miss and rebuilds, so a
+    stale or damaged on-disk cache degrades to a rebuild instead of
+    producing a mis-deserialized structure.
+    """
 
 _FLAT_FIELDS = (
     "child_lo", "child_hi", "child_kind", "child_ref",
@@ -82,40 +98,77 @@ def save_structure(structure: MonolithicBVH | TwoLevelBVH, path: str | Path) -> 
 
 
 def load_structure(path: str | Path) -> MonolithicBVH | TwoLevelBVH:
-    """Load a structure saved by :func:`save_structure`."""
+    """Load a structure saved by :func:`save_structure`.
+
+    Raises
+    ------
+    StructureFormatError
+        If the file is not a readable archive, predates the format-version
+        field, declares a different format version, or is missing fields
+        its structure family requires.
+    """
     path = Path(path)
-    with np.load(path, allow_pickle=False) as data:
-        version = int(data["format_version"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(f"{path}: unsupported format version {version}")
-        family = str(data["family"])
-        if family == "two_level":
-            base_address, subdivisions = (int(v) for v in data["blas.meta"])
-            blas = SharedBlas(
-                kind=str(data["blas.kind"]),
-                base_address=base_address,
-                subdivisions=subdivisions,
-                bvh=_unpack_flat("blas.bvh", data) if "blas.bvh.meta" in data else None,
-                **{
-                    name: (data[f"blas.{name}"] if f"blas.{name}" in data else None)
-                    for name in _BLAS_OPTIONAL
-                },
-            )
-            return TwoLevelBVH(
-                tlas=_unpack_flat("tlas", data),
-                blas=blas,
-                n_gaussians=int(data["n_gaussians"]),
-                world_to_obj_linear=data["world_to_obj_linear"],
-                world_to_obj_offset=data["world_to_obj_offset"],
-            )
-        if family == "monolithic":
-            return MonolithicBVH(
-                proxy=str(data["proxy"]),
-                bvh=_unpack_flat("bvh", data),
-                n_gaussians=int(data["n_gaussians"]),
-                **{
-                    name: (data[name] if name in data else None)
-                    for name in _MONO_OPTIONAL
-                },
-            )
-        raise ValueError(f"{path}: unknown structure family {family!r}")
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, ValueError, EOFError, OSError) as exc:
+        if isinstance(exc, FileNotFoundError):
+            raise
+        raise StructureFormatError(f"{path}: not a readable structure archive: {exc}") from exc
+    if not isinstance(archive, np.lib.npyio.NpzFile):
+        # np.load happily returns a bare ndarray for .npy bytes; that is
+        # not a structure archive either.
+        raise StructureFormatError(f"{path}: not an npz structure archive")
+    try:
+        with archive as data:
+            return _load_from_archive(path, data)
+    except KeyError as exc:
+        raise StructureFormatError(f"{path}: missing field {exc.args[0]!r}") from exc
+    except (zipfile.BadZipFile, zlib.error, ValueError, EOFError, OSError) as exc:
+        # np.load only parses the zip directory up front; member bytes
+        # decompress lazily on first access, so in-member corruption (CRC
+        # mismatch, damaged deflate stream) surfaces here.
+        if isinstance(exc, StructureFormatError):
+            raise
+        raise StructureFormatError(f"{path}: corrupt archive member: {exc}") from exc
+
+
+def _load_from_archive(path: Path, data) -> MonolithicBVH | TwoLevelBVH:
+    if "format_version" not in data:
+        raise StructureFormatError(
+            f"{path}: no format version (file predates versioned format)")
+    version = int(data["format_version"])
+    if version != FORMAT_VERSION:
+        raise StructureFormatError(
+            f"{path}: unsupported format version {version} "
+            f"(this build reads version {FORMAT_VERSION})")
+    family = str(data["family"])
+    if family == "two_level":
+        base_address, subdivisions = (int(v) for v in data["blas.meta"])
+        blas = SharedBlas(
+            kind=str(data["blas.kind"]),
+            base_address=base_address,
+            subdivisions=subdivisions,
+            bvh=_unpack_flat("blas.bvh", data) if "blas.bvh.meta" in data else None,
+            **{
+                name: (data[f"blas.{name}"] if f"blas.{name}" in data else None)
+                for name in _BLAS_OPTIONAL
+            },
+        )
+        return TwoLevelBVH(
+            tlas=_unpack_flat("tlas", data),
+            blas=blas,
+            n_gaussians=int(data["n_gaussians"]),
+            world_to_obj_linear=data["world_to_obj_linear"],
+            world_to_obj_offset=data["world_to_obj_offset"],
+        )
+    if family == "monolithic":
+        return MonolithicBVH(
+            proxy=str(data["proxy"]),
+            bvh=_unpack_flat("bvh", data),
+            n_gaussians=int(data["n_gaussians"]),
+            **{
+                name: (data[name] if name in data else None)
+                for name in _MONO_OPTIONAL
+            },
+        )
+    raise StructureFormatError(f"{path}: unknown structure family {family!r}")

@@ -1,15 +1,18 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the workflows a user reaches for first:
+Five commands cover the workflows a user reaches for first:
 
 * ``workloads`` — list the six paper workloads with their generated
   statistics (the Table II inventory at the current scale).
 * ``render`` — render one scene to a PPM with any structure/mode
-  combination and print the render + timing summary.
+  combination and print the render + timing summary; ``--tiles`` /
+  ``--workers`` route it through the tile scheduler for multi-core runs.
 * ``experiment`` — regenerate one of the paper's tables/figures by id
   (``fig13``, ``table2``, ...) and print its table and ASCII chart.
 * ``structures`` — build every acceleration-structure variant for a
   scene and compare sizes (the Figure 5b / Table II comparison).
+* ``serve-bench`` — load-test the render service: tile-parallel speedup,
+  cached throughput with p50/p95 latency, and cache/build dedup rates.
 """
 
 from __future__ import annotations
@@ -46,6 +49,18 @@ def _build_parser() -> argparse.ArgumentParser:
     render.add_argument("--camera", default="pinhole",
                         choices=["pinhole", "fisheye", "equirect", "ortho"],
                         help="camera model")
+    render.add_argument("--seed", type=int, default=None,
+                        help="override the workload's scene seed (same seed "
+                             "=> bit-identical scene)")
+    render.add_argument("--tiles", type=int, default=0, metavar="N",
+                        help="render in NxN tiles through the tile scheduler "
+                             "(0 = untiled); pixels are identical, but the "
+                             "timing model sees tile-order ray dispatch, so "
+                             "its cache/latency numbers are not comparable "
+                             "with untiled runs")
+    render.add_argument("--workers", type=int, default=1,
+                        help="worker processes for tiled rendering "
+                             "(implies --tiles 16 when unset; 0 = one per core)")
 
     experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
     experiment.add_argument("exp_id", help="experiment id, e.g. fig13, table2; "
@@ -56,6 +71,23 @@ def _build_parser() -> argparse.ArgumentParser:
     structures = sub.add_parser("structures", help="compare structure sizes for a scene")
     structures.add_argument("scene")
     structures.add_argument("--scale", type=float, default=1 / 400.0)
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="benchmark the render service (throughput, latency, caches)")
+    serve_bench.add_argument("--scene", default="train")
+    serve_bench.add_argument("--size", type=int, default=64,
+                             help="frame size for the tile-speedup measurement")
+    serve_bench.add_argument("--request-size", type=int, default=24,
+                             help="frame size for the throughput workload")
+    serve_bench.add_argument("--scale", type=float, default=1 / 2000.0)
+    serve_bench.add_argument("--tile", type=int, default=16, help="tile edge")
+    serve_bench.add_argument("--workers", type=int, default=4,
+                             help="parallel worker count to compare against 1")
+    serve_bench.add_argument("--requests", type=int, default=60,
+                             help="total requests in the throughput workload")
+    serve_bench.add_argument("--unique", type=int, default=5,
+                             help="distinct request configs in the workload")
     return parser
 
 
@@ -113,13 +145,27 @@ def _cmd_render(args: argparse.Namespace) -> int:
     )
     from repro.eval.harness import build_structure_for
 
-    cloud = make_workload(args.scene, scale=args.scale)
+    if args.tiles < 0 or args.workers < 0:
+        print("--tiles and --workers must be >= 0", file=sys.stderr)
+        return 2
+    tiles = args.tiles
+    if tiles == 0 and args.workers != 1:
+        tiles = 16
+
+    cloud = make_workload(args.scene, scale=args.scale, seed=args.seed)
     structure = build_structure_for(cloud, args.proxy)
     checkpointing = args.mode in ("grtx-hw", "grtx")
     config = TraceConfig(k=args.k, checkpointing=checkpointing)
-    renderer = GaussianRayTracer(cloud, structure, config)
     camera = _make_camera(args.camera, cloud, args.size)
-    result = renderer.render(camera)
+    if tiles:
+        from repro.serve import TileScheduler
+
+        scheduler = TileScheduler(tile_size=(tiles, tiles), workers=args.workers)
+        result = scheduler.render(cloud, structure, config, camera,
+                                  keep_traces=True)
+    else:
+        renderer = GaussianRayTracer(cloud, structure, config)
+        result = renderer.render(camera)
     timing = replay(result.traces, GpuConfig.rtx_like())
     write_ppm(args.out, result.image)
     print(f"scene={args.scene} gaussians={len(cloud)} proxy={args.proxy} mode={args.mode}")
@@ -183,11 +229,29 @@ def _cmd_structures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve.bench import run_benchmark
+
+    report = run_benchmark(
+        scene=args.scene,
+        size=args.size,
+        request_size=args.request_size,
+        scale=args.scale,
+        tile=args.tile,
+        workers=args.workers,
+        requests=args.requests,
+        unique=args.unique,
+    )
+    print(report)
+    return 0
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "render": _cmd_render,
     "experiment": _cmd_experiment,
     "structures": _cmd_structures,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

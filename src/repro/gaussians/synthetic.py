@@ -116,9 +116,19 @@ def size_boost(scale: float) -> float:
     return float(scale ** -0.2)
 
 
-def make_scene(spec: SceneSpec, scale: float = DEFAULT_SCALE, sh_degree: int = 1) -> GaussianCloud:
-    """Generate the synthetic Gaussian cloud for one workload spec."""
-    rng = np.random.default_rng(spec.seed)
+def make_scene(
+    spec: SceneSpec,
+    scale: float = DEFAULT_SCALE,
+    sh_degree: int = 1,
+    seed: int | None = None,
+) -> GaussianCloud:
+    """Generate the synthetic Gaussian cloud for one workload spec.
+
+    ``seed`` overrides the spec's baked-in seed. All randomness flows from
+    this one value, so (spec, scale, sh_degree, seed) fully determines the
+    cloud bit-for-bit — the property the serving frame cache relies on.
+    """
+    rng = np.random.default_rng(spec.seed if seed is None else seed)
     n = spec.count_at_scale(scale)
     extent = spec.extent
 
@@ -309,10 +319,20 @@ WORKLOAD_SPECS: dict[str, SceneSpec] = {
 WORKLOAD_ORDER = ("train", "truck", "bonsai", "room", "drjohnson", "playroom")
 
 
-def make_workload(name: str, scale: float = DEFAULT_SCALE, sh_degree: int = 1) -> GaussianCloud:
-    """Generate one of the six named workloads at the given scale."""
+def make_workload(
+    name: str,
+    scale: float = DEFAULT_SCALE,
+    sh_degree: int = 1,
+    seed: int | None = None,
+) -> GaussianCloud:
+    """Generate one of the six named workloads at the given scale.
+
+    ``seed`` (when given) replaces the workload's default seed, producing
+    an alternate but equally reproducible realization of the same scene
+    statistics.
+    """
     key = name.lower()
     if key not in WORKLOAD_SPECS:
         known = ", ".join(sorted(WORKLOAD_SPECS))
         raise KeyError(f"unknown workload {name!r}; known workloads: {known}")
-    return make_scene(WORKLOAD_SPECS[key], scale=scale, sh_degree=sh_degree)
+    return make_scene(WORKLOAD_SPECS[key], scale=scale, sh_degree=sh_degree, seed=seed)

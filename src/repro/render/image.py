@@ -28,6 +28,13 @@ class ImageBuffer:
     def accumulate(self, pixel_id: int, color: np.ndarray, weight: float = 1.0) -> None:
         self.pixels[pixel_id] += weight * np.asarray(color)
 
+    def scatter(self, pixel_ids: np.ndarray, colors: np.ndarray) -> None:
+        """Assign a batch of pixels at once (tile reassembly)."""
+        colors = np.asarray(colors, dtype=np.float64)
+        if colors.shape != (len(pixel_ids), 3):
+            raise ValueError("colors must be (len(pixel_ids), 3)")
+        self.pixels[np.asarray(pixel_ids, dtype=np.int64)] = colors
+
 
 def psnr(a: np.ndarray, b: np.ndarray, peak: float = 1.0) -> float:
     """Peak signal-to-noise ratio between two images (dB)."""

@@ -8,7 +8,8 @@ traces, which :mod:`repro.hwsim` replays for cycle-level timing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import operator
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
@@ -62,6 +63,23 @@ class RenderStats:
         unique = self.unique_visits
         return self.total_visits / unique if unique else 0.0
 
+    #: Fields that are per-ray maxima rather than additive counters;
+    #: every other field merges by summation.
+    _MAX_FIELDS = ("ckpt_high_water", "evict_high_water")
+
+    def merge(self, other: "RenderStats") -> None:
+        """Fold another stats block into this one (tile reassembly).
+
+        Counters add; the checkpoint/eviction high-water marks are maxima
+        over rays, so the merged high water is the max of the parts. The
+        field set is derived from the dataclass so new counters merge
+        without touching this method.
+        """
+        for spec in fields(self):
+            name = spec.name
+            combine = max if name in self._MAX_FIELDS else operator.add
+            setattr(self, name, combine(getattr(self, name), getattr(other, name)))
+
     def absorb(self, trace: RayTrace, rounds: int, blended: int, terminated: bool) -> None:
         self.n_rays += 1
         if trace.label == "primary":
@@ -84,6 +102,21 @@ class RenderStats:
             self.false_positives += rt.false_positives
             self.checkpoints_written += rt.checkpoints_written
             self.evictions_written += rt.evictions_written
+
+
+@dataclass
+class BundleResult:
+    """Colors and bookkeeping for one traced batch of primary rays.
+
+    ``colors`` is aligned with the input ray order; ``pixel_ids`` maps each
+    ray back to its framebuffer slot, so a caller can scatter a partial
+    frame (a tile) into a full :class:`ImageBuffer`.
+    """
+
+    colors: np.ndarray
+    pixel_ids: np.ndarray
+    stats: RenderStats
+    traces: list[RayTrace] = field(repr=False, default_factory=list)
 
 
 @dataclass
@@ -139,15 +172,44 @@ class GaussianRayTracer:
         through the Gaussian scene (the Figure 23 setup).
         """
         bundle = camera.generate_rays()
+        result = self.trace_rays(
+            bundle.origins, bundle.directions, bundle.pixel_ids,
+            objects=objects, keep_traces=keep_traces,
+        )
         framebuffer = ImageBuffer(camera.width, camera.height)
+        framebuffer.scatter(result.pixel_ids, result.colors)
+        return RenderResult(
+            image=framebuffer.array,
+            stats=result.stats,
+            traces=result.traces,
+            config=self.config,
+            structure_bytes=self.structure.total_bytes,
+        )
+
+    def trace_rays(
+        self,
+        origins: np.ndarray,
+        directions: np.ndarray,
+        pixel_ids: np.ndarray,
+        objects: SceneObjects | None = None,
+        keep_traces: bool = True,
+    ) -> BundleResult:
+        """Trace an explicit batch of primary rays (a frame or a tile).
+
+        ``directions`` must already be unit-length, exactly as produced by
+        :meth:`PinholeCamera.generate_rays`; they are used as-is so that a
+        tile sliced out of a full-frame bundle traces bit-identically to
+        the untiled render.
+        """
+        n = origins.shape[0]
+        colors = np.zeros((n, 3), dtype=np.float64)
         stats = RenderStats()
         traces: list[RayTrace] = []
         tracer = self.tracer
 
-        for i in range(len(bundle)):
-            origin = bundle.origins[i]
-            direction = bundle.directions[i]
-            pixel = int(bundle.pixel_ids[i])
+        for i in range(n):
+            origin = origins[i]
+            direction = directions[i]
 
             t_obj = float("inf")
             obj = None
@@ -174,12 +236,11 @@ class GaussianRayTracer:
                 weight = outcome.transmittance
                 color = color + weight * np.asarray(obj.tint) * sec_outcome.color
 
-            framebuffer.set_pixel(pixel, color)
+            colors[i] = color
 
-        return RenderResult(
-            image=framebuffer.array,
+        return BundleResult(
+            colors=colors,
+            pixel_ids=np.asarray(pixel_ids, dtype=np.int64),
             stats=stats,
             traces=traces,
-            config=self.config,
-            structure_bytes=self.structure.total_bytes,
         )

@@ -1,0 +1,206 @@
+"""Load generator and throughput report for the render service.
+
+Three measurements, matching the serve subsystem's claims:
+
+1. **Tile-parallel speedup** — one cold frame rendered through the
+   :class:`TileScheduler` with 1 worker and with N workers; wall-clock
+   ratio. (This is a hardware measurement: on a single-core host the
+   ratio is ~1x and the report says how many cores were available.)
+2. **Cached throughput** — a deterministic repeated-request workload
+   against a :class:`RenderServer`: requests/second, p50/p95 latency and
+   the frame-cache hit rate.
+3. **Build dedup** — distinct (scene, proxy) pairs vs. structures
+   actually built; redundant builds must be zero.
+
+Used by ``python -m repro serve-bench`` and by
+``benchmarks/bench_serve_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.report import format_table
+from repro.rt import TraceConfig
+from repro.serve.registry import SceneRegistry
+from repro.serve.request import RenderRequest
+from repro.serve.server import RenderServer
+from repro.serve.tiles import TileScheduler, available_cores
+
+
+@dataclass
+class BenchReport:
+    """Human-readable report plus the raw numbers behind it."""
+
+    report: str
+    metrics: dict
+
+    def __str__(self) -> str:
+        return self.report
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(samples), q))
+
+
+def bench_tile_speedup(
+    scene: str,
+    size: int,
+    scale: float,
+    tile: int,
+    workers: int,
+    proxy: str = "tlas+sphere",
+) -> dict:
+    """Wall-clock for one cold frame, 1 worker vs ``workers`` workers."""
+    registry = SceneRegistry()
+    cloud, _ = registry.scene(RenderRequest(scene=scene, scale=scale).scene_ref)
+    structure = registry.structure(RenderRequest(scene=scene, scale=scale).scene_ref, proxy)
+    config = TraceConfig(k=8, checkpointing=True)
+    from repro.render import default_camera_for
+
+    camera = default_camera_for(cloud, size, size)
+
+    timings = {}
+    for n in dict.fromkeys((1, workers)):  # workers == 1: render once
+        scheduler = TileScheduler(tile_size=(tile, tile), workers=n)
+        t0 = time.perf_counter()
+        result = scheduler.render(cloud, structure, config, camera)
+        timings[n] = time.perf_counter() - t0
+        assert result.stats.n_rays >= size * size
+    return {
+        "frame": f"{size}x{size}",
+        "tile": tile,
+        "workers": workers,
+        "cores_available": available_cores(),
+        "t_serial_s": timings[1],
+        "t_parallel_s": timings[workers],
+        "speedup": timings[1] / timings[workers] if timings[workers] > 0 else 0.0,
+    }
+
+
+def _workload_requests(
+    scene: str, size: int, scale: float, proxies: tuple[str, ...],
+    unique: int, total: int,
+) -> list[RenderRequest]:
+    """A deterministic repeated-request trace over ``unique`` configs.
+
+    Raises :class:`ValueError` for degenerate workloads (no unique
+    configs, or fewer total requests than unique configs).
+
+    Distinct configs alternate proxies and step the k-buffer capacity —
+    both are frame-key fields, and (proxy, k) pairs never repeat for any
+    ``unique``, so each config really is a distinct cache entry. The
+    repetition order is a fixed shuffle (rng seed 0): every unique config
+    appears, and repeats arrive interleaved the way real traffic would.
+    """
+    if unique < 1:
+        raise ValueError("--unique must be >= 1")
+    if total < unique:
+        raise ValueError(f"--requests ({total}) must be >= --unique ({unique})")
+    uniques = [
+        RenderRequest(
+            scene=scene, scale=scale, width=size, height=size,
+            proxy=proxies[i % len(proxies)], k=4 + i // len(proxies),
+        )
+        for i in range(unique)
+    ]
+    rng = np.random.default_rng(0)
+    picks = list(range(unique)) + list(rng.integers(0, unique, size=total - unique))
+    order = rng.permutation(len(picks))
+    # Keep one guaranteed first-appearance of each unique config, then a
+    # random mix; the permutation interleaves them.
+    return [uniques[picks[i]] for i in order]
+
+
+def bench_throughput(
+    scene: str,
+    size: int,
+    scale: float,
+    proxies: tuple[str, ...],
+    unique: int,
+    total: int,
+    tile: int,
+) -> dict:
+    """Run the repeated-request workload through a server; measure."""
+    registry = SceneRegistry()
+    requests = _workload_requests(scene, size, scale, proxies, unique, total)
+    latencies: list[float] = []
+    with RenderServer(registry=registry, frame_cache_size=max(64, unique),
+                      tile_size=(tile, tile), workers=1) as server:
+        t0 = time.perf_counter()
+        for request in requests:
+            response = server.render(request)
+            latencies.append(response.latency_s)
+        wall = time.perf_counter() - t0
+        snapshot = server.stats_report()
+
+    distinct_pairs = {(req.scene_ref.key, req.proxy) for req in requests}
+    builds = registry.builds
+    return {
+        "requests": total,
+        "unique_configs": unique,
+        "wall_s": wall,
+        "throughput_rps": total / wall if wall > 0 else 0.0,
+        "p50_ms": _percentile(latencies, 50) * 1e3,
+        "p95_ms": _percentile(latencies, 95) * 1e3,
+        "frame_hit_rate": snapshot["server"]["frame_hit_rate"],
+        "frame_hits": snapshot["server"]["frame_hits"],
+        "rendered": snapshot["server"]["rendered"],
+        "distinct_scene_proxy_pairs": len(distinct_pairs),
+        "bvh_builds": builds,
+        "redundant_builds": builds - len(distinct_pairs),
+    }
+
+
+def run_benchmark(
+    scene: str = "train",
+    size: int = 64,
+    request_size: int = 24,
+    scale: float = 1.0 / 2000.0,
+    tile: int = 16,
+    workers: int = 4,
+    requests: int = 60,
+    unique: int = 5,
+    proxies: tuple[str, ...] = ("tlas+sphere", "20-tri"),
+) -> BenchReport:
+    """Run all three measurements and format the report."""
+    speedup = bench_tile_speedup(scene, size, scale, tile, workers)
+    traffic = bench_throughput(scene, request_size, scale, proxies,
+                               unique, requests, tile)
+
+    sections = [
+        format_table(
+            f"serve-bench 1/3: tile-parallel speedup (cold {speedup['frame']} frame, "
+            f"{speedup['cores_available']} core(s) available)",
+            ["tile", "workers", "serial (s)", "parallel (s)", "speedup"],
+            [[f"{tile}x{tile}", speedup["workers"],
+              f"{speedup['t_serial_s']:.2f}", f"{speedup['t_parallel_s']:.2f}",
+              f"{speedup['speedup']:.2f}x"]],
+        ),
+        format_table(
+            f"serve-bench 2/3: cached throughput ({requests} requests, "
+            f"{unique} unique configs, {request_size}x{request_size})",
+            ["throughput (req/s)", "p50 (ms)", "p95 (ms)", "frame-cache hit rate"],
+            [[f"{traffic['throughput_rps']:.1f}", f"{traffic['p50_ms']:.3f}",
+              f"{traffic['p95_ms']:.1f}", f"{traffic['frame_hit_rate']:.1%}"]],
+        ),
+        format_table(
+            "serve-bench 3/3: BVH build dedup",
+            ["distinct (scene, proxy)", "structures built", "redundant builds"],
+            [[traffic["distinct_scene_proxy_pairs"], traffic["bvh_builds"],
+              traffic["redundant_builds"]]],
+        ),
+    ]
+    summary = (
+        f"summary: speedup {speedup['speedup']:.2f}x with {workers} workers "
+        f"on {speedup['cores_available']} core(s) | "
+        f"frame-cache hit rate {traffic['frame_hit_rate']:.1%} | "
+        f"redundant BVH builds {traffic['redundant_builds']}"
+    )
+    return BenchReport(
+        report="\n\n".join(sections) + "\n\n" + summary,
+        metrics={"speedup": speedup, "traffic": traffic},
+    )

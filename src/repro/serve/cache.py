@@ -1,0 +1,100 @@
+"""Thread-safe LRU cache with hit/miss accounting.
+
+Both serve-side caches — built acceleration structures in the
+:class:`~repro.serve.registry.SceneRegistry` and finished frames in the
+:class:`~repro.serve.server.RenderServer` — are bounded LRU maps whose
+hit rates are first-class service metrics, so the counters live here
+rather than in the callers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A snapshot of one cache's counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """A bounded least-recently-used map.
+
+    ``get`` refreshes recency; ``put`` evicts the least recently used
+    entry once ``capacity`` is exceeded. All operations take an internal
+    lock so the server can share one instance across request threads.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            if key not in self._entries:
+                self.misses += 1
+                return default
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Read without touching recency or the hit/miss counters."""
+        with self._lock:
+            return self._entries.get(key, default)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            return self._entries.pop(key, default)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )

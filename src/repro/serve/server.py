@@ -1,0 +1,311 @@
+"""The request-serving front end.
+
+:class:`RenderServer` sits above the registry and the tile scheduler and
+adds the two behaviors a service needs under repeated traffic:
+
+* a **frame cache** — finished frames keyed by (scene content hash,
+  camera, trace config), so an identical request is answered without
+  tracing a single ray;
+* **in-flight coalescing** — concurrent identical requests share one
+  render: the first becomes the leader, the rest block on its completion
+  and are answered from the fresh cache entry (the classic
+  cache-stampede guard).
+
+``render()`` is synchronous; ``submit()`` runs the same path on a small
+thread pool and returns a :class:`~repro.serve.request.RenderJob`;
+``render_batch()`` dedupes a whole batch before dispatching it.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.bvh import BuildParams
+from repro.render.renderer import RenderResult
+from repro.serve.cache import LRUCache
+from repro.serve.registry import SceneRegistry
+from repro.serve.request import RenderJob, RenderRequest, RenderResponse
+from repro.serve.tiles import TileScheduler
+
+
+@dataclass
+class ServerMetrics:
+    """Aggregate request counters (cache behavior and work done)."""
+
+    requests: int = 0
+    frame_hits: int = 0
+    coalesced: int = 0
+    rendered: int = 0
+    render_seconds: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def count(self, field_name: str, amount: float = 1) -> None:
+        with self._lock:
+            setattr(self, field_name, getattr(self, field_name) + amount)
+
+    @property
+    def frame_hit_rate(self) -> float:
+        return self.frame_hits / self.requests if self.requests else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "frame_hits": self.frame_hits,
+                "coalesced": self.coalesced,
+                "rendered": self.rendered,
+                "render_seconds": round(self.render_seconds, 6),
+                "frame_hit_rate": round(self.frame_hit_rate, 4),
+            }
+
+
+class _InFlight:
+    """One leader-owned render that followers wait on."""
+
+    __slots__ = ("event", "response", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: RenderResponse | None = None
+        self.error: BaseException | None = None
+
+
+class RenderServer:
+    """Serves render requests with scene, structure, and frame caching.
+
+    Parameters
+    ----------
+    registry:
+        Scene/structure registry to use (a private one is created when
+        omitted; pass ``cache_dir`` through it for disk persistence).
+    frame_cache_size:
+        Entries in the finished-frame LRU.
+    tile_size / workers:
+        Tiling configuration forwarded to :class:`TileScheduler`.
+    submit_workers:
+        Thread-pool width for the async ``submit()`` API.
+    """
+
+    def __init__(
+        self,
+        registry: SceneRegistry | None = None,
+        frame_cache_size: int = 64,
+        tile_size: tuple[int, int] = (16, 16),
+        workers: int = 1,
+        build_params: BuildParams | None = None,
+        submit_workers: int = 2,
+    ) -> None:
+        self.registry = registry or SceneRegistry()
+        self.scheduler = TileScheduler(tile_size=tile_size, workers=workers)
+        self.build_params = build_params or BuildParams()
+        self._frames = LRUCache(frame_cache_size)
+        # Constructed tracers (shading setup is O(scene)) reused across
+        # frames of the same (scene, structure, config) in serial mode.
+        self._tracers = LRUCache(16)
+        self._inflight: dict[tuple, _InFlight] = {}
+        self._inflight_lock = threading.Lock()
+        self.metrics = ServerMetrics()
+        self._executor = ThreadPoolExecutor(
+            max_workers=submit_workers, thread_name_prefix="repro-serve")
+        self._closed = False
+
+    # -- sync API -------------------------------------------------------
+
+    def render(self, request: RenderRequest) -> RenderResponse:
+        """Serve one request: frame cache, then coalesce, then render."""
+        if self._closed:
+            raise RuntimeError("server is closed")
+        return self._serve(request)
+
+    def _serve(self, request: RenderRequest) -> RenderResponse:
+        # The internal path skips the closed check so jobs already
+        # accepted by submit() drain during close() instead of failing.
+        started = time.perf_counter()
+        self.metrics.count("requests")
+
+        cloud, scene_hash = self.registry.scene(request.scene_ref)
+        key = request.frame_key(scene_hash)
+
+        cached = self._frames.get(key)
+        if cached is not None:
+            self.metrics.count("frame_hits")
+            return self._respond(request, cached, scene_hash, started,
+                                 frame_cache_hit=True)
+
+        entry, leader = self._join_or_lead(key)
+        if not leader:
+            entry.event.wait()
+            if entry.error is not None:
+                raise entry.error
+            self.metrics.count("coalesced")
+            result = entry.response
+            return self._respond(request, result, scene_hash, started,
+                                 coalesced=True)
+
+        # Re-check under leadership: a previous leader may have finished
+        # (and vacated the in-flight table) between our miss above and
+        # now — the classic stampede window.
+        cached = self._frames.get(key)
+        if cached is not None:
+            entry.response = cached
+            entry.event.set()
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+            self.metrics.count("frame_hits")
+            return self._respond(request, cached, scene_hash, started,
+                                 frame_cache_hit=True)
+
+        try:
+            result = self._render_now(request, cloud)
+            self._frames.put(key, result)
+            entry.response = result
+        except BaseException as exc:
+            entry.error = exc
+            raise
+        finally:
+            entry.event.set()
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+        return self._respond(request, result, scene_hash, started)
+
+    def render_batch(self, requests: list[RenderRequest]) -> list[RenderResponse]:
+        """Serve a batch, computing each distinct frame at most once.
+
+        Within-batch duplicates are answered from the response their
+        first occurrence produced (counted as frame hits) — guaranteed
+        even when the batch holds more distinct frames than the frame
+        cache does.
+        """
+        produced: dict[tuple, RenderResponse] = {}
+        responses = []
+        for request in requests:
+            started = time.perf_counter()
+            _, scene_hash = self.registry.scene(request.scene_ref)
+            key = request.frame_key(scene_hash)
+            lead = produced.get(key)
+            if lead is not None:
+                self.metrics.count("requests")
+                self.metrics.count("frame_hits")
+                responses.append(self._respond(request, lead, scene_hash,
+                                               started, frame_cache_hit=True))
+                continue
+            response = self.render(request)
+            produced[key] = response
+            responses.append(response)
+        return responses
+
+    # -- async API ------------------------------------------------------
+
+    def submit(self, request: RenderRequest) -> RenderJob:
+        """Queue a request; returns a job whose ``result()`` blocks."""
+        if self._closed:
+            raise RuntimeError("server is closed")
+        job = RenderJob(request=request)
+
+        def _run() -> None:
+            try:
+                job.future.set_result(self._serve(request))
+            except BaseException as exc:
+                job.future.set_exception(exc)
+
+        self._executor.submit(_run)
+        return job
+
+    def close(self) -> None:
+        """Stop accepting work, drain queued jobs, release the pool."""
+        self._closed = True
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "RenderServer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- internals ------------------------------------------------------
+
+    def _join_or_lead(self, key: tuple) -> tuple[_InFlight, bool]:
+        with self._inflight_lock:
+            entry = self._inflight.get(key)
+            if entry is not None:
+                return entry, False
+            entry = self._inflight[key] = _InFlight()
+            return entry, True
+
+    def _render_now(self, request: RenderRequest, cloud) -> RenderResult:
+        structure = self.registry.structure(
+            request.scene_ref, request.proxy, self.build_params)
+        camera = self._camera_for(request, cloud)
+        config = request.trace_config()
+        renderer = None
+        tracer_key = None
+        if self.scheduler.workers <= 1:
+            # Check the tracer *out* of the cache (pop, not get): Tracer
+            # keeps per-ray scratch state, so two threads must never
+            # trace through one instance concurrently. A concurrent
+            # request simply builds its own.
+            tracer_key = (id(cloud), id(structure), config.k,
+                          config.checkpointing)
+            renderer = self._tracers.pop(tracer_key)
+            if renderer is None:
+                from repro.render.renderer import GaussianRayTracer
+
+                renderer = GaussianRayTracer(cloud, structure, config)
+        t0 = time.perf_counter()
+        try:
+            result = self.scheduler.render(
+                cloud, structure, config, camera, renderer=renderer)
+        finally:
+            if renderer is not None:
+                self._tracers.put(tracer_key, renderer)
+        self.metrics.count("rendered")
+        self.metrics.count("render_seconds", time.perf_counter() - t0)
+        return result
+
+    def _camera_for(self, request: RenderRequest, cloud):
+        from repro.render import default_camera_for
+
+        if request.camera != "pinhole":
+            raise ValueError(
+                f"unsupported camera {request.camera!r}; the service renders "
+                "pinhole views (extend _camera_for to add more)")
+        return default_camera_for(cloud, request.width, request.height)
+
+    def _respond(
+        self,
+        request: RenderRequest,
+        result: RenderResult | RenderResponse,
+        scene_hash: str,
+        started: float,
+        frame_cache_hit: bool = False,
+        coalesced: bool = False,
+    ) -> RenderResponse:
+        # Cached frames are shared between responses; hand out copies so
+        # one caller mutating its image or stats cannot poison the cache.
+        return RenderResponse(
+            request=request,
+            image=result.image.copy(),
+            scene_hash=scene_hash,
+            stats=copy.copy(result.stats),
+            frame_cache_hit=frame_cache_hit,
+            coalesced=coalesced,
+            latency_s=time.perf_counter() - started,
+        )
+
+    # -- reporting ------------------------------------------------------
+
+    @property
+    def frame_cache_stats(self):
+        return self._frames.stats
+
+    def stats_report(self) -> dict[str, object]:
+        """One dict with every serving counter (metrics + caches)."""
+        return {
+            "server": self.metrics.snapshot(),
+            "frame_cache": self._frames.stats,
+            "registry": self.registry.counters(),
+        }

@@ -1,0 +1,223 @@
+"""Tile decomposition and the multi-core tile scheduler.
+
+A frame is embarrassingly parallel across pixels: the tracer carries no
+cross-ray state, so any partition of the primary-ray bundle renders the
+same image. The scheduler splits the frame into rectangular tiles,
+renders them on a ``multiprocessing`` pool (workers hold the scene and
+acceleration structure, built once per worker), and scatters the tiles
+back into one :class:`~repro.render.image.ImageBuffer`.
+
+Pixel-exactness is the contract: the parent generates the *full* camera
+bundle once and hands each worker verbatim slices of it, so a tiled
+render — serial or parallel, any tile size — is bit-identical to the
+untiled render. (Re-deriving rays per tile could differ in the last ulp;
+slicing cannot.)
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bvh.monolithic import MonolithicBVH
+from repro.bvh.two_level import TwoLevelBVH
+from repro.gaussians import GaussianCloud
+from repro.render.effects import SceneObjects
+from repro.render.image import ImageBuffer
+from repro.render.renderer import GaussianRayTracer, RenderResult, RenderStats
+from repro.rt import TraceConfig
+
+
+def available_cores() -> int:
+    """Cores this process may actually run on (affinity-aware).
+
+    ``mp.cpu_count()`` reports the host's cores even inside a cgroup or
+    taskset pinned to a subset; sizing a pool by it oversubscribes.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One rectangular region of a frame (pixel coordinates)."""
+
+    x0: int
+    y0: int
+    width: int
+    height: int
+
+    @property
+    def n_pixels(self) -> int:
+        return self.width * self.height
+
+    def pixel_ids(self, frame_width: int) -> np.ndarray:
+        """Row-major global pixel ids covered by this tile."""
+        rows = np.arange(self.y0, self.y0 + self.height, dtype=np.int64)
+        cols = np.arange(self.x0, self.x0 + self.width, dtype=np.int64)
+        return (rows[:, None] * frame_width + cols[None, :]).reshape(-1)
+
+
+def split_frame(width: int, height: int, tile_width: int, tile_height: int) -> list[Tile]:
+    """Cover a frame with tiles; edge tiles shrink to fit.
+
+    Works for any frame/tile size combination, including frames smaller
+    than one tile and non-divisible sizes (a 33x17 frame under 8x8 tiles
+    gets 1-wide and 1-tall remainder tiles).
+    """
+    if width < 1 or height < 1:
+        raise ValueError("frame dimensions must be positive")
+    if tile_width < 1 or tile_height < 1:
+        raise ValueError("tile dimensions must be positive")
+    tiles = []
+    for y0 in range(0, height, tile_height):
+        for x0 in range(0, width, tile_width):
+            tiles.append(Tile(
+                x0=x0,
+                y0=y0,
+                width=min(tile_width, width - x0),
+                height=min(tile_height, height - y0),
+            ))
+    return tiles
+
+
+# ---------------------------------------------------------------------------
+# Worker-side state. Each pool worker builds its renderer once from the
+# (cloud, structure, config) shipped by the initializer, then renders any
+# number of tiles against it.
+
+_worker_renderer: GaussianRayTracer | None = None
+_worker_objects: SceneObjects | None = None
+
+
+def _init_worker(cloud, structure, config, objects) -> None:
+    global _worker_renderer, _worker_objects
+    _worker_renderer = GaussianRayTracer(cloud, structure, config)
+    _worker_objects = objects
+
+
+def _render_tile(task):
+    index, origins, directions, pixel_ids, keep_traces = task
+    result = _worker_renderer.trace_rays(
+        origins, directions, pixel_ids,
+        objects=_worker_objects, keep_traces=keep_traces,
+    )
+    return index, result
+
+
+class TileScheduler:
+    """Fans a frame out over tiles and (optionally) worker processes.
+
+    Parameters
+    ----------
+    tile_size:
+        ``(width, height)`` of a tile in pixels.
+    workers:
+        Process count. ``1`` renders tiles serially in-process (no pool,
+        no pickling); ``>1`` uses a ``multiprocessing`` pool. ``0`` or
+        ``None`` means one worker per available core.
+    start_method:
+        Forwarded to :func:`multiprocessing.get_context`. By default the
+        method is chosen per render: ``fork`` (cheap scene shipping) when
+        the process is still single-threaded, ``spawn`` otherwise —
+        forking a multi-threaded process (e.g. from RenderServer submit
+        threads) can deadlock children on locks the fork snapshotted.
+    """
+
+    def __init__(
+        self,
+        tile_size: tuple[int, int] = (16, 16),
+        workers: int | None = 1,
+        start_method: str | None = None,
+    ) -> None:
+        self.tile_width, self.tile_height = int(tile_size[0]), int(tile_size[1])
+        if self.tile_width < 1 or self.tile_height < 1:
+            raise ValueError("tile dimensions must be positive")
+        if workers is None or workers == 0:
+            workers = available_cores()
+        if workers < 1:
+            raise ValueError("workers must be >= 1 (or 0/None for auto)")
+        self.workers = workers
+        self.start_method = start_method
+
+    def _resolve_start_method(self) -> str:
+        if self.start_method is not None:
+            return self.start_method
+        if "fork" in mp.get_all_start_methods() and threading.active_count() == 1:
+            return "fork"
+        return "spawn"
+
+    def render(
+        self,
+        cloud: GaussianCloud,
+        structure: MonolithicBVH | TwoLevelBVH,
+        config: TraceConfig,
+        camera,
+        objects: SceneObjects | None = None,
+        keep_traces: bool = False,
+        renderer: GaussianRayTracer | None = None,
+    ) -> RenderResult:
+        """Render one frame tile-by-tile; returns a normal RenderResult.
+
+        Any camera type works: tiles are cut out of the camera's own
+        full-frame bundle. Traces default to off (they are the expensive
+        part to ship between processes); enable ``keep_traces`` when the
+        caller needs a timing replay. ``renderer`` lets a caller reuse an
+        already-constructed tracer for this (cloud, structure, config) —
+        per-frame shading setup is O(scene) — and only applies to the
+        serial path (pool workers build their own from the initargs).
+        """
+        bundle = camera.generate_rays()
+        tiles = split_frame(camera.width, camera.height,
+                            self.tile_width, self.tile_height)
+        tasks = []
+        for index, tile in enumerate(tiles):
+            ids = tile.pixel_ids(camera.width)
+            tasks.append((
+                index,
+                bundle.origins[ids],
+                bundle.directions[ids],
+                bundle.pixel_ids[ids],
+                keep_traces,
+            ))
+
+        n_workers = min(self.workers, len(tasks))
+        if n_workers <= 1:
+            if renderer is None:
+                renderer = GaussianRayTracer(cloud, structure, config)
+            results = [
+                (index, renderer.trace_rays(o, d, ids, objects=objects,
+                                            keep_traces=keep))
+                for index, o, d, ids, keep in tasks
+            ]
+        else:
+            ctx = mp.get_context(self._resolve_start_method())
+            with ctx.Pool(
+                processes=n_workers,
+                initializer=_init_worker,
+                initargs=(cloud, structure, config, objects),
+            ) as pool:
+                results = pool.map(_render_tile, tasks, chunksize=1)
+
+        framebuffer = ImageBuffer(camera.width, camera.height)
+        stats = RenderStats()
+        traces = []
+        for _, part in sorted(results, key=lambda item: item[0]):
+            framebuffer.scatter(part.pixel_ids, part.colors)
+            stats.merge(part.stats)
+            if keep_traces:
+                traces.extend(part.traces)
+
+        return RenderResult(
+            image=framebuffer.array,
+            stats=stats,
+            traces=traces,
+            config=config,
+            structure_bytes=structure.total_bytes,
+        )

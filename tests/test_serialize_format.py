@@ -1,0 +1,114 @@
+"""Format-version and corrupt-input handling for structure archives.
+
+Anything unreadable must surface as :class:`StructureFormatError` (so the
+scene registry can treat it as a cache miss) — never as a bare KeyError
+from deep inside numpy, and never as a silently mis-deserialized tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bvh import (
+    FORMAT_VERSION,
+    StructureFormatError,
+    load_structure,
+    save_structure,
+)
+from repro.eval.harness import build_structure_for
+from repro.gaussians import make_workload
+
+
+@pytest.fixture(scope="module")
+def structure():
+    cloud = make_workload("train", scale=1.0 / 10000.0)
+    return build_structure_for(cloud, "tlas+sphere")
+
+
+def test_round_trip_still_works(structure, tmp_path):
+    path = tmp_path / "ok.npz"
+    save_structure(structure, path)
+    loaded = load_structure(path)
+    assert loaded.total_bytes == structure.total_bytes
+
+
+def test_garbage_bytes_rejected(tmp_path):
+    path = tmp_path / "garbage.npz"
+    path.write_bytes(b"\x00\x01definitely not a zip archive")
+    with pytest.raises(StructureFormatError, match="not a readable"):
+        load_structure(path)
+
+
+def test_plain_npy_rejected(tmp_path):
+    """A bare .npy array (np.load succeeds!) is not an archive."""
+    path = tmp_path / "bare.npz"
+    with open(path, "wb") as handle:
+        np.save(handle, np.zeros(4))
+    with pytest.raises(StructureFormatError, match="not an npz"):
+        load_structure(path)
+
+
+def test_truncated_archive_rejected(structure, tmp_path):
+    path = tmp_path / "truncated.npz"
+    save_structure(structure, path)
+    path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+    with pytest.raises(StructureFormatError):
+        load_structure(path)
+
+
+def test_in_member_corruption_rejected(structure, tmp_path):
+    """Damage inside a member body (valid zip directory) is caught too.
+
+    np.load parses only the zip directory up front; member bytes
+    decompress lazily, so this corruption surfaces mid-deserialization.
+    """
+    path = tmp_path / "bitrot.npz"
+    save_structure(structure, path)
+    blob = bytearray(path.read_bytes())
+    middle = len(blob) // 2
+    blob[middle : middle + 16] = b"\xff" * 16
+    path.write_bytes(bytes(blob))
+    with pytest.raises(StructureFormatError):
+        load_structure(path)
+
+
+def test_unversioned_archive_rejected(tmp_path):
+    """A pre-versioning file (no format_version field) is refused."""
+    path = tmp_path / "unversioned.npz"
+    np.savez_compressed(path, family=np.array("monolithic"))
+    with pytest.raises(StructureFormatError, match="no format version"):
+        load_structure(path)
+
+
+def test_future_version_rejected(tmp_path):
+    path = tmp_path / "future.npz"
+    np.savez_compressed(path,
+                        format_version=np.int64(FORMAT_VERSION + 1),
+                        family=np.array("monolithic"))
+    with pytest.raises(StructureFormatError, match="unsupported format version"):
+        load_structure(path)
+
+
+def test_unknown_family_rejected(tmp_path):
+    path = tmp_path / "family.npz"
+    np.savez_compressed(path,
+                        format_version=np.int64(FORMAT_VERSION),
+                        family=np.array("octree"))
+    with pytest.raises(StructureFormatError, match="unknown structure family"):
+        load_structure(path)
+
+
+def test_missing_fields_rejected(tmp_path):
+    """Right version + family but no payload arrays: clean refusal."""
+    path = tmp_path / "hollow.npz"
+    np.savez_compressed(path,
+                        format_version=np.int64(FORMAT_VERSION),
+                        family=np.array("monolithic"))
+    with pytest.raises(StructureFormatError, match="missing field"):
+        load_structure(path)
+
+
+def test_missing_file_is_not_a_format_error(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_structure(tmp_path / "nope.npz")

@@ -1,0 +1,276 @@
+"""Serving layer: registry dedup, frame cache, coalescing, jobs.
+
+Frames here are tiny (the serving behaviors under test are cache and
+scheduling logic, not tracer quality), and scenes are generated at
+1/10000 scale so each cold render costs well under a second.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.gaussians import make_workload
+from repro.serve import (
+    LRUCache,
+    RenderRequest,
+    RenderServer,
+    SceneRef,
+    SceneRegistry,
+    cloud_fingerprint,
+)
+
+SCALE = 1.0 / 10000.0
+
+
+def _request(**overrides) -> RenderRequest:
+    defaults = dict(scene="train", scale=SCALE, width=8, height=6)
+    defaults.update(overrides)
+    return RenderRequest(**defaults)
+
+
+class TestLRUCache:
+    def test_eviction_order_and_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1          # refreshes 'a'
+        cache.put("c", 3)                    # evicts 'b'
+        assert cache.get("b") is None
+        assert cache.get("c") == 3
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.evictions) == (2, 1, 1)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestSceneSeeding:
+    def test_same_seed_bit_identical(self):
+        a = make_workload("train", scale=SCALE, seed=5)
+        b = make_workload("train", scale=SCALE, seed=5)
+        assert cloud_fingerprint(a) == cloud_fingerprint(b)
+        assert np.array_equal(a.means, b.means)
+
+    def test_fingerprint_covers_kappa(self):
+        from dataclasses import replace
+
+        cloud = make_workload("train", scale=SCALE)
+        assert cloud_fingerprint(cloud) != cloud_fingerprint(replace(cloud, kappa=2.0))
+
+    def test_seed_overrides_default(self):
+        default = make_workload("train", scale=SCALE)
+        reseeded = make_workload("train", scale=SCALE, seed=5)
+        assert cloud_fingerprint(default) != cloud_fingerprint(reseeded)
+
+    def test_scene_ref_key_includes_seed(self):
+        assert SceneRef("train", SCALE, seed=1).key != SceneRef("train", SCALE, seed=2).key
+
+    def test_request_rejects_conflicting_ref_and_overrides(self):
+        ref = SceneRef("train", SCALE, seed=3)
+        with pytest.raises(ValueError, match="on the ref"):
+            RenderRequest(scene=ref, seed=5)
+        with pytest.raises(ValueError, match="on the ref"):
+            RenderRequest(scene=ref, scale=SCALE)
+        assert RenderRequest(scene=ref).scene_ref is ref
+
+
+class TestSceneRegistry:
+    def test_structure_built_once_per_key(self):
+        registry = SceneRegistry()
+        ref = SceneRef("train", SCALE)
+        first = registry.structure(ref, "tlas+sphere")
+        second = registry.structure(ref, "tlas+sphere")
+        assert first is second
+        assert registry.builds == 1
+
+    def test_distinct_proxy_is_distinct_build(self):
+        registry = SceneRegistry()
+        ref = SceneRef("train", SCALE)
+        registry.structure(ref, "tlas+sphere")
+        registry.structure(ref, "20-tri")
+        assert registry.builds == 2
+
+    def test_disk_warm_start(self, tmp_path):
+        ref = SceneRef("train", SCALE)
+        cold = SceneRegistry(cache_dir=tmp_path)
+        built = cold.structure(ref, "tlas+sphere")
+        assert cold.builds == 1 and cold.disk_hits == 0
+
+        warm = SceneRegistry(cache_dir=tmp_path)
+        loaded = warm.structure(ref, "tlas+sphere")
+        assert warm.builds == 0 and warm.disk_hits == 1
+        assert loaded.total_bytes == built.total_bytes
+
+    def test_unwritable_cache_dir_degrades_gracefully(self, tmp_path, monkeypatch):
+        """A failing disk write (full/read-only disk) must not fail the
+        request — the in-memory build is still good.
+
+        (Simulated via monkeypatch: chmod tricks don't work under root,
+        which is how CI containers run.)
+        """
+        registry = SceneRegistry(cache_dir=tmp_path)
+
+        def disk_full(structure, path):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr("repro.serve.registry.save_structure", disk_full)
+        structure = registry.structure(SceneRef("train", SCALE), "tlas+sphere")
+        assert structure is not None
+        assert registry.builds == 1
+        assert registry.disk_write_errors == 1
+        # ... and the in-memory cache still serves it.
+        assert registry.structure(SceneRef("train", SCALE), "tlas+sphere") is structure
+
+    def test_corrupt_disk_entry_is_rebuilt(self, tmp_path):
+        ref = SceneRef("train", SCALE)
+        cold = SceneRegistry(cache_dir=tmp_path)
+        cold.structure(ref, "tlas+sphere")
+        archives = list(tmp_path.glob("*.npz"))
+        assert len(archives) == 1
+        archives[0].write_bytes(b"not a structure archive")
+
+        recovering = SceneRegistry(cache_dir=tmp_path)
+        structure = recovering.structure(ref, "tlas+sphere")
+        assert structure is not None
+        assert recovering.disk_rejects == 1
+        assert recovering.builds == 1
+
+
+class TestBenchWorkload:
+    def test_unique_configs_are_actually_unique(self):
+        from repro.serve.bench import _workload_requests
+
+        requests = _workload_requests("train", 8, SCALE,
+                                      ("tlas+sphere", "20-tri"),
+                                      unique=12, total=20)
+        keys = {req.frame_key("h") for req in requests}
+        assert len(keys) == 12
+
+
+class TestRenderServer:
+    def test_repeat_request_hits_frame_cache(self):
+        with RenderServer(workers=1) as server:
+            request = _request()
+            miss = server.render(request)
+            hit = server.render(request)
+        assert not miss.frame_cache_hit and hit.frame_cache_hit
+        assert np.array_equal(miss.image, hit.image)
+        assert miss.scene_hash == hit.scene_hash
+        assert server.metrics.rendered == 1
+
+    def test_cached_image_is_isolated_from_callers(self):
+        with RenderServer(workers=1) as server:
+            request = _request()
+            first = server.render(request)
+            first.image[:] = -1.0
+            first.stats.n_rays = -999
+            second = server.render(request)
+        assert not np.array_equal(first.image, second.image)
+        assert second.stats.n_rays == 8 * 6
+
+    def test_frame_key_separates_seed_and_config(self):
+        with RenderServer(workers=1) as server:
+            base = server.render(_request())
+            reseeded = server.render(_request(seed=5))
+            other_k = server.render(_request(k=4))
+        assert not reseeded.frame_cache_hit
+        assert not other_k.frame_cache_hit
+        assert base.scene_hash != reseeded.scene_hash
+        assert server.metrics.rendered == 3
+
+    def test_batch_dedupes_duplicates(self):
+        with RenderServer(workers=1) as server:
+            a, b = _request(), _request(k=4)
+            responses = server.render_batch([a, a, b, a, b])
+        assert server.metrics.rendered == 2
+        assert sum(r.frame_cache_hit for r in responses) == 3
+        assert np.array_equal(responses[0].image, responses[1].image)
+
+    def test_batch_dedup_survives_frame_cache_eviction(self):
+        """Within-batch dedup must not depend on frame-cache capacity."""
+        with RenderServer(workers=1, frame_cache_size=1) as server:
+            a, b = _request(), _request(k=4)
+            responses = server.render_batch([a, b, a])
+        assert server.metrics.rendered == 2
+        assert responses[2].frame_cache_hit
+        assert np.array_equal(responses[0].image, responses[2].image)
+
+    def test_concurrent_identical_requests_render_once(self):
+        with RenderServer(workers=1, submit_workers=4) as server:
+            request = _request(width=10, height=8)
+            barrier = threading.Barrier(4)
+            responses = [None] * 4
+
+            def hammer(slot: int) -> None:
+                barrier.wait()
+                responses[slot] = server.render(request)
+
+            threads = [threading.Thread(target=hammer, args=(i,)) for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        assert server.metrics.rendered == 1
+        assert all(r is not None for r in responses)
+        served_from_cache = sum(r.frame_cache_hit or r.coalesced for r in responses)
+        assert served_from_cache == 3
+        images = [r.image for r in responses]
+        for image in images[1:]:
+            assert np.array_equal(image, images[0])
+
+    def test_concurrent_distinct_requests_render_correctly(self):
+        """Different frame keys sharing a (scene, structure, config) must
+        not share tracer scratch state across submit threads."""
+        small, large = _request(width=8, height=6), _request(width=12, height=10)
+        with RenderServer(workers=1, submit_workers=2) as server:
+            jobs = [server.submit(r) for r in (small, large, small, large)]
+            concurrent = {r.width: jobs[i].result(timeout=300).image
+                          for i, r in enumerate((small, large))}
+        with RenderServer(workers=1) as reference_server:
+            for request in (small, large):
+                expected = reference_server.render(request).image
+                assert np.array_equal(concurrent[request.width], expected)
+
+    def test_submit_returns_completed_job(self):
+        with RenderServer(workers=1) as server:
+            job = server.submit(_request())
+            response = job.result(timeout=120)
+        assert job.done() and job.status == "completed"
+        assert response.image.shape == (6, 8, 3)
+
+    def test_closed_server_rejects_requests(self):
+        server = RenderServer(workers=1)
+        server.close()
+        with pytest.raises(RuntimeError):
+            server.render(_request())
+
+    def test_close_drains_submitted_jobs(self):
+        """Jobs accepted before close() complete instead of erroring."""
+        server = RenderServer(workers=1, submit_workers=1)
+        jobs = [server.submit(_request()),
+                server.submit(_request(k=4)),
+                server.submit(_request(k=5))]
+        server.close()
+        for job in jobs:
+            assert job.status == "completed"
+            assert job.result().image.shape == (6, 8, 3)
+
+    def test_stats_report_shape(self):
+        with RenderServer(workers=1) as server:
+            server.render(_request())
+            report = server.stats_report()
+        assert report["server"]["requests"] == 1
+        assert report["registry"]["structure_builds"] == 1
+        assert report["frame_cache"].size == 1
+
+    def test_rejects_unknown_mode_and_camera(self):
+        with pytest.raises(ValueError):
+            _request(mode="warp-speed")
+        with RenderServer(workers=1) as server:
+            with pytest.raises(ValueError):
+                server.render(_request(camera="fisheye"))

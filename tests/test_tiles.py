@@ -1,0 +1,113 @@
+"""Tile decomposition and tiled-render exactness.
+
+The serving contract is that tiling is invisible: any tile size, serial
+or parallel, must reproduce the untiled frame bit-for-bit (the scheduler
+slices the camera's own ray bundle, so there is no room for last-ulp
+drift) and the merged statistics must match the untiled render's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import build_structure_for
+from repro.gaussians import make_workload
+from repro.render import GaussianRayTracer, default_camera_for
+from repro.rt import TraceConfig
+from repro.serve import TileScheduler, split_frame
+
+SCALE = 1.0 / 10000.0
+
+#: (proxy, checkpointing) for the two end-to-end modes the CLI exposes.
+MODES = {
+    "grtx": ("tlas+sphere", True),
+    "baseline": ("20-tri", False),
+}
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    return make_workload("train", scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def structures(cloud):
+    return {name: build_structure_for(cloud, proxy)
+            for name, (proxy, _) in MODES.items()}
+
+
+def _reference(cloud, structures, mode: str, width: int, height: int):
+    _, checkpointing = MODES[mode]
+    config = TraceConfig(k=8, checkpointing=checkpointing)
+    camera = default_camera_for(cloud, width, height)
+    renderer = GaussianRayTracer(cloud, structures[mode], config)
+    return renderer.render(camera, keep_traces=False), config, camera
+
+
+class TestSplitFrame:
+    def test_exact_cover_non_divisible(self):
+        tiles = split_frame(33, 17, 8, 8)
+        assert len(tiles) == 5 * 3
+        ids = np.concatenate([t.pixel_ids(33) for t in tiles])
+        assert len(ids) == 33 * 17
+        assert np.array_equal(np.sort(ids), np.arange(33 * 17))
+
+    def test_frame_smaller_than_tile(self):
+        tiles = split_frame(3, 2, 8, 8)
+        assert len(tiles) == 1
+        assert (tiles[0].width, tiles[0].height) == (3, 2)
+
+    def test_remainder_tile_shapes(self):
+        tiles = split_frame(33, 17, 8, 8)
+        assert {t.width for t in tiles} == {8, 1}
+        assert {t.height for t in tiles} == {8, 1}
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            split_frame(0, 4, 8, 8)
+        with pytest.raises(ValueError):
+            split_frame(4, 4, 0, 8)
+
+
+@pytest.mark.parametrize("mode", sorted(MODES))
+def test_tiled_render_is_pixel_identical(cloud, structures, mode):
+    """33x17 frame under 8x8 tiles == untiled frame, both modes."""
+    reference, config, camera = _reference(cloud, structures, mode, 33, 17)
+    tiled = TileScheduler(tile_size=(8, 8), workers=1).render(
+        cloud, structures[mode], config, camera)
+    assert np.array_equal(tiled.image, reference.image)
+    assert tiled.stats.n_rays == reference.stats.n_rays == 33 * 17
+    assert tiled.stats.rounds_total == reference.stats.rounds_total
+    assert tiled.stats.blended_total == reference.stats.blended_total
+    assert tiled.stats.total_visits == reference.stats.total_visits
+    assert tiled.stats.ckpt_high_water == reference.stats.ckpt_high_water
+
+
+def test_parallel_workers_pixel_identical(cloud, structures):
+    """A multiprocessing pool reassembles the same frame as one process."""
+    reference, config, camera = _reference(cloud, structures, "grtx", 12, 9)
+    parallel = TileScheduler(tile_size=(5, 4), workers=2).render(
+        cloud, structures["grtx"], config, camera)
+    assert np.array_equal(parallel.image, reference.image)
+    assert parallel.stats.n_rays == reference.stats.n_rays
+    assert parallel.stats.blended_total == reference.stats.blended_total
+
+
+def test_single_tile_covers_whole_frame(cloud, structures):
+    reference, config, camera = _reference(cloud, structures, "baseline", 9, 7)
+    tiled = TileScheduler(tile_size=(64, 64), workers=1).render(
+        cloud, structures["baseline"], config, camera)
+    assert np.array_equal(tiled.image, reference.image)
+
+
+def test_keep_traces_roundtrip(cloud, structures):
+    """Tiled traces cover every ray so the timing replay still works."""
+    from repro.hwsim import GpuConfig, replay
+
+    _, config, camera = _reference(cloud, structures, "grtx", 8, 6)
+    tiled = TileScheduler(tile_size=(4, 4), workers=1).render(
+        cloud, structures["grtx"], config, camera, keep_traces=True)
+    assert len(tiled.traces) == tiled.stats.n_rays
+    timing = replay(tiled.traces, GpuConfig.rtx_like())
+    assert timing.cycles > 0
