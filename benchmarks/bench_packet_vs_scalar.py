@@ -1,0 +1,153 @@
+"""Packet-vs-scalar engine benchmark (standalone script).
+
+Renders the same frame with the scalar per-ray tracer and the vectorized
+ray-packet engine, reports rays/s for both, and checks the parity
+contract: packet images must match scalar images within ``--tolerance``
+(default 1e-9) per channel, and the parity-matched functional counters
+(``n_rays``, ``blended_total``, ``rays_terminated_early``) must agree
+exactly.  Unlike the figure benchmarks in this directory (which run
+under ``pytest --benchmark-only``), this is a plain script::
+
+    python benchmarks/bench_packet_vs_scalar.py [--size 64] [--check]
+
+Parity failures always exit non-zero (parity is the engine's contract,
+report run or not); ``--check`` additionally gates on speed, failing
+when the packet speedup is below ``--min-speedup`` (default 3x, the
+acceptance bar on the default 64x64 scene; CI runs a tiny scene with
+``--min-speedup 2``).  Results go to
+``benchmarks/results/packet_vs_scalar.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+# Allow running straight from a checkout without installing the package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Functional counters the packet engine must reproduce exactly.
+PARITY_COUNTERS = ("n_rays", "blended_total", "rays_terminated_early")
+
+
+def _parse(argv: list[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="rays/s and image parity: packet vs scalar engine")
+    parser.add_argument("--scene", default="train")
+    parser.add_argument("--size", type=int, default=64,
+                        help="image width=height (default 64)")
+    parser.add_argument("--scale", type=float, default=1 / 2000.0)
+    parser.add_argument("--proxy", default="20-tri",
+                        choices=["20-tri", "80-tri", "custom"],
+                        help="monolithic proxy (the packet engine's scope)")
+    parser.add_argument("--k", type=int, default=8)
+    parser.add_argument("--modes", default="multiround,singleround",
+                        help="comma-separated trace modes to compare")
+    parser.add_argument("--tolerance", type=float, default=1e-9,
+                        help="max per-channel image difference allowed")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="packet speedup required by --check")
+    parser.add_argument("--check", action="store_true",
+                        help="also gate on speed: exit non-zero when the "
+                             "speedup is below --min-speedup (parity "
+                             "failures exit non-zero regardless)")
+    return parser.parse_args(argv)
+
+
+def run_mode(cloud, structure, camera, mode: str, k: int) -> dict:
+    """Render one (mode, engine) pair of frames and measure both."""
+    from repro.render import GaussianRayTracer
+    from repro.rt import TraceConfig
+
+    config = TraceConfig(k=k, mode=mode)
+    n_rays = camera.width * camera.height
+    timings = {}
+    results = {}
+    for engine in ("scalar", "packet"):
+        renderer = GaussianRayTracer(cloud, structure, config, engine=engine)
+        assert renderer.engine_active == engine
+        t0 = time.perf_counter()
+        results[engine] = renderer.render(camera, keep_traces=False)
+        timings[engine] = time.perf_counter() - t0
+    scalar, packet = results["scalar"], results["packet"]
+    counters_ok = all(
+        getattr(scalar.stats, name) == getattr(packet.stats, name)
+        for name in PARITY_COUNTERS
+    )
+    return {
+        "mode": mode,
+        "scalar_s": timings["scalar"],
+        "packet_s": timings["packet"],
+        "scalar_rps": n_rays / timings["scalar"],
+        "packet_rps": n_rays / timings["packet"],
+        "speedup": timings["scalar"] / timings["packet"],
+        "max_diff": float(np.abs(scalar.image - packet.image).max()),
+        "counters_ok": counters_ok,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parse(argv)
+    from repro.eval.harness import build_structure_for
+    from repro.eval.report import format_table
+    from repro.gaussians import make_workload
+    from repro.render import default_camera_for
+
+    cloud = make_workload(args.scene, scale=args.scale)
+    structure = build_structure_for(cloud, args.proxy)
+    camera = default_camera_for(cloud, args.size, args.size)
+
+    rows = []
+    measurements = []
+    for mode in args.modes.split(","):
+        m = run_mode(cloud, structure, camera, mode.strip(), args.k)
+        measurements.append(m)
+        rows.append([
+            m["mode"],
+            f"{m['scalar_rps']:.0f}",
+            f"{m['packet_rps']:.0f}",
+            f"{m['speedup']:.2f}x",
+            f"{m['max_diff']:.2e}",
+            "exact" if m["counters_ok"] else "MISMATCH",
+        ])
+
+    report = format_table(
+        f"packet vs scalar: {args.scene} {args.size}x{args.size} "
+        f"{args.proxy} k={args.k} ({len(cloud)} gaussians)",
+        ["mode", "scalar rays/s", "packet rays/s", "speedup",
+         "max |diff|", "counters"],
+        rows,
+    )
+    print(report)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "packet_vs_scalar.txt").write_text(report + "\n")
+
+    failures = []
+    for m in measurements:
+        if m["max_diff"] > args.tolerance:
+            failures.append(
+                f"{m['mode']}: image diff {m['max_diff']:.3e} exceeds "
+                f"{args.tolerance:.0e}")
+        if not m["counters_ok"]:
+            failures.append(f"{m['mode']}: functional counters diverge")
+        if args.check and m["speedup"] < args.min_speedup:
+            failures.append(
+                f"{m['mode']}: speedup {m['speedup']:.2f}x below "
+                f"{args.min_speedup:.1f}x")
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,6 +42,13 @@ def _build_parser() -> argparse.ArgumentParser:
     render.add_argument("--mode", default="grtx",
                         choices=["baseline", "grtx-sw", "grtx-hw", "grtx"],
                         help="optimization mode (grtx-hw/grtx enable checkpointing)")
+    render.add_argument("--engine", default="scalar",
+                        choices=["scalar", "packet"],
+                        help="tracing engine: per-ray scalar (full feature set, "
+                             "fetch traces for the timing model) or vectorized "
+                             "ray packets (monolithic proxies without "
+                             "checkpointing; other combinations fall back to "
+                             "scalar)")
     render.add_argument("--size", type=int, default=32, help="image width=height")
     render.add_argument("--k", type=int, default=8, help="k-buffer capacity")
     render.add_argument("--scale", type=float, default=1 / 400.0,
@@ -88,6 +95,13 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="total requests in the throughput workload")
     serve_bench.add_argument("--unique", type=int, default=5,
                              help="distinct request configs in the workload")
+    serve_bench.add_argument("--engine", default="scalar",
+                             choices=["scalar", "packet"],
+                             help="tracing engine to benchmark; packet "
+                                  "switches the workload to the engine's "
+                                  "scope (monolithic proxies, baseline "
+                                  "mode) so the packet path is what gets "
+                                  "measured")
     return parser
 
 
@@ -157,23 +171,32 @@ def _cmd_render(args: argparse.Namespace) -> int:
     checkpointing = args.mode in ("grtx-hw", "grtx")
     config = TraceConfig(k=args.k, checkpointing=checkpointing)
     camera = _make_camera(args.camera, cloud, args.size)
+    from repro.rt import packet_supported
+
+    engine_active = ("packet" if args.engine == "packet"
+                     and packet_supported(structure, config) else "scalar")
     if tiles:
         from repro.serve import TileScheduler
 
         scheduler = TileScheduler(tile_size=(tiles, tiles), workers=args.workers)
         result = scheduler.render(cloud, structure, config, camera,
-                                  keep_traces=True)
+                                  keep_traces=engine_active == "scalar",
+                                  engine=args.engine)
     else:
-        renderer = GaussianRayTracer(cloud, structure, config)
+        renderer = GaussianRayTracer(cloud, structure, config, engine=args.engine)
         result = renderer.render(camera)
-    timing = replay(result.traces, GpuConfig.rtx_like())
     write_ppm(args.out, result.image)
-    print(f"scene={args.scene} gaussians={len(cloud)} proxy={args.proxy} mode={args.mode}")
+    print(f"scene={args.scene} gaussians={len(cloud)} proxy={args.proxy} "
+          f"mode={args.mode} engine={engine_active}")
     print(f"structure: {structure.total_bytes / 1024:.1f} KB")
     print(f"render:    {result.stats.n_rays} rays, {result.stats.rounds_total} rounds, "
           f"{result.stats.blended_total} blends")
-    print(f"timing:    {timing.time_ms:.3f} model-ms, {timing.node_fetches} node fetches, "
-          f"L1 hit {timing.l1_hit_rate:.1%}")
+    if result.traces:
+        timing = replay(result.traces, GpuConfig.rtx_like())
+        print(f"timing:    {timing.time_ms:.3f} model-ms, {timing.node_fetches} node fetches, "
+              f"L1 hit {timing.l1_hit_rate:.1%}")
+    else:
+        print("timing:    n/a (per-ray fetch traces are scalar-engine-only)")
     print(f"image:     {args.out}")
     return 0
 
@@ -241,6 +264,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         workers=args.workers,
         requests=args.requests,
         unique=args.unique,
+        engine=args.engine,
     )
     print(report)
     return 0

@@ -29,6 +29,7 @@ from repro.rt.pipeline import (
     depth_pipeline,
     shadow_pipeline,
 )
+from repro.rt.packet import PacketResult, PacketTracer, packet_supported
 from repro.rt.predictor import PredictorReport, RayPredictor, analyze_predictor
 from repro.rt.shading import SceneShading
 from repro.rt.tracer import RayOutcome, TraceConfig, Tracer
@@ -48,6 +49,8 @@ __all__ = [
     "PRIM_SPHERE",
     "PRIM_TRANSFORM",
     "PRIM_TRI",
+    "PacketResult",
+    "PacketTracer",
     "PredictorReport",
     "RayOutcome",
     "RayTrace",
@@ -61,5 +64,6 @@ __all__ = [
     "Tracer",
     "analyze_predictor",
     "depth_pipeline",
+    "packet_supported",
     "shadow_pipeline",
 ]

@@ -118,16 +118,23 @@ class EvictionBuffer:
         if len(self._entries) > self.high_water:
             self.high_water = len(self._entries)
 
-    def drain_sorted(self, t_min: float) -> list[KBufferEntry]:
+    def drain_sorted(
+        self, t_min: float, blended_at_t_min: frozenset[int] = frozenset()
+    ) -> list[KBufferEntry]:
         """Remove all entries, deduplicated by Gaussian id, depth order.
 
-        Entries at or before ``t_min`` belong to already-blended Gaussians
-        and are dropped (the baseline would equally skip them via the
-        strict ``t > t_min`` traversal interval).
+        Entries strictly before ``t_min`` belong to already-blended
+        Gaussians and are dropped (the baseline equally skips them via
+        the ``t >= t_min`` traversal interval). Entries exactly at
+        ``t_min`` are kept unless their Gaussian is in
+        ``blended_at_t_min`` — an evicted hit that ties the round
+        boundary must get its second opportunity, not be dropped.
         """
         best: dict[int, KBufferEntry] = {}
         for entry in self._entries:
-            if entry.t <= t_min:
+            if entry.t < t_min or (
+                entry.t == t_min and entry.gaussian_id in blended_at_t_min
+            ):
                 continue
             prev = best.get(entry.gaussian_id)
             if prev is None or entry.t < prev.t:

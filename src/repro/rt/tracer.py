@@ -139,6 +139,7 @@ class _RoundState:
         "hits",
         "hits_seen",
         "ckpt_enabled",
+        "frontier",
     )
 
     def __init__(
@@ -149,6 +150,7 @@ class _RoundState:
         collect_all: bool,
         ckpt_enabled: bool,
         t_clip: float = _INF,
+        frontier: frozenset[int] = frozenset(),
     ):
         self.t_min = t_min
         self.t_max = _INF
@@ -161,6 +163,10 @@ class _RoundState:
         self.hits: list[KBufferEntry] = []
         self.hits_seen: set[int] = set()
         self.ckpt_enabled = ckpt_enabled
+        #: Gaussians already blended at exactly ``t_min``: the interval
+        #: bound is exclusive only of these, so a hit whose t ties the
+        #: previous round's boundary is not dropped (equal-t survival).
+        self.frontier = frontier
 
     def checkpoint(self, kind: int, ref: int, gid: int, inst_addr: int, t: float) -> None:
         """Record a checkpoint entry (no-op when GRTX-HW is disabled: the
@@ -327,6 +333,14 @@ class Tracer:
         config = self.config
         hw = config.checkpointing
         t_min = 0.0
+        #: Gaussians blended at exactly ``t_min`` so far. Carrying this
+        #: (t, gid) frontier between rounds keeps the next-round bound
+        #: exclusive only of already-blended Gaussians: a hit whose t
+        #: exactly ties the last blended entry but overflowed this
+        #: round's k-buffer survives into the next round instead of
+        #: being dropped forever (which made multiround diverge from
+        #: singleround on tied depths).
+        frontier: frozenset[int] = frozenset()
         transmittance = 1.0
         color = np.zeros(3)
         blended_total = 0
@@ -341,7 +355,7 @@ class Tracer:
             rounds += 1
             kbuffer = KBuffer(config.k)
             state = _RoundState(t_min, kbuffer, round_trace, collect_all=False,
-                                ckpt_enabled=hw, t_clip=t_clip)
+                                ckpt_enabled=hw, t_clip=t_clip, frontier=frontier)
 
             if hw and round_index > 0:
                 self._prefill_from_evictions(evict_src, state)
@@ -367,13 +381,19 @@ class Tracer:
             blended_total += blended
             if terminated:
                 break
-            t_min = entries[-1].t
+            last_t = entries[-1].t
+            tied = frozenset(e.gaussian_id for e in entries if e.t == last_t)
+            # When the boundary does not advance (a run of equal-t hits
+            # wider than k), the frontier accumulates; otherwise it
+            # resets to the Gaussians blended at the new boundary.
+            frontier = (frontier | tied) if last_t == t_min else tied
+            t_min = last_t
             if len(entries) < config.k:
                 # Traversal exhausted the scene beyond t_min.
                 break
             if hw:
                 ckpt_src = state.ckpt_out
-                evict_src = state.evict_out.drain_sorted(t_min)
+                evict_src = state.evict_out.drain_sorted(t_min, frontier)
                 if not ckpt_src and not evict_src:
                     break
 
@@ -907,7 +927,11 @@ class Tracer:
                 state.hits.append(KBufferEntry(t_hit, gid, alpha))
             return _HIT_ACCEPTED, t_hit
 
-        if t_hit <= state.t_min:
+        if t_hit < state.t_min or (t_hit == state.t_min and gid in state.frontier):
+            # Strictly-before hits were all blended in earlier rounds
+            # (the k-buffer keeps the k closest, so nothing nearer than
+            # the boundary is ever lost); hits exactly at the boundary
+            # are re-admitted unless this Gaussian was already blended.
             return _HIT_REJECTED, t_hit
         if t_hit > state.t_max:
             return _HIT_BEYOND, t_hit

@@ -29,6 +29,7 @@ Quickstart::
 from repro.serve.cache import CacheStats, LRUCache
 from repro.serve.registry import SceneRegistry
 from repro.serve.request import (
+    ENGINES,
     RenderJob,
     RenderRequest,
     RenderResponse,
@@ -40,6 +41,7 @@ from repro.serve.tiles import Tile, TileScheduler, split_frame
 
 __all__ = [
     "CacheStats",
+    "ENGINES",
     "LRUCache",
     "RenderJob",
     "RenderRequest",

@@ -52,13 +52,23 @@ def bench_tile_speedup(
     scale: float,
     tile: int,
     workers: int,
-    proxy: str = "tlas+sphere",
+    proxy: str | None = None,
+    engine: str = "scalar",
 ) -> dict:
-    """Wall-clock for one cold frame, 1 worker vs ``workers`` workers."""
+    """Wall-clock for one cold frame, 1 worker vs ``workers`` workers.
+
+    The default structure/config follows the engine: the scalar engine
+    measures the service's GRTX defaults (tlas+sphere, checkpointing);
+    the packet engine measures its own scope (monolithic 20-tri, no
+    checkpointing) so the packet path is actually the thing timed
+    rather than silently falling back to scalar.
+    """
+    if proxy is None:
+        proxy = "20-tri" if engine == "packet" else "tlas+sphere"
     registry = SceneRegistry()
     cloud, _ = registry.scene(RenderRequest(scene=scene, scale=scale).scene_ref)
     structure = registry.structure(RenderRequest(scene=scene, scale=scale).scene_ref, proxy)
-    config = TraceConfig(k=8, checkpointing=True)
+    config = TraceConfig(k=8, checkpointing=engine != "packet")
     from repro.render import default_camera_for
 
     camera = default_camera_for(cloud, size, size)
@@ -67,13 +77,16 @@ def bench_tile_speedup(
     for n in dict.fromkeys((1, workers)):  # workers == 1: render once
         scheduler = TileScheduler(tile_size=(tile, tile), workers=n)
         t0 = time.perf_counter()
-        result = scheduler.render(cloud, structure, config, camera)
+        result = scheduler.render(cloud, structure, config, camera,
+                                  engine=engine)
         timings[n] = time.perf_counter() - t0
         assert result.stats.n_rays >= size * size
     return {
         "frame": f"{size}x{size}",
         "tile": tile,
         "workers": workers,
+        "engine": engine,
+        "proxy": proxy,
         "cores_available": available_cores(),
         "t_serial_s": timings[1],
         "t_parallel_s": timings[workers],
@@ -83,7 +96,7 @@ def bench_tile_speedup(
 
 def _workload_requests(
     scene: str, size: int, scale: float, proxies: tuple[str, ...],
-    unique: int, total: int,
+    unique: int, total: int, engine: str = "scalar", mode: str = "grtx",
 ) -> list[RenderRequest]:
     """A deterministic repeated-request trace over ``unique`` configs.
 
@@ -104,6 +117,7 @@ def _workload_requests(
         RenderRequest(
             scene=scene, scale=scale, width=size, height=size,
             proxy=proxies[i % len(proxies)], k=4 + i // len(proxies),
+            engine=engine, mode=mode,
         )
         for i in range(unique)
     ]
@@ -123,10 +137,13 @@ def bench_throughput(
     unique: int,
     total: int,
     tile: int,
+    engine: str = "scalar",
+    mode: str = "grtx",
 ) -> dict:
     """Run the repeated-request workload through a server; measure."""
     registry = SceneRegistry()
-    requests = _workload_requests(scene, size, scale, proxies, unique, total)
+    requests = _workload_requests(scene, size, scale, proxies, unique, total,
+                                  engine, mode)
     latencies: list[float] = []
     with RenderServer(registry=registry, frame_cache_size=max(64, unique),
                       tile_size=(tile, tile), workers=1) as server:
@@ -164,16 +181,29 @@ def run_benchmark(
     workers: int = 4,
     requests: int = 60,
     unique: int = 5,
-    proxies: tuple[str, ...] = ("tlas+sphere", "20-tri"),
+    proxies: tuple[str, ...] | None = None,
+    engine: str = "scalar",
 ) -> BenchReport:
-    """Run all three measurements and format the report."""
-    speedup = bench_tile_speedup(scene, size, scale, tile, workers)
+    """Run all three measurements and format the report.
+
+    With ``engine="packet"`` the default workload switches to the
+    packet engine's scope — monolithic proxies, no checkpointing — so
+    the benchmark exercises the packet path instead of measuring the
+    scalar fallback under a packet label.
+    """
+    if proxies is None:
+        proxies = (("20-tri", "custom") if engine == "packet"
+                   else ("tlas+sphere", "20-tri"))
+    mode = "baseline" if engine == "packet" else "grtx"
+    speedup = bench_tile_speedup(scene, size, scale, tile, workers,
+                                 engine=engine)
     traffic = bench_throughput(scene, request_size, scale, proxies,
-                               unique, requests, tile)
+                               unique, requests, tile, engine, mode)
 
     sections = [
         format_table(
-            f"serve-bench 1/3: tile-parallel speedup (cold {speedup['frame']} frame, "
+            f"serve-bench 1/3: tile-parallel speedup (cold {speedup['frame']} "
+            f"{speedup['proxy']} frame, {engine} engine, "
             f"{speedup['cores_available']} core(s) available)",
             ["tile", "workers", "serial (s)", "parallel (s)", "speedup"],
             [[f"{tile}x{tile}", speedup["workers"],
@@ -182,7 +212,8 @@ def run_benchmark(
         ),
         format_table(
             f"serve-bench 2/3: cached throughput ({requests} requests, "
-            f"{unique} unique configs, {request_size}x{request_size})",
+            f"{unique} unique configs, {request_size}x{request_size}, "
+            f"{engine} engine)",
             ["throughput (req/s)", "p50 (ms)", "p95 (ms)", "frame-cache hit rate"],
             [[f"{traffic['throughput_rps']:.1f}", f"{traffic['p50_ms']:.3f}",
               f"{traffic['p95_ms']:.1f}", f"{traffic['frame_hit_rate']:.1%}"]],

@@ -19,10 +19,15 @@ from typing import Any
 import numpy as np
 
 from repro.gaussians import GaussianCloud, make_workload
+from repro.render.renderer import ENGINES
 from repro.rt import TraceConfig
 
 #: Tracing modes understood by the service (same set as the render CLI).
 MODES = ("baseline", "grtx-sw", "grtx-hw", "grtx")
+
+#: Tracing engines understood by the service: ``ENGINES`` is imported
+#: from the renderer (the single source of the valid set) and
+#: re-exported here for service callers.
 
 
 def cloud_fingerprint(cloud: GaussianCloud) -> str:
@@ -79,10 +84,14 @@ class RenderRequest:
     camera: str = "pinhole"
     scale: float = 1.0 / 400.0
     seed: int | None = None
+    engine: str = "scalar"
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
             raise ValueError(f"unknown mode {self.mode!r}; expected one of {MODES}")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}")
         if self.width < 1 or self.height < 1:
             raise ValueError("frame dimensions must be positive")
         if isinstance(self.scene, SceneRef):
@@ -104,6 +113,22 @@ class RenderRequest:
     def checkpointing(self) -> bool:
         return self.mode in ("grtx-hw", "grtx")
 
+    @property
+    def engine_active(self) -> str:
+        """The engine that will actually trace this request.
+
+        Evaluates :func:`repro.rt.packet.packet_supported`'s rule from
+        request fields alone (the proxy label stands in for the
+        structure family), so cache keys always carry the engine a
+        render would really use.
+        """
+        from repro.rt.packet import MONOLITHIC_PROXIES, packet_config_supported
+
+        if (self.engine == "packet" and self.proxy in MONOLITHIC_PROXIES
+                and packet_config_supported(self.trace_config())):
+            return "packet"
+        return "scalar"
+
     def trace_config(self) -> TraceConfig:
         return TraceConfig(k=self.k, checkpointing=self.checkpointing)
 
@@ -111,10 +136,14 @@ class RenderRequest:
         """Frame-cache key: scene *content* + camera + trace config.
 
         Everything that can change a pixel is in here; nothing else is,
-        so equivalent requests coalesce onto one cache entry.
+        so equivalent requests coalesce onto one cache entry. The
+        *effective* engine is included (engines are parity-matched only
+        to 1e-9 per channel, not bit-identical) — keying on the
+        requested engine would re-render and double-cache fallback
+        combinations whose frames are bit-identical to scalar ones.
         """
         return (scene_hash, self.proxy, self.mode, self.k,
-                self.width, self.height, self.camera)
+                self.width, self.height, self.camera, self.engine_active)
 
 
 @dataclass

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from repro.bvh import BuildParams
 from repro.render.renderer import RenderResult
 from repro.serve.cache import LRUCache
-from repro.serve.registry import SceneRegistry
+from repro.serve.registry import SceneRegistry, params_key
 from repro.serve.request import RenderJob, RenderRequest, RenderResponse
 from repro.serve.tiles import TileScheduler
 
@@ -104,7 +104,8 @@ class RenderServer:
         self.build_params = build_params or BuildParams()
         self._frames = LRUCache(frame_cache_size)
         # Constructed tracers (shading setup is O(scene)) reused across
-        # frames of the same (scene, structure, config) in serial mode.
+        # frames of the same (scene hash, proxy, params, engine, config)
+        # in serial mode.
         self._tracers = LRUCache(16)
         self._inflight: dict[tuple, _InFlight] = {}
         self._inflight_lock = threading.Lock()
@@ -160,7 +161,7 @@ class RenderServer:
                                  frame_cache_hit=True)
 
         try:
-            result = self._render_now(request, cloud)
+            result = self._render_now(request, cloud, scene_hash)
             self._frames.put(key, result)
             entry.response = result
         except BaseException as exc:
@@ -236,7 +237,7 @@ class RenderServer:
             entry = self._inflight[key] = _InFlight()
             return entry, True
 
-    def _render_now(self, request: RenderRequest, cloud) -> RenderResult:
+    def _render_now(self, request: RenderRequest, cloud, scene_hash: str) -> RenderResult:
         structure = self.registry.structure(
             request.scene_ref, request.proxy, self.build_params)
         camera = self._camera_for(request, cloud)
@@ -248,17 +249,29 @@ class RenderServer:
             # keeps per-ray scratch state, so two threads must never
             # trace through one instance concurrently. A concurrent
             # request simply builds its own.
-            tracer_key = (id(cloud), id(structure), config.k,
-                          config.checkpointing)
+            #
+            # The key is content-based: scene hash + proxy + build
+            # params + engine + the *full* TraceConfig. Keying by
+            # id(cloud)/id(structure) let a recycled id of a dead scene
+            # collide with a new one and serve a tracer built over the
+            # wrong geometry, and omitting TraceConfig fields let a
+            # cached renderer serve requests with a mismatched config
+            # (the serial TileScheduler path traces with the passed
+            # renderer's own config).
+            tracer_key = (scene_hash, request.proxy,
+                          params_key(self.build_params),
+                          request.engine_active, config)
             renderer = self._tracers.pop(tracer_key)
             if renderer is None:
                 from repro.render.renderer import GaussianRayTracer
 
-                renderer = GaussianRayTracer(cloud, structure, config)
+                renderer = GaussianRayTracer(cloud, structure, config,
+                                             engine=request.engine)
         t0 = time.perf_counter()
         try:
             result = self.scheduler.render(
-                cloud, structure, config, camera, renderer=renderer)
+                cloud, structure, config, camera, renderer=renderer,
+                engine=request.engine)
         finally:
             if renderer is not None:
                 self._tracers.put(tracer_key, renderer)

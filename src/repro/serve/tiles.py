@@ -96,9 +96,9 @@ _worker_renderer: GaussianRayTracer | None = None
 _worker_objects: SceneObjects | None = None
 
 
-def _init_worker(cloud, structure, config, objects) -> None:
+def _init_worker(cloud, structure, config, objects, engine) -> None:
     global _worker_renderer, _worker_objects
-    _worker_renderer = GaussianRayTracer(cloud, structure, config)
+    _worker_renderer = GaussianRayTracer(cloud, structure, config, engine=engine)
     _worker_objects = objects
 
 
@@ -162,6 +162,7 @@ class TileScheduler:
         objects: SceneObjects | None = None,
         keep_traces: bool = False,
         renderer: GaussianRayTracer | None = None,
+        engine: str = "scalar",
     ) -> RenderResult:
         """Render one frame tile-by-tile; returns a normal RenderResult.
 
@@ -169,9 +170,13 @@ class TileScheduler:
         full-frame bundle. Traces default to off (they are the expensive
         part to ship between processes); enable ``keep_traces`` when the
         caller needs a timing replay. ``renderer`` lets a caller reuse an
-        already-constructed tracer for this (cloud, structure, config) —
-        per-frame shading setup is O(scene) — and only applies to the
-        serial path (pool workers build their own from the initargs).
+        already-constructed tracer for this (cloud, structure, config,
+        engine) — per-frame shading setup is O(scene) — and only applies
+        to the serial path (pool workers build their own from the
+        initargs). ``engine`` selects the tracing engine
+        (``"scalar"``/``"packet"``) when no renderer is passed;
+        unsupported (structure, config) combinations fall back to
+        scalar inside :class:`GaussianRayTracer`.
         """
         bundle = camera.generate_rays()
         tiles = split_frame(camera.width, camera.height,
@@ -190,7 +195,8 @@ class TileScheduler:
         n_workers = min(self.workers, len(tasks))
         if n_workers <= 1:
             if renderer is None:
-                renderer = GaussianRayTracer(cloud, structure, config)
+                renderer = GaussianRayTracer(cloud, structure, config,
+                                             engine=engine)
             results = [
                 (index, renderer.trace_rays(o, d, ids, objects=objects,
                                             keep_traces=keep))
@@ -201,7 +207,7 @@ class TileScheduler:
             with ctx.Pool(
                 processes=n_workers,
                 initializer=_init_worker,
-                initargs=(cloud, structure, config, objects),
+                initargs=(cloud, structure, config, objects, engine),
             ) as pool:
                 results = pool.map(_render_tile, tasks, chunksize=1)
 

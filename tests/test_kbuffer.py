@@ -136,9 +136,16 @@ class TestEvictionBuffer:
         assert len(out) == 1
         assert out[0].t == 3.0
 
-    def test_entries_at_tmin_dropped(self):
-        """Entries exactly at t_min were blended this round (t_min is the
-        last blended depth); carrying them over would double-blend."""
+    def test_entries_at_tmin_kept_unless_blended(self):
+        """An entry exactly at t_min is only dropped when its Gaussian was
+        blended at that depth (double-blend guard); a *different* Gaussian
+        whose t ties the round boundary must survive into the next round —
+        dropping it made multiround diverge from singleround on tied
+        depths."""
         buf = EvictionBuffer()
         buf.push(entry(2.0, 1))
+        buf.push(entry(2.0, 2))
+        out = buf.drain_sorted(t_min=2.0, blended_at_t_min=frozenset({1}))
+        assert [e.gaussian_id for e in out] == [2]
+        buf.push(entry(1.5, 3))
         assert buf.drain_sorted(t_min=2.0) == []

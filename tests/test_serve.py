@@ -274,3 +274,81 @@ class TestRenderServer:
         with RenderServer(workers=1) as server:
             with pytest.raises(ValueError):
                 server.render(_request(camera="fisheye"))
+
+
+class TestTracerReuseCache:
+    """Regression: the serial-path tracer-reuse cache used to key by
+    ``(id(cloud), id(structure), k, checkpointing)``.  ``id()`` values
+    are recycled after GC, so a dead scene's id could collide with a new
+    scene and serve a tracer built over the wrong geometry, and the
+    omitted TraceConfig fields let a cached renderer serve a request
+    with a mismatched configuration.  The key must be pure content:
+    scene hash + proxy + build params + engine + the full TraceConfig.
+    """
+
+    def test_key_is_content_based(self):
+        from repro.rt import TraceConfig
+        from repro.serve.registry import params_key
+
+        with RenderServer(workers=1) as server:
+            request = _request(proxy="20-tri", mode="baseline")
+            response = server.render(request)
+            keys = list(server._tracers._entries)
+        assert len(keys) == 1
+        scene_hash, proxy, pkey, engine, config = keys[0]
+        assert scene_hash == response.scene_hash
+        assert proxy == "20-tri"
+        assert pkey == params_key(server.build_params)
+        assert engine == "scalar"
+        assert config == TraceConfig(k=request.k, checkpointing=False)
+
+    def test_full_config_and_engine_are_in_the_key(self):
+        """Requests differing only in mode (checkpointing) or engine must
+        check out different cached renderers."""
+        with RenderServer(workers=1) as server:
+            server.render(_request(proxy="20-tri", mode="baseline"))
+            server.render(_request(proxy="20-tri", mode="grtx"))
+            server.render(_request(proxy="20-tri", mode="baseline",
+                                   engine="packet"))
+            keys = list(server._tracers._entries)
+        assert len(keys) == 3
+        configs = {(key[3], key[4].checkpointing) for key in keys}
+        assert configs == {("scalar", False), ("scalar", True),
+                           ("packet", False)}
+
+    def test_tracer_reuse_across_frames_of_same_scene(self):
+        """Same scene + config at a different frame size reuses the one
+        cached renderer (the key holds no per-frame fields)."""
+        with RenderServer(workers=1) as server:
+            server.render(_request(proxy="20-tri", width=8, height=8))
+            server.render(_request(proxy="20-tri", width=6, height=6))
+            assert len(server._tracers) == 1
+        assert server.metrics.rendered == 2
+
+    def test_distinct_scene_content_never_shares_a_tracer(self):
+        """Different seeds generate different geometry; both images must
+        match a fresh single-purpose server's output."""
+        a, b = _request(seed=1, proxy="20-tri"), _request(seed=2, proxy="20-tri")
+        with RenderServer(workers=1) as server:
+            img_a = server.render(a).image
+            img_b = server.render(b).image
+            assert len(server._tracers) == 2
+        for request, image in ((a, img_a), (b, img_b)):
+            with RenderServer(workers=1) as fresh:
+                np.testing.assert_array_equal(fresh.render(request).image, image)
+        assert not np.array_equal(img_a, img_b)
+
+    def test_engine_is_part_of_frame_key(self):
+        """Engines are parity-matched to 1e-9, not bit-identical, so a
+        packet request must not be answered from a scalar frame."""
+        with RenderServer(workers=1) as server:
+            scalar = server.render(_request(proxy="20-tri", mode="baseline"))
+            packet = server.render(_request(proxy="20-tri", mode="baseline",
+                                            engine="packet"))
+        assert not packet.frame_cache_hit
+        assert server.metrics.rendered == 2
+        assert np.abs(scalar.image - packet.image).max() <= 1e-9
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            _request(engine="quantum")
