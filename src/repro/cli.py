@@ -7,8 +7,10 @@ Five commands cover the workflows a user reaches for first:
 * ``render`` — render one scene to a PPM with any structure/mode
   combination and print the render + timing summary; ``--tiles`` /
   ``--workers`` route it through the tile scheduler for multi-core runs.
-* ``experiment`` — regenerate one of the paper's tables/figures by id
-  (``fig13``, ``table2``, ...) and print its table and ASCII chart.
+* ``experiment`` — regenerate the paper's tables/figures by id
+  (``fig13``, ``table2``, comma lists, or ``all``) and print tables and
+  ASCII charts; ``--workers`` fans the renders behind them out across a
+  persistent worker pool so the campaign uses every core.
 * ``structures`` — build every acceleration-structure variant for a
   scene and compare sizes (the Figure 5b / Table II comparison).
 * ``serve-bench`` — load-test the render service: tile-parallel speedup,
@@ -69,11 +71,19 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="worker processes for tiled rendering "
                              "(implies --tiles 16 when unset; 0 = one per core)")
 
-    experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    experiment = sub.add_parser("experiment", help="regenerate paper tables/figures")
     experiment.add_argument("exp_id", help="experiment id, e.g. fig13, table2; "
-                                           "'list' shows all ids")
+                                           "a comma-separated list; 'all' for "
+                                           "the whole campaign; 'list' shows "
+                                           "all ids")
     experiment.add_argument("--chart", action="store_true",
-                            help="print an ASCII chart after the table")
+                            help="print an ASCII chart after each table")
+    experiment.add_argument("--workers", type=int, default=1,
+                            help="fan the experiments' render configs out "
+                                 "across a persistent worker pool (0 = one "
+                                 "per core, honoring REPRO_WORKERS; 1 = "
+                                 "serial). Tables are identical to serial "
+                                 "runs — only where renders run changes.")
 
     structures = sub.add_parser("structures", help="compare structure sizes for a scene")
     structures.add_argument("scene")
@@ -219,18 +229,36 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         for name in sorted(registry):
             print(name)
         return 0
-    fn = registry.get(args.exp_id)
-    if fn is None:
-        print(f"unknown experiment {args.exp_id!r}; try 'experiment list'",
-              file=sys.stderr)
+    if args.exp_id == "all":
+        exp_ids = sorted(registry)
+    else:
+        exp_ids = [e.strip() for e in args.exp_id.split(",") if e.strip()]
+    unknown = [e for e in exp_ids if e not in registry]
+    if unknown:
+        print(f"unknown experiment(s) {', '.join(map(repr, unknown))}; "
+              "try 'experiment list'", file=sys.stderr)
         return 2
-    result = fn()
-    print(result.table)
-    if args.chart:
-        from repro.eval.plotting import chart_for_result
 
-        print()
-        print(chart_for_result(result))
+    if args.workers != 1:
+        # Pre-render every config the requested experiments will ask for
+        # on the shared worker pool; the assembly below hits warm caches.
+        from repro.eval.experiments import campaign_configs
+        from repro.eval.harness import parallel_run_configs
+
+        configs = campaign_configs(exp_ids)
+        if configs:
+            parallel_run_configs(configs, workers=args.workers)
+
+    for index, exp_id in enumerate(exp_ids):
+        if index:
+            print()
+        result = registry[exp_id]()
+        print(result.table)
+        if args.chart:
+            from repro.eval.plotting import chart_for_result
+
+            print()
+            print(chart_for_result(result))
     return 0
 
 

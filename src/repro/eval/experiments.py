@@ -900,7 +900,7 @@ def _trace_config(k: int = 8, checkpointing: bool = False):
 
 
 #: Every experiment, keyed by id (used by the CLI example and the docs).
-ALL_EXPERIMENTS = {
+ALL_EXPERIMENTS: dict = {
     "fig04a": fig04a, "fig04b": fig04b, "fig05": fig05, "fig06a": fig06a,
     "fig06b": fig06b, "fig07": fig07, "table1": table1, "table2": table2,
     "fig12": fig12, "fig13": fig13, "fig14": fig14, "fig15": fig15,
@@ -915,3 +915,112 @@ ALL_EXPERIMENTS = {
     "ablation-cameras": ablation_cameras,
     "ablation-divergence": ablation_divergence,
 }
+
+
+# ---------------------------------------------------------------------------
+# The parallel paper campaign.
+#
+# Most experiments spend all their time in run_config() renders and only
+# assemble rows from the results. Each entry below is a *plan*: the exact
+# config set an experiment will request, as normalized-kwarg dicts. The
+# campaign evaluates the union of the requested plans on the worker pool
+# (deduplicated, scene-affine — see harness.parallel_run_configs), which
+# seeds the in-process run cache; the experiment functions then assemble
+# their tables from warm hits. Experiments without a plan (the ablations
+# that drive the renderer directly) simply run serially afterwards.
+#
+# Plans are callables so they read SCENES / BENCH_RESOLUTION at campaign
+# time, not import time.
+
+def _fig13_family() -> list[dict]:
+    return [dict(scene=s, k=8, **kw)
+            for s in SCENES for kw in FIG13_CONFIGS.values()]
+
+
+def _fig19_plan() -> list[dict]:
+    from repro.eval.harness import BENCH_RESOLUTION as res
+
+    hi_res = (res[0] * 2, res[1] * 2)
+    settings = [dict(resolution=hi_res, fov_mode="original"),
+                dict(resolution=res, fov_mode="cropped")]
+    return [dict(scene=s, k=8, **kw, **setting)
+            for setting in settings
+            for s in ("train", "truck")
+            for kw in FIG13_CONFIGS.values()]
+
+
+CAMPAIGN_PLANS: dict = {
+    "fig04a": lambda: [dict(scene=s, proxy="20-tri", k=16) for s in SCENES],
+    "fig04b": lambda: [dict(scene=s, proxy="20-tri", k=16) for s in SCENES],
+    "fig05": lambda: [dict(scene=s, proxy=p, k=16)
+                      for s in SCENES for p in ("20-tri", "custom")],
+    "fig06a": lambda: [dict(scene=s, proxy="20-tri", k=16, mode=m)
+                       for s in SCENES for m in ("multiround", "singleround")],
+    "fig06b": lambda: [dict(scene=s, proxy="20-tri", k=k)
+                       for s in SCENES for k in (4, 8, 16, 32, 64)],
+    "fig07": lambda: [dict(scene=s, proxy="20-tri", k=16) for s in SCENES],
+    "table2": lambda: [dict(scene=s, proxy=p, k=8)
+                       for s in SCENES for p in ("20-tri", "tlas+20-tri")],
+    "fig12": lambda: [dict(scene=s, proxy=p, k=8) for s in SCENES
+                      for p in ("20-tri", "80-tri", "tlas+20-tri", "tlas+80-tri")],
+    "fig13": _fig13_family,
+    "fig14": _fig13_family,
+    "fig15": _fig13_family,
+    "fig16": _fig13_family,
+    "fig17": _fig13_family,
+    "fig18": lambda: [dict(scene=s, proxy="tlas+20-tri", checkpointing=True, k=k)
+                      for s in SCENES for k in (4, 8, 16, 32, 64)],
+    "fig19": _fig19_plan,
+    "fig20": lambda: [dict(scene=s, proxy="tlas+20-tri", checkpointing=True, k=8)
+                      for s in SCENES],
+    "fig21": lambda: [dict(scene=s, proxy="20-tri", k=16, kbuffer_layout=kb)
+                      for s in SCENES for kb in ("payload", "soa")],
+    "fig22": lambda: [dict(scene=s, proxy=p, k=8)
+                      for s in SCENES for p in ("20-tri", "tlas+sphere")],
+    "fig23": lambda: [dict(scene=s, proxy="20-tri", k=8, objects=True,
+                           checkpointing=c)
+                      for s in SCENES for c in (False, True)],
+    "quality": lambda: [dict(scene=s, proxy=p, k=8, checkpointing=ckpt)
+                        for s in SCENES
+                        for p, ckpt in (("tlas+sphere", False),
+                                        ("custom", False), ("20-tri", False),
+                                        ("tlas+20-tri", False), ("20-tri", True))],
+    "ablation-prefetch": lambda: [dict(scene=s, proxy="20-tri", k=8, prefetch=p)
+                                  for s in SCENES[:3] for p in (True, False)],
+    "ablation-energy": lambda: [dict(scene=s, k=8, **kw)
+                                for s in SCENES[:3]
+                                for kw in FIG13_CONFIGS.values()],
+}
+
+
+def campaign_configs(exp_ids: list[str]) -> list[dict]:
+    """The union of render plans for a set of experiment ids."""
+    configs: list[dict] = []
+    for exp_id in exp_ids:
+        plan = CAMPAIGN_PLANS.get(exp_id)
+        if plan is not None:
+            configs.extend(plan())
+    return configs
+
+
+def run_campaign(exp_ids: list[str] | None = None, workers: int | None = None,
+                 pool=None) -> dict[str, ExperimentResult]:
+    """Regenerate many paper tables/figures, rendering on every core.
+
+    The render configs behind the requested experiments are fanned out
+    across a :class:`repro.pool.WorkerPool` first (``pool`` shares an
+    existing one; otherwise ``workers`` processes are used, auto-sized
+    when ``None``/``0``); the experiment functions then assemble their
+    tables from the warm cache. Results are exactly what the serial
+    functions produce — the pool only changes where renders run.
+    """
+    from repro.eval.harness import parallel_run_configs
+
+    exp_ids = list(exp_ids) if exp_ids else list(ALL_EXPERIMENTS)
+    unknown = [e for e in exp_ids if e not in ALL_EXPERIMENTS]
+    if unknown:
+        raise ValueError(f"unknown experiment ids: {unknown}")
+    configs = campaign_configs(exp_ids)
+    if configs:
+        parallel_run_configs(configs, pool=pool, workers=workers)
+    return {exp_id: ALL_EXPERIMENTS[exp_id]() for exp_id in exp_ids}

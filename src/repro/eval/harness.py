@@ -51,8 +51,15 @@ def clear_caches() -> None:
     _run_cache.clear()
 
 
-def get_cloud(scene: str, scale: float = BENCH_SCALE) -> GaussianCloud:
-    """The (cached) synthetic Gaussian cloud for one workload."""
+def get_cloud(scene: str, scale: float | None = None) -> GaussianCloud:
+    """The (cached) synthetic Gaussian cloud for one workload.
+
+    ``scale`` defaults to the *current* ``BENCH_SCALE`` (read at call
+    time, so tests and campaigns that shrink the module attribute are
+    honored).
+    """
+    if scale is None:
+        scale = BENCH_SCALE
     key = (scene, scale)
     if key not in _cloud_cache:
         _cloud_cache[key] = make_workload(scene, scale=scale)
@@ -79,8 +86,10 @@ def build_structure_for(cloud: GaussianCloud, proxy: str,
     raise ValueError(f"unknown proxy {proxy!r}")
 
 
-def get_structure(scene: str, proxy: str, scale: float = BENCH_SCALE, width: int = 6):
+def get_structure(scene: str, proxy: str, scale: float | None = None, width: int = 6):
     """The (cached) acceleration structure for one workload."""
+    if scale is None:
+        scale = BENCH_SCALE
     key = (scene, proxy, scale, width)
     if key not in _structure_cache:
         cloud = get_cloud(scene, scale)
@@ -111,13 +120,13 @@ class CachedRun:
         return self.timing.time_ms
 
 
-def run_config(
+def normalize_config(
     scene: str,
     proxy: str = "20-tri",
     k: int = 8,
     mode: str = "multiround",
     checkpointing: bool = False,
-    scale: float = BENCH_SCALE,
+    scale: float | None = None,
     resolution: tuple[int, int] | None = None,
     fov_mode: str = "original",
     objects: bool = False,
@@ -125,40 +134,68 @@ def run_config(
     gpu: str = "rtx",
     prefetch: bool = True,
     width: int = 6,
-) -> CachedRun:
+) -> dict:
+    """Resolve a run_config kwarg set to fully explicit values.
+
+    ``scale``/``resolution`` defaults are read from the *current*
+    ``BENCH_SCALE``/``BENCH_RESOLUTION``, so a normalized config means
+    the same render everywhere — in this process, or shipped to a pool
+    worker whose module defaults may differ.
+    """
+    return dict(
+        scene=scene, proxy=proxy, k=k, mode=mode, checkpointing=checkpointing,
+        scale=BENCH_SCALE if scale is None else scale,
+        resolution=tuple(resolution or BENCH_RESOLUTION),
+        fov_mode=fov_mode, objects=objects, kbuffer_layout=kbuffer_layout,
+        gpu=gpu, prefetch=prefetch, width=width,
+    )
+
+
+def _config_key(cfg: dict) -> tuple:
+    """Run-cache key of a normalized config (field order is stable)."""
+    return (cfg["scene"], cfg["proxy"], cfg["k"], cfg["mode"],
+            cfg["checkpointing"], cfg["scale"], cfg["resolution"],
+            cfg["fov_mode"], cfg["objects"], cfg["kbuffer_layout"],
+            cfg["gpu"], cfg["prefetch"], cfg["width"])
+
+
+def run_config(scene: str, **kwargs) -> CachedRun:
     """Render one configuration (cached) and replay it for timing.
 
-    ``fov_mode``: ``"original"`` keeps the default 60-degree FoV at any
-    resolution (Figure 19a's low-coherence setting); ``"cropped"`` scales
-    the FoV down with the resolution (Figure 19b).
+    Accepts the keyword set of :func:`normalize_config`. ``fov_mode``:
+    ``"original"`` keeps the default 60-degree FoV at any resolution
+    (Figure 19a's low-coherence setting); ``"cropped"`` scales the FoV
+    down with the resolution (Figure 19b).
     """
-    resolution = resolution or BENCH_RESOLUTION
-    key = (scene, proxy, k, mode, checkpointing, scale, resolution, fov_mode,
-           objects, kbuffer_layout, gpu, prefetch, width)
+    cfg = normalize_config(scene, **kwargs)
+    key = _config_key(cfg)
     if key in _run_cache:
         return _run_cache[key]
 
+    scale, resolution = cfg["scale"], cfg["resolution"]
+    proxy, kbuffer_layout = cfg["proxy"], cfg["kbuffer_layout"]
     cloud = get_cloud(scene, scale)
-    structure = get_structure(scene, proxy, scale, width)
-    config = TraceConfig(k=k, mode=mode, checkpointing=checkpointing,
+    structure = get_structure(scene, proxy, scale, cfg["width"])
+    config = TraceConfig(k=cfg["k"], mode=cfg["mode"],
+                         checkpointing=cfg["checkpointing"],
                          kbuffer_layout=kbuffer_layout)
     camera = default_camera_for(cloud, 64, 64)
-    if fov_mode == "cropped":
+    if cfg["fov_mode"] == "cropped":
         camera = camera.cropped(*resolution)
     else:
         camera = camera.with_resolution(*resolution)
 
-    scene_objects = SceneObjects.default_for(cloud) if objects else None
+    scene_objects = SceneObjects.default_for(cloud) if cfg["objects"] else None
     renderer = GaussianRayTracer(cloud, structure, config)
     result = renderer.render(camera, objects=scene_objects)
 
-    if gpu == "rtx":
+    if cfg["gpu"] == "rtx":
         gpu_config = GpuConfig.rtx_like()
-    elif gpu == "amd":
+    elif cfg["gpu"] == "amd":
         gpu_config = GpuConfig.amd_like(scene_scale=scale * 100.0)
     else:
-        raise ValueError(f"unknown gpu {gpu!r}")
-    if not prefetch:
+        raise ValueError(f"unknown gpu {cfg['gpu']!r}")
+    if not cfg["prefetch"]:
         from dataclasses import replace
         gpu_config = replace(gpu_config, prefetch_enabled=False)
 
@@ -177,6 +214,42 @@ def run_config(
     )
     _run_cache[key] = run
     return run
+
+
+def parallel_run_configs(configs: list[dict], pool=None,
+                         workers: int | None = None) -> list[CachedRun]:
+    """Evaluate many :func:`run_config` calls across a worker pool.
+
+    Configs are normalized (fully explicit, so workers reproduce them
+    bit-exactly whatever their own module defaults are), deduplicated,
+    fanned out with per-scene affinity — tasks for one scene land on the
+    worker already holding its cloud/structure caches — and the results
+    are installed into this process's ``_run_cache``, so subsequent
+    ``run_config`` calls (e.g. the experiment functions assembling
+    tables) are cache hits. Returns the runs aligned with ``configs``.
+
+    ``pool`` shares an existing :class:`repro.pool.WorkerPool`; without
+    one, a private pool of ``workers`` processes is created for the call.
+    """
+    normalized = [normalize_config(**cfg) for cfg in configs]
+    keys = [_config_key(cfg) for cfg in normalized]
+    owns_pool = pool is None
+    if owns_pool:
+        from repro.pool import WorkerPool
+
+        pool = WorkerPool(workers=workers)
+    try:
+        futures: dict[tuple, object] = {}
+        for cfg, key in zip(normalized, keys):
+            if key in _run_cache or key in futures:
+                continue
+            futures[key] = pool.submit(run_config, affinity=cfg["scene"], **cfg)
+        for key, future in futures.items():
+            _run_cache[key] = future.result()
+    finally:
+        if owns_pool:
+            pool.close()
+    return [_run_cache[key] for key in keys]
 
 
 # The four end-to-end configurations of Figure 13.

@@ -1,0 +1,529 @@
+"""The persistent worker pool and its future-based executor API.
+
+:class:`WorkerPool` owns a fleet of long-lived worker processes (see
+:mod:`repro.pool.worker`), a work-stealing placement scheduler
+(:mod:`repro.pool.stealing`), and a collector thread that matches results
+to :class:`concurrent.futures.Future` objects. Unlike a per-render
+``multiprocessing.Pool``, the fleet survives across frames, scenes, and
+callers: workers keep content-addressed scene caches, so repeated frames
+of one scene ship only a hash, and the eval campaign's module-level
+render caches stay warm between tasks.
+
+Dispatch keeps exactly one task in flight per worker. That makes crash
+accounting exact — when a worker dies, the parent knows precisely which
+task it took down — and it is what lets the parent mirror each worker's
+scene cache without acknowledgements. Queued (not yet dispatched) work
+lives in per-worker deques; idle workers steal half the richest backlog.
+
+Crash handling: a dead worker's in-flight task is requeued elsewhere (up
+to ``max_task_retries`` times, then its future fails with
+:class:`WorkerCrashError`), its queued tasks are re-placed, and a fresh
+worker is spawned into the vacant slot with an empty cache mirror.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import as_completed as as_completed  # re-export
+from typing import Callable, Hashable, Iterable
+
+from repro.pool import worker as _w
+from repro.pool.stealing import StealingScheduler
+from repro.pool.worker import SceneCacheMirror, scene_key
+
+
+def available_workers() -> int:
+    """Worker count for auto-sized pools.
+
+    Honors the ``REPRO_WORKERS`` environment override (any positive
+    integer; invalid values are ignored), then falls back to the CPUs
+    this process may actually run on. ``sched_getaffinity`` can raise
+    ``OSError``/``ValueError`` on exotic kernels and containers — every
+    failure degrades to ``cpu_count``.
+    """
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            value = int(env)
+            if value >= 1:
+                return value
+        except ValueError:
+            pass
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError, ValueError):
+        return os.cpu_count() or 1
+
+
+class WorkerCrashError(RuntimeError):
+    """A task's worker died (repeatedly) while running it."""
+
+
+class RemoteTaskError(RuntimeError):
+    """A task raised in the worker; carries the remote traceback."""
+
+    def __init__(self, message: str, remote_traceback: str = "") -> None:
+        super().__init__(message)
+        self.remote_traceback = remote_traceback
+
+
+class _Task:
+    __slots__ = ("task_id", "kind", "future", "affinity", "retries",
+                 "payload", "scene", "worker", "started")
+
+    def __init__(self, task_id, kind, future, affinity, payload, scene=None):
+        self.task_id = task_id
+        self.kind = kind
+        self.future = future
+        self.affinity = affinity
+        self.payload = payload
+        self.scene = scene
+        self.retries = 0
+        self.worker = None
+        self.started = False
+
+
+class WorkerPool:
+    """A persistent, work-stealing process pool.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None``/``0`` auto-sizes via
+        :func:`available_workers` (which honors ``REPRO_WORKERS``).
+    scene_cache_size:
+        Scenes each worker keeps resident (LRU).
+    start_method:
+        Forwarded to :func:`multiprocessing.get_context`; default picks
+        ``fork`` while the parent is single-threaded, ``spawn`` otherwise
+        (forking a multi-threaded parent can deadlock children).
+    stealing:
+        Disable to measure the cost of *not* stealing (benchmarks).
+    max_task_retries:
+        Crash-requeue attempts before a task's future fails.
+
+    Workers spawn lazily on first submit, so constructing a pool is free.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        scene_cache_size: int = _w.DEFAULT_SCENE_CACHE,
+        start_method: str | None = None,
+        stealing: bool = True,
+        max_task_retries: int = 2,
+    ) -> None:
+        if workers is None or workers == 0:
+            workers = available_workers()
+        if workers < 1:
+            raise ValueError("workers must be >= 1 (or 0/None for auto)")
+        self.n_workers = workers
+        self.scene_cache_size = scene_cache_size
+        self.start_method = start_method
+        self.max_task_retries = max_task_retries
+        self._sched = StealingScheduler(workers, stealing=stealing)
+        self._lock = threading.RLock()
+        self._tasks: dict[int, _Task] = {}
+        self._inflight: list[int | None] = [None] * workers
+        self._procs: list = [None] * workers
+        self._task_queues: list = [None] * workers
+        self._mirrors = [SceneCacheMirror(scene_cache_size)
+                         for _ in range(workers)]
+        self._next_id = 0
+        self._ctx = None
+        self._result_queue = None
+        self._collector: threading.Thread | None = None
+        self._started = False
+        self._closed = False
+        self._shutdown = threading.Event()
+        self._drained = threading.Condition(self._lock)
+        # Counters (read through stats()).
+        self._completed = 0
+        self._failed = 0
+        self._crashes = 0
+        self._requeues = 0
+        self._scene_ships = 0
+        self._scene_hits = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _resolve_start_method(self) -> str:
+        if self.start_method is not None:
+            return self.start_method
+        if "fork" in mp.get_all_start_methods() and threading.active_count() == 1:
+            return "fork"
+        return "spawn"
+
+    def _ensure_started(self) -> None:
+        with self._lock:
+            if self._started:
+                return
+            self._ctx = mp.get_context(self._resolve_start_method())
+            self._result_queue = self._ctx.Queue()
+            for wid in range(self.n_workers):
+                self._spawn(wid)
+            self._collector = threading.Thread(
+                target=self._collect, name="repro-pool-collector", daemon=True)
+            self._started = True
+            self._collector.start()
+
+    def _spawn(self, wid: int) -> None:
+        self._task_queues[wid] = self._ctx.SimpleQueue()
+        self._mirrors[wid].clear()
+        proc = self._ctx.Process(
+            target=_w.worker_main,
+            args=(wid, self._task_queues[wid], self._result_queue,
+                  self.scene_cache_size),
+            name=f"repro-pool-{wid}",
+            daemon=True,
+        )
+        proc.start()
+        self._procs[wid] = proc
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def processes(self) -> list:
+        """Live worker process handles (crash tests poke at these)."""
+        return list(self._procs)
+
+    def close(self, wait: bool = True, timeout: float | None = 30.0) -> None:
+        """Stop the pool. ``wait=True`` lets in-flight/queued work drain
+        first; ``wait=False`` fails outstanding futures immediately."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if wait and self._started:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            with self._drained:
+                while self._tasks:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                    self._drained.wait(timeout=remaining if remaining else 0.5)
+        with self._lock:
+            for task in list(self._tasks.values()):
+                if not task.future.done():
+                    task.future.set_exception(RuntimeError("pool closed"))
+            self._tasks.clear()
+        self._shutdown.set()
+        if self._started:
+            for wid, proc in enumerate(self._procs):
+                if proc is not None and proc.is_alive():
+                    try:
+                        self._task_queues[wid].put(None)
+                    except OSError:
+                        pass
+            for proc in self._procs:
+                if proc is not None:
+                    proc.join(timeout=2.0)
+                    if proc.is_alive():
+                        proc.terminate()
+                        proc.join(timeout=1.0)
+            if self._collector is not None:
+                self._collector.join(timeout=2.0)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, fn: Callable, /, *args,
+               affinity: Hashable | None = None, **kwargs) -> Future:
+        """Run ``fn(*args, **kwargs)`` on a worker; returns a Future.
+
+        ``affinity`` is a locality hint: tasks sharing a key are placed
+        on the same home worker (stealing may still move them), so work
+        that shares warm per-process state benefits from it.
+        """
+        return self._submit_task(_w.TASK_CALL, (fn, args, kwargs),
+                                 affinity=affinity)
+
+    def submit_tile(self, cloud, structure, config, objects, engine: str,
+                    origins, directions, pixel_ids, keep_traces: bool,
+                    key: tuple | None = None,
+                    affinity: Hashable | None = None) -> Future:
+        """Trace one ray slice on a worker; resolves to
+        ``(BundleResult, worker_seconds)``.
+
+        ``key`` is the scene content key (computed when omitted); the
+        dispatcher ships the full scene only to workers that don't hold
+        it yet.
+        """
+        if key is None:
+            key = scene_key(cloud, structure, config, objects, engine)
+        scene = (key, (cloud, structure, config, objects, engine))
+        return self._submit_task(
+            _w.TASK_TILE, (origins, directions, pixel_ids, keep_traces),
+            affinity=affinity, scene=scene)
+
+    def map(self, fn: Callable, iterable: Iterable,
+            affinity: Hashable | None = None) -> list:
+        """Like ``Executor.map`` but eager and list-returning."""
+        futures = [self.submit(fn, item, affinity=affinity)
+                   for item in iterable]
+        return [future.result() for future in futures]
+
+    def _submit_task(self, kind, payload, affinity=None, scene=None) -> Future:
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        self._ensure_started()
+        future: Future = Future()
+        with self._lock:
+            task_id = self._next_id
+            self._next_id += 1
+            task = _Task(task_id, kind, future, affinity, payload, scene)
+            self._tasks[task_id] = task
+            self._sched.place(task_id, affinity)
+            plans = self._plan_dispatches()
+        self._ship(plans)
+        return future
+
+    # -- dispatch & collection -----------------------------------------
+    #
+    # Dispatch is split in two so the (potentially large) pickling of a
+    # scene ship happens *outside* the pool lock: under the lock, idle
+    # workers are matched to tasks and the wire tuples are built
+    # (`_plan_dispatches`); the pipe writes then run unlocked (`_ship`),
+    # so result collection and new submissions never stall behind a
+    # multi-megabyte scene transfer. Scene-cache mirrors are updated
+    # only after a ship *succeeds* — a failed write must not convince
+    # the parent that a worker holds a scene it never received.
+
+    def _plan_dispatches(self) -> list[tuple]:
+        """Match idle workers to tasks (lock held); returns ship plans
+        ``(wid, task_id, wire, scene_note)`` for :meth:`_ship`."""
+        plans = []
+        for wid in range(self.n_workers):
+            if self._inflight[wid] is not None:
+                continue
+            while True:
+                task_id = self._sched.next_for(wid)
+                if task_id is None:
+                    break
+                plan = self._plan_one(wid, task_id)
+                if plan is not None:
+                    plans.append(plan)
+                    break
+        return plans
+
+    def _plan_one(self, wid: int, task_id: int):
+        task = self._tasks.get(task_id)
+        if task is None:
+            return None
+        if not task.started:
+            # Crash-requeued tasks skip this: their future is RUNNING.
+            if not task.future.set_running_or_notify_cancel():
+                self._tasks.pop(task_id, None)
+                return None
+            task.started = True
+        if task.kind == _w.TASK_TILE:
+            key, full = task.scene
+            if key in self._mirrors[wid]:
+                scene_field = (_w.SCENE_HIT, key)
+            else:
+                scene_field = (_w.SCENE_SHIP, key, full)
+            wire = (_w.TASK_TILE, task_id, scene_field, *task.payload)
+            scene_note = (key, scene_field[0])
+        else:
+            fn, args, kwargs = task.payload
+            wire = (_w.TASK_CALL, task_id, fn, args, kwargs)
+            scene_note = None
+        task.worker = wid
+        self._inflight[wid] = task_id
+        return (wid, task_id, wire, scene_note)
+
+    def _ship(self, plans: list[tuple]) -> None:
+        """Write planned wires to worker pipes (no lock held)."""
+        pending = list(plans)
+        while pending:
+            wid, task_id, wire, scene_note = pending.pop(0)
+            try:
+                self._task_queues[wid].put(wire)
+            except Exception as exc:
+                with self._lock:
+                    pending.extend(self._ship_failed(wid, task_id, exc))
+                continue
+            if scene_note is not None:
+                with self._lock:
+                    # Commit the mirror only while the dispatch is still
+                    # current: a crash that raced this write already
+                    # cleared the slot (and the respawn's cache).
+                    if self._inflight[wid] == task_id:
+                        key, tag = scene_note
+                        self._mirrors[wid].touch(key)
+                        if tag == _w.SCENE_SHIP:
+                            self._scene_ships += 1
+                        else:
+                            self._scene_hits += 1
+
+    def _ship_failed(self, wid: int, task_id: int, exc) -> list[tuple]:
+        """Recover from a failed pipe write (lock held); returns
+        replacement ship plans."""
+        if self._inflight[wid] != task_id:
+            return self._plan_dispatches()  # a crash reap beat us to it
+        if not self._procs[wid].is_alive():
+            # The worker's pipe is gone — it crashed between dispatches.
+            # The task is still marked in flight, so _on_crash requeues
+            # it and plans work for the respawned slot.
+            return self._on_crash(wid)
+        # The worker is fine; the task payload wouldn't serialize
+        # (unpicklable fn/args). Fail the task, free the slot.
+        self._inflight[wid] = None
+        task = self._tasks.pop(task_id, None)
+        self._failed += 1
+        if task is not None and not task.future.done():
+            task.future.set_exception(RemoteTaskError(
+                f"task could not be shipped to worker {wid}: {exc!r}"))
+        if not self._tasks:
+            self._drained.notify_all()
+        return self._plan_dispatches()
+
+    def _collect(self) -> None:
+        while True:
+            try:
+                message = self._result_queue.get(timeout=0.1)
+            except queue_mod.Empty:
+                if self._shutdown.is_set():
+                    return
+                self._reap_crashes()
+                continue
+            except (OSError, ValueError):
+                return
+            self._handle(message)
+
+    def _handle(self, message) -> None:
+        tag, wid, task_id = message[0], message[1], message[2]
+        with self._lock:
+            if self._inflight[wid] == task_id:
+                self._inflight[wid] = None
+            task = self._tasks.pop(task_id, None)
+            if task is not None:
+                if tag == _w.RESULT_OK:
+                    _, _, _, value, cost = message
+                    self._completed += 1
+                    result = (value, cost) if task.kind == _w.TASK_TILE else value
+                    if not task.future.done():
+                        task.future.set_result(result)
+                else:
+                    _, _, _, error_repr, tb = message
+                    self._failed += 1
+                    if not task.future.done():
+                        task.future.set_exception(RemoteTaskError(
+                            f"task raised in worker {wid}: {error_repr}", tb))
+            if not self._tasks:
+                self._drained.notify_all()
+            plans = self._plan_dispatches()
+        self._ship(plans)
+
+    def _reap_crashes(self) -> None:
+        plans = []
+        with self._lock:
+            if not self._started or self._closed:
+                return
+            for wid, proc in enumerate(self._procs):
+                if proc is not None and not proc.is_alive():
+                    plans.extend(self._on_crash(wid))
+        self._ship(plans)
+
+    def _on_crash(self, wid: int) -> list[tuple]:
+        """Recover from a dead worker (lock held): requeue its work and
+        respawn a fresh process into the slot. Returns ship plans."""
+        self._crashes += 1
+        displaced = self._sched.drain_worker(wid)
+        task_id = self._inflight[wid]
+        self._inflight[wid] = None
+        if task_id is not None:
+            task = self._tasks.get(task_id)
+            if task is not None:
+                task.retries += 1
+                if task.retries > self.max_task_retries:
+                    self._tasks.pop(task_id, None)
+                    self._failed += 1
+                    if not task.future.done():
+                        task.future.set_exception(WorkerCrashError(
+                            f"worker died {task.retries} times while "
+                            f"running task {task_id}"))
+                    if not self._tasks:
+                        self._drained.notify_all()
+                else:
+                    self._requeues += 1
+                    displaced.insert(0, task_id)
+        self._spawn(wid)
+        for tid in displaced:
+            task = self._tasks.get(tid)
+            if task is not None:
+                self._sched.place(tid, task.affinity)
+        return self._plan_dispatches()
+
+    # -- introspection --------------------------------------------------
+
+    def utilization(self) -> float:
+        """Fraction of workers currently running a task."""
+        with self._lock:
+            if not self._started:
+                return 0.0
+            busy = sum(1 for t in self._inflight if t is not None)
+            return busy / self.n_workers
+
+    def stats(self) -> dict:
+        """One dict with every pool counter (serve-bench reports this)."""
+        with self._lock:
+            busy = sum(1 for t in self._inflight if t is not None)
+            return {
+                "workers": self.n_workers,
+                "started": self._started,
+                "busy_workers": busy,
+                "pending": self._sched.total_pending(),
+                "tasks_completed": self._completed,
+                "tasks_failed": self._failed,
+                "steals": self._sched.steals,
+                "stolen_tasks": self._sched.stolen_tasks,
+                "crashes": self._crashes,
+                "requeues": self._requeues,
+                "scene_ships": self._scene_ships,
+                "scene_cache_hits": self._scene_hits,
+            }
+
+
+# ---------------------------------------------------------------------------
+# The process-wide shared pool: serving and the eval campaign both default
+# to this one fleet, so a host runs one set of workers, not one per caller.
+
+_default_pool: WorkerPool | None = None
+_default_lock = threading.Lock()
+
+
+def get_default_pool(workers: int | None = None) -> WorkerPool:
+    """The lazily-created process-wide pool (auto-sized unless ``workers``
+    is given on first use; later calls return the existing pool)."""
+    global _default_pool
+    with _default_lock:
+        if _default_pool is None or _default_pool.closed:
+            _default_pool = WorkerPool(workers=workers)
+        return _default_pool
+
+
+@atexit.register
+def _close_default_pool() -> None:
+    with _default_lock:
+        if _default_pool is not None and not _default_pool.closed:
+            _default_pool.close(wait=False, timeout=2.0)

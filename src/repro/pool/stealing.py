@@ -1,0 +1,118 @@
+"""Work-stealing task placement for the worker pool.
+
+The scheduler is a pure in-parent data structure: one deque of pending
+task ids per worker, plus the placement and stealing policy. The
+:class:`~repro.pool.executor.WorkerPool` dispatcher consults it under its
+own lock, so nothing here is thread-safe on its own — and nothing here
+touches processes, which keeps the policy unit-testable in isolation.
+
+Placement is locality-aware: tasks carrying the same ``affinity`` key go
+to the same *home* worker (chosen least-loaded on first sight), so
+repeated frames of one scene keep hitting the worker that already holds
+the scene in its cache. Tasks without affinity go to the least-loaded
+deque. Balance is restored by stealing, not by placement: when a worker
+runs dry it takes half the richest victim's backlog (classic
+steal-half-on-idle, taken from the *back* of the victim's deque where the
+least-local work sits).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+
+class StealingScheduler:
+    """Per-worker pending deques with affinity placement and stealing."""
+
+    def __init__(self, n_workers: int, stealing: bool = True) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self._deques: list[deque] = [deque() for _ in range(n_workers)]
+        self._homes: dict[Hashable, int] = {}
+        self._rr = 0
+        self.stealing = stealing
+        self.steals = 0
+        self.stolen_tasks = 0
+        self.placed = 0
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._deques)
+
+    def depth(self, worker: int) -> int:
+        return len(self._deques[worker])
+
+    def total_pending(self) -> int:
+        return sum(len(d) for d in self._deques)
+
+    def _least_loaded(self) -> int:
+        depths = [len(d) for d in self._deques]
+        best = min(depths)
+        candidates = [i for i, d in enumerate(depths) if d == best]
+        # Round-robin among ties so affinity-free bursts stripe evenly
+        # instead of piling onto worker 0.
+        choice = candidates[self._rr % len(candidates)]
+        self._rr += 1
+        return choice
+
+    def place(self, task_id: int, affinity: Hashable | None = None) -> int:
+        """Queue a task; returns the worker it was placed on."""
+        if affinity is None:
+            worker = self._least_loaded()
+        else:
+            worker = self._homes.get(affinity)
+            if worker is None:
+                worker = self._homes[affinity] = self._least_loaded()
+        self._deques[worker].append(task_id)
+        self.placed += 1
+        return worker
+
+    def next_for(self, worker: int) -> int | None:
+        """The next task for an idle worker: own deque, else steal.
+
+        Stealing takes ``ceil(n/2)`` tasks from the back of the richest
+        other deque, keeps them on the thief's deque in their original
+        relative order, and returns the first.
+        """
+        own = self._deques[worker]
+        if own:
+            return own.popleft()
+        if not self.stealing:
+            return None
+        victim = None
+        richest = 0
+        for i, d in enumerate(self._deques):
+            if i != worker and len(d) > richest:
+                victim, richest = i, len(d)
+        if victim is None:
+            return None
+        take = (richest + 1) // 2
+        batch = [self._deques[victim].pop() for _ in range(take)]
+        batch.reverse()
+        own.extend(batch)
+        self.steals += 1
+        self.stolen_tasks += take
+        return own.popleft()
+
+    def drain_worker(self, worker: int) -> list[int]:
+        """Remove and return every task pending on one worker's deque
+        (crash recovery: the executor re-places them elsewhere)."""
+        drained = list(self._deques[worker])
+        self._deques[worker].clear()
+        # Re-home affinities pointing at the drained worker so future
+        # placements don't keep feeding a freshly-respawned (cold) cache.
+        for key, home in list(self._homes.items()):
+            if home == worker:
+                del self._homes[key]
+        return drained
+
+    def remove(self, task_id: int) -> bool:
+        """Withdraw a not-yet-dispatched task (used on pool shutdown)."""
+        for d in self._deques:
+            try:
+                d.remove(task_id)
+                return True
+            except ValueError:
+                continue
+        return False

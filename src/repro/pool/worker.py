@@ -1,0 +1,174 @@
+"""Worker-process side of the persistent pool.
+
+Each worker is a long-lived process running :func:`worker_main`: it pulls
+task tuples off its private task queue, executes them, and pushes result
+tuples onto the shared result queue until it receives the ``None``
+shutdown sentinel.
+
+Two task kinds exist:
+
+* ``"tile"`` — trace a verbatim slice of a frame's ray bundle against a
+  scene. Scenes are addressed by a **content key**; the first tile of a
+  scene ships the full ``(cloud, structure, config, objects, engine)``
+  payload and every later tile of that scene ships only the key, served
+  from the worker-resident cache (an LRU the parent mirrors exactly, so
+  the parent always knows what each worker holds).
+* ``"call"`` — run an arbitrary picklable ``fn(*args, **kwargs)``. This
+  is what the eval campaign fans out; workers keep their module state
+  (e.g. the eval harness render caches) across calls, which is the whole
+  point of a persistent pool.
+
+Results carry the worker-measured execution seconds, which feed the
+cost-aware tile splitter in :mod:`repro.pool.costs`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import time
+import traceback
+from collections import OrderedDict
+
+#: Default number of scenes a worker keeps resident.
+DEFAULT_SCENE_CACHE = 4
+
+#: Wire tags (module-level so parent and worker agree by construction).
+TASK_TILE = "tile"
+TASK_CALL = "call"
+SCENE_HIT = "hit"
+SCENE_SHIP = "ship"
+RESULT_OK = "ok"
+RESULT_ERROR = "error"
+
+
+def stable_fingerprint(obj) -> str:
+    """Content hash of a picklable object, memoized on the object.
+
+    Pickling the same construction path over the same array contents is
+    deterministic, so two structures built from identical scenes share a
+    fingerprint while any content change produces a new one. The digest
+    is stashed on the object (``object.__setattr__`` reaches into frozen
+    dataclasses) so a long-lived scene pays for hashing once; callers
+    must treat fingerprinted objects as immutable — the serving layer
+    already does.
+    """
+    cached = getattr(obj, "_pool_fingerprint", None)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256(pickle.dumps(obj, protocol=4)).hexdigest()
+    try:
+        object.__setattr__(obj, "_pool_fingerprint", digest)
+    except (AttributeError, TypeError):
+        pass
+    return digest
+
+
+def scene_key(cloud, structure, config, objects, engine: str) -> tuple:
+    """Content-based identity of everything a tile tracer depends on."""
+    return (
+        stable_fingerprint(cloud),
+        stable_fingerprint(structure),
+        config,
+        stable_fingerprint(objects) if objects is not None else None,
+        engine,
+    )
+
+
+class SceneCacheMirror:
+    """The LRU update rule shared by worker caches and parent mirrors.
+
+    The parent dispatches every task a worker sees, in order, and both
+    sides apply this exact rule on each tile task — so the parent's
+    mirror of "which scene keys does worker w hold" never drifts, and
+    cold/warm shipping decisions are made without any round trip.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_SCENE_CACHE) -> None:
+        if capacity < 1:
+            raise ValueError("scene cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def touch(self, key, value=True):
+        """Insert/refresh a key; returns the evicted key (or None)."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = value
+            return None
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            evicted, _ = self._entries.popitem(last=False)
+            return evicted
+        return None
+
+    def get(self, key):
+        self._entries.move_to_end(key)
+        return self._entries[key]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+def _resolve_tracer(scene_field, cache: SceneCacheMirror):
+    """Build or fetch the (tracer, objects) pair for one tile task."""
+    from repro.render.renderer import GaussianRayTracer
+
+    tag = scene_field[0]
+    if tag == SCENE_HIT:
+        return cache.get(scene_field[1])
+    if tag != SCENE_SHIP:
+        raise ValueError(f"unknown scene field tag {tag!r}")
+    _, key, (cloud, structure, config, objects, engine) = scene_field
+    tracer = GaussianRayTracer(cloud, structure, config, engine=engine)
+    entry = (tracer, objects)
+    cache.touch(key, entry)
+    return entry
+
+
+def execute_task(task, cache: SceneCacheMirror):
+    """Run one task tuple; returns ``(value, cost_seconds)``.
+
+    For tile tasks the cost covers only the tracing itself — one-time
+    scene unpickling / tracer construction on a cold ship is excluded,
+    so the cost-aware tile splitter sees steady-state per-tile costs,
+    not setup noise attributed to whichever tile shipped the scene.
+    """
+    kind = task[0]
+    if kind == TASK_TILE:
+        _, _tid, scene_field, origins, directions, pixel_ids, keep = task
+        tracer, objects = _resolve_tracer(scene_field, cache)
+        started = time.perf_counter()
+        value = tracer.trace_rays(origins, directions, pixel_ids,
+                                  objects=objects, keep_traces=keep)
+        return value, time.perf_counter() - started
+    if kind == TASK_CALL:
+        _, _tid, fn, args, kwargs = task
+        started = time.perf_counter()
+        value = fn(*args, **(kwargs or {}))
+        return value, time.perf_counter() - started
+    raise ValueError(f"unknown task kind {kind!r}")
+
+
+def worker_main(worker_id: int, task_queue, result_queue,
+                scene_cache_size: int = DEFAULT_SCENE_CACHE) -> None:
+    """Process entry point: serve tasks until the shutdown sentinel."""
+    cache = SceneCacheMirror(scene_cache_size)
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        task_id = task[1]
+        try:
+            value, cost = execute_task(task, cache)
+        except BaseException as exc:  # ship, don't die: workers are shared
+            result_queue.put((RESULT_ERROR, worker_id, task_id,
+                              repr(exc), traceback.format_exc()))
+            continue
+        result_queue.put((RESULT_OK, worker_id, task_id, value, cost))

@@ -36,7 +36,7 @@ from repro.serve.request import (
     SceneRef,
     cloud_fingerprint,
 )
-from repro.serve.server import RenderServer, ServerMetrics
+from repro.serve.server import RenderServer, ServerMetrics, ServerSaturated
 from repro.serve.tiles import Tile, TileScheduler, split_frame
 
 __all__ = [
@@ -50,6 +50,7 @@ __all__ = [
     "SceneRef",
     "SceneRegistry",
     "ServerMetrics",
+    "ServerSaturated",
     "Tile",
     "TileScheduler",
     "cloud_fingerprint",

@@ -11,18 +11,24 @@ adds the two behaviors a service needs under repeated traffic:
   and are answered from the fresh cache entry (the classic
   cache-stampede guard).
 
-``render()`` is synchronous; ``submit()`` runs the same path on a small
-thread pool and returns a :class:`~repro.serve.request.RenderJob`;
-``render_batch()`` dedupes a whole batch before dispatching it.
+``render()`` is synchronous; ``submit()`` enqueues the same path onto a
+**bounded** queue drained by a fixed set of dispatcher threads (no
+thread-per-job: saturation rejects with :class:`ServerSaturated` instead
+of growing without bound) and returns a
+:class:`~repro.serve.request.RenderJob`; ``render_batch()`` dedupes a
+whole batch, then renders its distinct frames concurrently through the
+same dispatchers. The actual tracing fans out tile-by-tile on the
+scheduler's persistent :class:`~repro.pool.WorkerPool`.
 """
 
 from __future__ import annotations
 
 import copy
+import queue as queue_mod
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.bvh import BuildParams
 from repro.render.renderer import RenderResult
@@ -32,16 +38,28 @@ from repro.serve.request import RenderJob, RenderRequest, RenderResponse
 from repro.serve.tiles import TileScheduler
 
 
+class ServerSaturated(RuntimeError):
+    """``submit()`` was refused because the pending queue is full."""
+
+
 @dataclass
 class ServerMetrics:
-    """Aggregate request counters (cache behavior and work done)."""
+    """Aggregate request counters (cache behavior and work done).
+
+    ``gauges`` is an optional provider of instantaneous values (queue
+    depth, worker utilization) merged into :meth:`snapshot` — the server
+    wires it up so load metrics appear next to the counters.
+    """
 
     requests: int = 0
     frame_hits: int = 0
     coalesced: int = 0
     rendered: int = 0
+    rejected: int = 0
     render_seconds: float = 0.0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    gauges: Callable[[], dict] | None = field(default=None, repr=False,
+                                              compare=False)
 
     def count(self, field_name: str, amount: float = 1) -> None:
         with self._lock:
@@ -53,14 +71,18 @@ class ServerMetrics:
 
     def snapshot(self) -> dict[str, float]:
         with self._lock:
-            return {
+            data = {
                 "requests": self.requests,
                 "frame_hits": self.frame_hits,
                 "coalesced": self.coalesced,
                 "rendered": self.rendered,
+                "rejected": self.rejected,
                 "render_seconds": round(self.render_seconds, 6),
                 "frame_hit_rate": round(self.frame_hit_rate, 4),
             }
+        if self.gauges is not None:
+            data.update(self.gauges())
+        return data
 
 
 class _InFlight:
@@ -85,9 +107,18 @@ class RenderServer:
     frame_cache_size:
         Entries in the finished-frame LRU.
     tile_size / workers:
-        Tiling configuration forwarded to :class:`TileScheduler`.
+        Tiling configuration forwarded to :class:`TileScheduler`; with
+        ``workers > 1`` tiles render on the scheduler's persistent
+        worker pool, reused across frames.
     submit_workers:
-        Thread-pool width for the async ``submit()`` API.
+        Dispatcher-thread count draining the ``submit()`` queue.
+    max_pending:
+        Bound on queued (not yet dispatched) jobs; ``submit()`` raises
+        :class:`ServerSaturated` beyond it.
+    pool:
+        An existing :class:`~repro.pool.WorkerPool` to render on, shared
+        with other servers/callers (one fleet per host); the server
+        creates its own when omitted and ``workers > 1``.
     """
 
     def __init__(
@@ -98,9 +129,12 @@ class RenderServer:
         workers: int = 1,
         build_params: BuildParams | None = None,
         submit_workers: int = 2,
+        max_pending: int = 64,
+        pool=None,
     ) -> None:
         self.registry = registry or SceneRegistry()
-        self.scheduler = TileScheduler(tile_size=tile_size, workers=workers)
+        self.scheduler = TileScheduler(tile_size=tile_size, workers=workers,
+                                       pool=pool)
         self.build_params = build_params or BuildParams()
         self._frames = LRUCache(frame_cache_size)
         # Constructed tracers (shading setup is O(scene)) reused across
@@ -110,8 +144,17 @@ class RenderServer:
         self._inflight: dict[tuple, _InFlight] = {}
         self._inflight_lock = threading.Lock()
         self.metrics = ServerMetrics()
-        self._executor = ThreadPoolExecutor(
-            max_workers=submit_workers, thread_name_prefix="repro-serve")
+        self.metrics.gauges = self._gauges
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if submit_workers < 1:
+            raise ValueError("submit_workers must be >= 1")
+        self.max_pending = max_pending
+        self.submit_workers = submit_workers
+        self._queue: queue_mod.Queue = queue_mod.Queue(maxsize=max_pending)
+        self._dispatchers: list[threading.Thread] = []
+        self._dispatchers_busy = 0
+        self._dispatch_lock = threading.Lock()
         self._closed = False
 
     # -- sync API -------------------------------------------------------
@@ -176,50 +219,111 @@ class RenderServer:
     def render_batch(self, requests: list[RenderRequest]) -> list[RenderResponse]:
         """Serve a batch, computing each distinct frame at most once.
 
-        Within-batch duplicates are answered from the response their
-        first occurrence produced (counted as frame hits) — guaranteed
-        even when the batch holds more distinct frames than the frame
-        cache does.
+        Distinct frames are dispatched concurrently through the submit
+        dispatchers (backpressured, never rejected: a synchronous batch
+        caller is its own flow control). Within-batch duplicates are
+        answered from the response their first occurrence produced
+        (counted as frame hits) — guaranteed even when the batch holds
+        more distinct frames than the frame cache does.
         """
-        produced: dict[tuple, RenderResponse] = {}
-        responses = []
+        if self._closed:
+            raise RuntimeError("server is closed")
+        leaders: dict[tuple, RenderJob] = {}
+        keys: list[tuple] = []
         for request in requests:
-            started = time.perf_counter()
             _, scene_hash = self.registry.scene(request.scene_ref)
             key = request.frame_key(scene_hash)
-            lead = produced.get(key)
-            if lead is not None:
+            keys.append((key, scene_hash))
+            if key not in leaders:
+                leaders[key] = self._enqueue(request, block=True)
+        responses = []
+        seen: set[tuple] = set()
+        for request, (key, scene_hash) in zip(requests, keys):
+            started = time.perf_counter()
+            lead = leaders[key].result()
+            if key in seen:
                 self.metrics.count("requests")
                 self.metrics.count("frame_hits")
                 responses.append(self._respond(request, lead, scene_hash,
                                                started, frame_cache_hit=True))
-                continue
-            response = self.render(request)
-            produced[key] = response
-            responses.append(response)
+            else:
+                seen.add(key)
+                responses.append(lead)
         return responses
 
     # -- async API ------------------------------------------------------
 
     def submit(self, request: RenderRequest) -> RenderJob:
-        """Queue a request; returns a job whose ``result()`` blocks."""
+        """Queue a request; returns a job whose ``result()`` blocks.
+
+        The pending queue is bounded by ``max_pending``; beyond it,
+        submission fails fast with :class:`ServerSaturated` (classic
+        load shedding) instead of buffering without limit.
+        """
         if self._closed:
             raise RuntimeError("server is closed")
-        job = RenderJob(request=request)
+        return self._enqueue(request, block=False)
 
-        def _run() -> None:
+    def _enqueue(self, request: RenderRequest, block: bool) -> RenderJob:
+        self._ensure_dispatchers()
+        job = RenderJob(request=request)
+        try:
+            if block:
+                self._queue.put(job)
+            else:
+                self._queue.put_nowait(job)
+        except queue_mod.Full:
+            self.metrics.count("rejected")
+            raise ServerSaturated(
+                f"submit queue is full ({self.max_pending} pending); "
+                "retry later or raise max_pending") from None
+        return job
+
+    def _ensure_dispatchers(self) -> None:
+        with self._dispatch_lock:
+            if self._dispatchers:
+                return
+            for index in range(self.submit_workers):
+                thread = threading.Thread(
+                    target=self._dispatch_loop,
+                    name=f"repro-serve-{index}", daemon=True)
+                thread.start()
+                self._dispatchers.append(thread)
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            with self._dispatch_lock:
+                self._dispatchers_busy += 1
             try:
-                job.future.set_result(self._serve(request))
+                job.future.set_result(self._serve(job.request))
             except BaseException as exc:
                 job.future.set_exception(exc)
-
-        self._executor.submit(_run)
-        return job
+            finally:
+                with self._dispatch_lock:
+                    self._dispatchers_busy -= 1
 
     def close(self) -> None:
         """Stop accepting work, drain queued jobs, release the pool."""
         self._closed = True
-        self._executor.shutdown(wait=True)
+        with self._dispatch_lock:
+            dispatchers = list(self._dispatchers)
+        for _ in dispatchers:
+            self._queue.put(None)  # FIFO: sentinels queue behind real jobs
+        for thread in dispatchers:
+            thread.join()
+        # A submit() racing close() can slip a job in behind the
+        # sentinels; fail anything left so no caller blocks forever.
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue_mod.Empty:
+                break
+            if job is not None and not job.future.done():
+                job.future.set_exception(RuntimeError("server is closed"))
+        self.scheduler.close()
 
     def __enter__(self) -> "RenderServer":
         return self
@@ -311,14 +415,28 @@ class RenderServer:
 
     # -- reporting ------------------------------------------------------
 
+    def _gauges(self) -> dict[str, float]:
+        """Instantaneous load gauges merged into metric snapshots."""
+        pool = self.scheduler.pool
+        with self._dispatch_lock:
+            busy = self._dispatchers_busy
+        return {
+            "queue_depth": self._queue.qsize(),
+            "max_pending": self.max_pending,
+            "dispatchers_busy": busy,
+            "worker_utilization": round(
+                pool.utilization() if pool is not None else 0.0, 4),
+        }
+
     @property
     def frame_cache_stats(self):
         return self._frames.stats
 
     def stats_report(self) -> dict[str, object]:
-        """One dict with every serving counter (metrics + caches)."""
+        """One dict with every serving counter (metrics + caches + pool)."""
         return {
             "server": self.metrics.snapshot(),
             "frame_cache": self._frames.stats,
             "registry": self.registry.counters(),
+            "pool": self.scheduler.pool_stats(),
         }

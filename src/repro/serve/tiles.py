@@ -3,22 +3,24 @@
 A frame is embarrassingly parallel across pixels: the tracer carries no
 cross-ray state, so any partition of the primary-ray bundle renders the
 same image. The scheduler splits the frame into rectangular tiles,
-renders them on a ``multiprocessing`` pool (workers hold the scene and
-acceleration structure, built once per worker), and scatters the tiles
-back into one :class:`~repro.render.image.ImageBuffer`.
+renders them on a persistent :class:`~repro.pool.WorkerPool` (workers
+hold content-hash-keyed scene caches, so repeated frames of one scene
+ship only a hash), and scatters the tiles back into one
+:class:`~repro.render.image.ImageBuffer`.
 
 Pixel-exactness is the contract: the parent generates the *full* camera
 bundle once and hands each worker verbatim slices of it, so a tiled
-render — serial or parallel, any tile size — is bit-identical to the
-untiled render. (Re-deriving rays per tile could differ in the last ulp;
-slicing cannot.)
+render — serial or parallel, any tile partition — is bit-identical to
+the untiled render. (Re-deriving rays per tile could differ in the last
+ulp; slicing cannot.) Cost-aware tiling exploits exactly this freedom:
+per-tile cost measurements from the previous frame of a scene move the
+tile *borders* toward equal-cost tiles, never changing what any pixel
+computes.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import os
-import threading
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,6 +28,7 @@ import numpy as np
 from repro.bvh.monolithic import MonolithicBVH
 from repro.bvh.two_level import TwoLevelBVH
 from repro.gaussians import GaussianCloud
+from repro.pool import TileCostModel, WorkerPool, available_workers, scene_key
 from repro.render.effects import SceneObjects
 from repro.render.image import ImageBuffer
 from repro.render.renderer import GaussianRayTracer, RenderResult, RenderStats
@@ -33,15 +36,13 @@ from repro.rt import TraceConfig
 
 
 def available_cores() -> int:
-    """Cores this process may actually run on (affinity-aware).
+    """Worker count for auto-sized schedulers/pools (affinity-aware).
 
-    ``mp.cpu_count()`` reports the host's cores even inside a cgroup or
-    taskset pinned to a subset; sizing a pool by it oversubscribes.
+    Honors the ``REPRO_WORKERS`` environment override and survives
+    ``sched_getaffinity`` failures — see
+    :func:`repro.pool.available_workers`, the single implementation.
     """
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # platforms without sched_getaffinity
-        return os.cpu_count() or 1
+    return available_workers()
 
 
 @dataclass(frozen=True)
@@ -87,47 +88,42 @@ def split_frame(width: int, height: int, tile_width: int, tile_height: int) -> l
     return tiles
 
 
-# ---------------------------------------------------------------------------
-# Worker-side state. Each pool worker builds its renderer once from the
-# (cloud, structure, config) shipped by the initializer, then renders any
-# number of tiles against it.
-
-_worker_renderer: GaussianRayTracer | None = None
-_worker_objects: SceneObjects | None = None
-
-
-def _init_worker(cloud, structure, config, objects, engine) -> None:
-    global _worker_renderer, _worker_objects
-    _worker_renderer = GaussianRayTracer(cloud, structure, config, engine=engine)
-    _worker_objects = objects
-
-
-def _render_tile(task):
-    index, origins, directions, pixel_ids, keep_traces = task
-    result = _worker_renderer.trace_rays(
-        origins, directions, pixel_ids,
-        objects=_worker_objects, keep_traces=keep_traces,
-    )
-    return index, result
+def _close_pool_quietly(pool: WorkerPool) -> None:
+    try:
+        pool.close(wait=False, timeout=2.0)
+    except Exception:
+        pass
 
 
 class TileScheduler:
-    """Fans a frame out over tiles and (optionally) worker processes.
+    """Fans a frame out over tiles and (optionally) a worker pool.
 
     Parameters
     ----------
     tile_size:
-        ``(width, height)`` of a tile in pixels.
+        ``(width, height)`` of a tile in pixels (the uniform-grid
+        fallback; cost-aware splitting overrides the borders once a
+        scene has per-tile cost history).
     workers:
         Process count. ``1`` renders tiles serially in-process (no pool,
-        no pickling); ``>1`` uses a ``multiprocessing`` pool. ``0`` or
-        ``None`` means one worker per available core.
+        no pickling); ``>1`` uses a persistent
+        :class:`~repro.pool.WorkerPool` created on first parallel render
+        and **reused across frames** — workers keep scenes resident, so
+        only the first frame of a scene pays the shipping cost. ``0`` or
+        ``None`` means one worker per available core (``REPRO_WORKERS``
+        honored).
     start_method:
-        Forwarded to :func:`multiprocessing.get_context`. By default the
-        method is chosen per render: ``fork`` (cheap scene shipping) when
-        the process is still single-threaded, ``spawn`` otherwise —
-        forking a multi-threaded process (e.g. from RenderServer submit
-        threads) can deadlock children on locks the fork snapshotted.
+        Forwarded to the pool. By default the method is chosen at pool
+        start: ``fork`` (cheap scene shipping) when the process is still
+        single-threaded, ``spawn`` otherwise — forking a multi-threaded
+        process (e.g. from RenderServer dispatcher threads) can deadlock
+        children on locks the fork snapshotted.
+    pool:
+        An existing :class:`~repro.pool.WorkerPool` to render on (shared
+        with other schedulers/callers). The scheduler never closes a
+        pool it was given; it only closes one it created.
+    adaptive:
+        Enable cost-aware tile splitting from per-tile cost feedback.
     """
 
     def __init__(
@@ -135,6 +131,8 @@ class TileScheduler:
         tile_size: tuple[int, int] = (16, 16),
         workers: int | None = 1,
         start_method: str | None = None,
+        pool: WorkerPool | None = None,
+        adaptive: bool = True,
     ) -> None:
         self.tile_width, self.tile_height = int(tile_size[0]), int(tile_size[1])
         if self.tile_width < 1 or self.tile_height < 1:
@@ -145,13 +143,67 @@ class TileScheduler:
             raise ValueError("workers must be >= 1 (or 0/None for auto)")
         self.workers = workers
         self.start_method = start_method
+        self.adaptive = adaptive
+        self.cost_model = TileCostModel()
+        #: The tile partition and worker-measured cost (seconds) of the
+        #: last pooled render: ``[(Tile, cost), ...]``.
+        self.last_tile_costs: list[tuple[Tile, float]] = []
+        self._pool = pool
+        self._owns_pool = False
+        self._pool_finalizer = None
 
-    def _resolve_start_method(self) -> str:
-        if self.start_method is not None:
-            return self.start_method
-        if "fork" in mp.get_all_start_methods() and threading.active_count() == 1:
-            return "fork"
-        return "spawn"
+    # -- pool lifecycle -------------------------------------------------
+
+    @property
+    def pool(self) -> WorkerPool | None:
+        """The pool this scheduler renders on (None until first use)."""
+        return self._pool
+
+    def _ensure_pool(self) -> WorkerPool:
+        if self._pool is None or self._pool.closed:
+            self._pool = WorkerPool(workers=self.workers,
+                                    start_method=self.start_method)
+            self._owns_pool = True
+            # Schedulers are often created ad hoc (tests, benchmarks);
+            # tie the owned pool's shutdown to the scheduler's lifetime
+            # so dropped schedulers don't strand worker processes.
+            self._pool_finalizer = weakref.finalize(
+                self, _close_pool_quietly, self._pool)
+        return self._pool
+
+    def pool_stats(self) -> dict:
+        """Counters of the underlying pool ({} before first pooled render)."""
+        return self._pool.stats() if self._pool is not None else {}
+
+    def close(self) -> None:
+        """Release the scheduler's own pool (shared pools are untouched)."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        self._pool = None
+        self._owns_pool = False
+
+    def __enter__(self) -> "TileScheduler":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- rendering ------------------------------------------------------
+
+    def _plan_tiles(self, key: tuple, width: int, height: int,
+                    n_workers: int, uniform: list[Tile]) -> list[Tile]:
+        """The tile partition for one pooled frame: cost-aware when the
+        scene has history, the uniform grid otherwise."""
+        if not self.adaptive:
+            return uniform
+        target = min(max(len(uniform), 4 * n_workers), 256)
+        rects = self.cost_model.plan(key, width, height, target)
+        if rects is None:
+            return uniform
+        return [Tile(*rect) for rect in rects]
 
     def render(
         self,
@@ -172,53 +224,63 @@ class TileScheduler:
         caller needs a timing replay. ``renderer`` lets a caller reuse an
         already-constructed tracer for this (cloud, structure, config,
         engine) — per-frame shading setup is O(scene) — and only applies
-        to the serial path (pool workers build their own from the
-        initargs). ``engine`` selects the tracing engine
+        to the serial path (pool workers resolve their own from their
+        scene caches). ``engine`` selects the tracing engine
         (``"scalar"``/``"packet"``) when no renderer is passed;
         unsupported (structure, config) combinations fall back to
         scalar inside :class:`GaussianRayTracer`.
         """
         bundle = camera.generate_rays()
+
         tiles = split_frame(camera.width, camera.height,
                             self.tile_width, self.tile_height)
-        tasks = []
-        for index, tile in enumerate(tiles):
-            ids = tile.pixel_ids(camera.width)
-            tasks.append((
-                index,
-                bundle.origins[ids],
-                bundle.directions[ids],
-                bundle.pixel_ids[ids],
-                keep_traces,
-            ))
-
-        n_workers = min(self.workers, len(tasks))
-        if n_workers <= 1:
+        if self.workers <= 1 or len(tiles) <= 1:
+            # Single-tile frames (frame <= tile size) render in-process:
+            # there is nothing to parallelize, and booting/shipping to a
+            # pool would only add latency.
             if renderer is None:
                 renderer = GaussianRayTracer(cloud, structure, config,
                                              engine=engine)
-            results = [
-                (index, renderer.trace_rays(o, d, ids, objects=objects,
-                                            keep_traces=keep))
-                for index, o, d, ids, keep in tasks
-            ]
-        else:
-            ctx = mp.get_context(self._resolve_start_method())
-            with ctx.Pool(
-                processes=n_workers,
-                initializer=_init_worker,
-                initargs=(cloud, structure, config, objects, engine),
-            ) as pool:
-                results = pool.map(_render_tile, tasks, chunksize=1)
+            parts = []
+            for tile in tiles:
+                ids = tile.pixel_ids(camera.width)
+                parts.append(renderer.trace_rays(
+                    bundle.origins[ids], bundle.directions[ids],
+                    bundle.pixel_ids[ids], objects=objects,
+                    keep_traces=keep_traces))
+            return self._assemble(parts, camera, config, structure)
 
+        key = scene_key(cloud, structure, config, objects, engine)
+        pool = self._ensure_pool()
+        tiles = self._plan_tiles(key, camera.width, camera.height,
+                                 pool.n_workers, tiles)
+        futures = []
+        for tile in tiles:
+            ids = tile.pixel_ids(camera.width)
+            futures.append(pool.submit_tile(
+                cloud, structure, config, objects, engine,
+                bundle.origins[ids], bundle.directions[ids],
+                bundle.pixel_ids[ids], keep_traces, key=key))
+        parts, costs = [], []
+        for future in futures:
+            part, cost = future.result()
+            parts.append(part)
+            costs.append(cost)
+        rects = [(t.x0, t.y0, t.width, t.height) for t in tiles]
+        self.cost_model.record(key, camera.width, camera.height, rects, costs)
+        self.last_tile_costs = list(zip(tiles, costs))
+        return self._assemble(parts, camera, config, structure)
+
+    @staticmethod
+    def _assemble(parts, camera, config, structure) -> RenderResult:
+        """Scatter tile results (in tile order) into one frame."""
         framebuffer = ImageBuffer(camera.width, camera.height)
         stats = RenderStats()
         traces = []
-        for _, part in sorted(results, key=lambda item: item[0]):
+        for part in parts:
             framebuffer.scatter(part.pixel_ids, part.colors)
             stats.merge(part.stats)
-            if keep_traces:
-                traces.extend(part.traces)
+            traces.extend(part.traces)
 
         return RenderResult(
             image=framebuffer.array,
