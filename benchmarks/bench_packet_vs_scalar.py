@@ -14,13 +14,18 @@ Parity failures always exit non-zero (parity is the engine's contract,
 report run or not); ``--check`` additionally gates on speed, failing
 when the packet speedup is below ``--min-speedup`` (default 3x, the
 acceptance bar on the default 64x64 scene; CI runs a tiny scene with
-``--min-speedup 2``).  Results go to
-``benchmarks/results/packet_vs_scalar.txt``.
+``--min-speedup 2``).  ``--structure`` selects the acceleration
+structure: the monolithic proxies *or* the two-level ``tlas+*``
+structures the packet engine now covers end-to-end.  Results go to
+``benchmarks/results/packet_vs_scalar_{tlas,mono}.txt`` plus a
+machine-readable ``BENCH_packet_tlas.json`` (two-level runs) /
+``BENCH_packet_mono.json`` (monolithic runs).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -45,9 +50,13 @@ def _parse(argv: list[str] | None) -> argparse.Namespace:
     parser.add_argument("--size", type=int, default=64,
                         help="image width=height (default 64)")
     parser.add_argument("--scale", type=float, default=1 / 2000.0)
-    parser.add_argument("--proxy", default="20-tri",
-                        choices=["20-tri", "80-tri", "custom"],
-                        help="monolithic proxy (the packet engine's scope)")
+    parser.add_argument("--structure", "--proxy", dest="structure",
+                        default="20-tri",
+                        choices=["20-tri", "80-tri", "custom",
+                                 "tlas+sphere", "tlas+20-tri", "tlas+80-tri"],
+                        help="acceleration structure: monolithic proxies or "
+                             "the two-level tlas+* structures (--proxy is a "
+                             "backward-compatible alias)")
     parser.add_argument("--k", type=int, default=8)
     parser.add_argument("--modes", default="multiround,singleround",
                         help="comma-separated trace modes to compare")
@@ -102,7 +111,7 @@ def main(argv: list[str] | None = None) -> int:
     from repro.render import default_camera_for
 
     cloud = make_workload(args.scene, scale=args.scale)
-    structure = build_structure_for(cloud, args.proxy)
+    structure = build_structure_for(cloud, args.structure)
     camera = default_camera_for(cloud, args.size, args.size)
 
     rows = []
@@ -121,14 +130,28 @@ def main(argv: list[str] | None = None) -> int:
 
     report = format_table(
         f"packet vs scalar: {args.scene} {args.size}x{args.size} "
-        f"{args.proxy} k={args.k} ({len(cloud)} gaussians)",
+        f"{args.structure} k={args.k} ({len(cloud)} gaussians)",
         ["mode", "scalar rays/s", "packet rays/s", "speedup",
          "max |diff|", "counters"],
         rows,
     )
     print(report)
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "packet_vs_scalar.txt").write_text(report + "\n")
+    family = "tlas" if args.structure.startswith("tlas+") else "mono"
+    # Per-family filenames so CI's back-to-back monolithic and tlas runs
+    # don't clobber each other's reports.
+    (RESULTS_DIR / f"packet_vs_scalar_{family}.txt").write_text(report + "\n")
+    payload = {
+        "scene": args.scene,
+        "size": args.size,
+        "scale": args.scale,
+        "structure": args.structure,
+        "k": args.k,
+        "n_gaussians": len(cloud),
+        "measurements": measurements,
+    }
+    (RESULTS_DIR / f"BENCH_packet_{family}.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
 
     failures = []
     for m in measurements:

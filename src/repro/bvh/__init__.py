@@ -21,6 +21,13 @@ from repro.bvh.layout import (
 from repro.bvh.morton import morton_codes, radix_split
 from repro.bvh.node import FlatBVH, KIND_EMPTY, KIND_INTERNAL, KIND_LEAF
 from repro.bvh.monolithic import MonolithicBVH, build_monolithic
+from repro.bvh.flatten import (
+    FlatBlas,
+    FlatMesh,
+    FlatStructure,
+    flatten,
+    flattenable,
+)
 from repro.bvh.quality import TreeQuality, sah_cost, tree_quality
 from repro.bvh.refit import RefitDrift, measure_drift, refit_bvh
 from repro.bvh.serialize import (
@@ -43,6 +50,9 @@ __all__ = [
     "CUSTOM_PRIM_BYTES",
     "FORMAT_VERSION",
     "FlatBVH",
+    "FlatBlas",
+    "FlatMesh",
+    "FlatStructure",
     "GaussianObject",
     "INSTANCE_BYTES",
     "KIND_EMPTY",
@@ -62,6 +72,8 @@ __all__ = [
     "build_bvh",
     "build_monolithic",
     "build_two_level",
+    "flatten",
+    "flattenable",
     "internal_node_bytes",
     "load_structure",
     "measure_drift",

@@ -20,7 +20,11 @@ from repro.bvh.monolithic import MonolithicBVH
 from repro.bvh.node import FlatBVH
 from repro.bvh.two_level import SharedBlas, TwoLevelBVH
 
-FORMAT_VERSION = 1
+# Version 2: icosphere-BLAS TLAS boxes bound the instance-transformed
+# template mesh (not just the ellipsoid); version-1 archives of tlas+*-tri
+# structures carry unsound boxes for interval-constrained multiround
+# traversal, so they must rebuild.
+FORMAT_VERSION = 2
 
 # Backwards-compatible alias (pre-1.1 name).
 _FORMAT_VERSION = FORMAT_VERSION

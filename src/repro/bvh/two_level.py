@@ -29,6 +29,7 @@ from repro.bvh.layout import (
 from repro.bvh.node import FlatBVH
 from repro.gaussians import GaussianCloud, canonical_transforms, world_aabbs
 from repro.geometry import unit_icosahedron_circumscribed
+from repro.math3d import quat_to_rotation_matrix
 
 #: Alignment between the TLAS region and the BLAS region.
 _REGION_ALIGN = 256
@@ -127,6 +128,27 @@ def _build_shared_blas(blas_kind: str, subdivisions: int, base_address: int) -> 
     )
 
 
+def _instance_proxy_aabbs(
+    cloud: GaussianCloud, subdivisions: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """World AABBs of each instance-transformed template icosphere.
+
+    The circumscribed template sticks out beyond the ellipsoid, so the
+    TLAS must bound the *proxy geometry* the BLAS actually reports hits
+    on (exactly as a Vulkan TLAS instance box derives from the BLAS root
+    box).  Bounding only the ellipsoid made interval-constrained
+    multiround traversal unsound: a proxy hit beyond its leaf box exit
+    was pruned by the next round's ``t_min`` and dropped forever,
+    diverging from singleround.
+    """
+    verts, _ = unit_icosahedron_circumscribed(subdivisions)
+    rot = quat_to_rotation_matrix(cloud.rotations)
+    radii = cloud.kappa * cloud.scales
+    scaled = verts[None, :, :] * radii[:, None, :]
+    world = np.einsum("nij,nvj->nvi", rot, scaled) + cloud.means[:, None, :]
+    return world.min(axis=1), world.max(axis=1)
+
+
 def build_two_level(
     cloud: GaussianCloud,
     blas_kind: str = "sphere",
@@ -139,7 +161,10 @@ def build_two_level(
     ``blas_kind="icosphere"`` with ``subdivisions`` 0/1 gives the
     TLAS+20-tri / TLAS+80-tri configurations of Fig 12.
     """
-    lo, hi = world_aabbs(cloud)
+    if blas_kind == "icosphere":
+        lo, hi = _instance_proxy_aabbs(cloud, subdivisions)
+    else:
+        lo, hi = world_aabbs(cloud)
     if params is None:
         params = BuildParams()
     # TLAS leaves hold exactly one instance: hardware instance nodes are

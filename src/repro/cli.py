@@ -44,13 +44,15 @@ def _build_parser() -> argparse.ArgumentParser:
     render.add_argument("--mode", default="grtx",
                         choices=["baseline", "grtx-sw", "grtx-hw", "grtx"],
                         help="optimization mode (grtx-hw/grtx enable checkpointing)")
-    render.add_argument("--engine", default="scalar",
-                        choices=["scalar", "packet"],
+    render.add_argument("--engine", default="auto",
+                        choices=["scalar", "packet", "auto"],
                         help="tracing engine: per-ray scalar (full feature set, "
-                             "fetch traces for the timing model) or vectorized "
-                             "ray packets (monolithic proxies without "
-                             "checkpointing; other combinations fall back to "
-                             "scalar)")
+                             "fetch traces for the timing model), vectorized "
+                             "ray packets (both structure families, no "
+                             "checkpointing; unsupported combinations fall "
+                             "back to scalar with a warning), or auto "
+                             "(default: packet whenever it covers the "
+                             "structure/mode pair, scalar otherwise)")
     render.add_argument("--size", type=int, default=32, help="image width=height")
     render.add_argument("--k", type=int, default=8, help="k-buffer capacity")
     render.add_argument("--scale", type=float, default=1 / 400.0,
@@ -105,13 +107,13 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="total requests in the throughput workload")
     serve_bench.add_argument("--unique", type=int, default=5,
                              help="distinct request configs in the workload")
-    serve_bench.add_argument("--engine", default="scalar",
-                             choices=["scalar", "packet"],
-                             help="tracing engine to benchmark; packet "
-                                  "switches the workload to the engine's "
-                                  "scope (monolithic proxies, baseline "
-                                  "mode) so the packet path is what gets "
-                                  "measured")
+    serve_bench.add_argument("--engine", default="auto",
+                             choices=["scalar", "packet", "auto"],
+                             help="tracing engine to benchmark; packet/auto "
+                                  "switch the workload to baseline mode "
+                                  "(no checkpointing) so the vectorized "
+                                  "path is what gets measured, on the "
+                                  "paper's tlas+sphere structure")
     return parser
 
 
@@ -181,19 +183,21 @@ def _cmd_render(args: argparse.Namespace) -> int:
     checkpointing = args.mode in ("grtx-hw", "grtx")
     config = TraceConfig(k=args.k, checkpointing=checkpointing)
     camera = _make_camera(args.camera, cloud, args.size)
-    from repro.rt import packet_supported
+    from repro.rt import resolve_engine
 
-    engine_active = ("packet" if args.engine == "packet"
-                     and packet_supported(structure, config) else "scalar")
+    # Resolve auto (and count/warn an explicit packet degrade) once,
+    # then pass the concrete engine down so nothing re-resolves.
+    engine_active = resolve_engine(args.engine, structure, config)
     if tiles:
         from repro.serve import TileScheduler
 
         scheduler = TileScheduler(tile_size=(tiles, tiles), workers=args.workers)
         result = scheduler.render(cloud, structure, config, camera,
                                   keep_traces=engine_active == "scalar",
-                                  engine=args.engine)
+                                  engine=engine_active)
     else:
-        renderer = GaussianRayTracer(cloud, structure, config, engine=args.engine)
+        renderer = GaussianRayTracer(cloud, structure, config,
+                                     engine=engine_active)
         result = renderer.render(camera)
     write_ppm(args.out, result.image)
     print(f"scene={args.scene} gaussians={len(cloud)} proxy={args.proxy} "

@@ -12,7 +12,11 @@ Two task kinds exist:
   scene ships the full ``(cloud, structure, config, objects, engine)``
   payload and every later tile of that scene ships only the key, served
   from the worker-resident cache (an LRU the parent mirrors exactly, so
-  the parent always knows what each worker holds).
+  the parent always knows what each worker holds). The structure the
+  scheduler ships is the *flattened* SoA layout
+  (:class:`~repro.bvh.flatten.FlatStructure`) and the engine is always
+  concrete (``auto`` resolves in the parent): a worker builds either
+  tracing engine straight from the one layout.
 * ``"call"`` — run an arbitrary picklable ``fn(*args, **kwargs)``. This
   is what the eval campaign fans out; workers keep their module state
   (e.g. the eval harness render caches) across calls, which is the whole

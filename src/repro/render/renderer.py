@@ -136,10 +136,12 @@ class RenderResult:
 
 #: Engines a renderer can trace with.  ``"scalar"`` is the per-ray
 #: Python tracer (full feature set, per-ray fetch traces); ``"packet"``
-#: is the numpy-vectorized ray-packet engine (monolithic proxies,
+#: is the numpy-vectorized ray-packet engine (both structure families,
 #: multiround/singleround, no fetch traces), parity-matched to the
-#: scalar images within 1e-9 per channel.
-ENGINES = ("scalar", "packet")
+#: scalar images within 1e-9 per channel; ``"auto"`` picks the packet
+#: engine whenever it covers the (structure, config) pair and the
+#: scalar tracer otherwise.
+ENGINES = ("scalar", "packet", "auto")
 
 
 class GaussianRayTracer:
@@ -154,10 +156,17 @@ class GaussianRayTracer:
     config:
         Tracing configuration (k, multi/single round, checkpointing, ...).
     engine:
-        ``"scalar"`` (default) or ``"packet"``.  The packet engine covers
-        the monolithic proxy path without checkpointing; unsupported
-        combinations transparently fall back to the scalar tracer
-        (``engine_active`` reports which one is in use).
+        ``"scalar"`` (default), ``"packet"`` or ``"auto"``.  The packet
+        engine covers both structure families without checkpointing or
+        ``record_blended``; an explicit ``"packet"`` on an unsupported
+        combination falls back to the scalar tracer — counted by
+        :func:`repro.rt.packet.packet_fallback_count` and warned about
+        once per reason — while ``"auto"`` silently picks whichever
+        engine covers the pair (``engine_active`` reports the choice).
+
+    ``structure`` may also be an already-flattened
+    :class:`~repro.bvh.flatten.FlatStructure` (what pool workers
+    receive); both engines consume the flattened layout natively.
     """
 
     def __init__(
@@ -176,12 +185,11 @@ class GaussianRayTracer:
         self.shading = SceneShading(cloud)
         self.packet = None
         self._scalar_tracer: Tracer | None = None
-        if engine == "packet":
-            from repro.rt.packet import PacketTracer, packet_supported
+        from repro.rt.packet import PacketTracer, resolve_engine
 
-            if packet_supported(structure, self.config):
-                self.packet = PacketTracer(structure, self.shading, self.config)
-        if self.packet is None:
+        if resolve_engine(engine, structure, self.config) == "packet":
+            self.packet = PacketTracer(structure, self.shading, self.config)
+        else:
             self._scalar_tracer = Tracer(structure, self.shading, self.config)
 
     @property

@@ -29,7 +29,19 @@ from repro.rt.pipeline import (
     depth_pipeline,
     shadow_pipeline,
 )
-from repro.rt.packet import PacketResult, PacketTracer, packet_supported
+from repro.rt.packet import (
+    MONOLITHIC_PROXIES,
+    PACKET_PROXIES,
+    TWO_LEVEL_PROXIES,
+    PacketResult,
+    PacketTracer,
+    fallback_reason,
+    packet_config_supported,
+    packet_fallback_count,
+    packet_supported,
+    reset_packet_fallbacks,
+    resolve_engine,
+)
 from repro.rt.predictor import PredictorReport, RayPredictor, analyze_predictor
 from repro.rt.shading import SceneShading
 from repro.rt.tracer import RayOutcome, TraceConfig, Tracer
@@ -62,8 +74,16 @@ __all__ = [
     "TERMINATE",
     "TraceConfig",
     "Tracer",
+    "MONOLITHIC_PROXIES",
+    "PACKET_PROXIES",
+    "TWO_LEVEL_PROXIES",
     "analyze_predictor",
     "depth_pipeline",
+    "fallback_reason",
+    "packet_config_supported",
+    "packet_fallback_count",
     "packet_supported",
+    "reset_packet_fallbacks",
+    "resolve_engine",
     "shadow_pipeline",
 ]

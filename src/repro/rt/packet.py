@@ -1,17 +1,26 @@
-"""Vectorized ray-packet tracing for the monolithic proxy path.
+"""Vectorized ray-packet tracing over the flattened structure layout.
 
-The scalar :class:`~repro.rt.tracer.Tracer` walks the BVH one ray at a
-time in pure Python — the throughput bottleneck of the whole
-reproduction.  Primary rays inside a tile are highly coherent, so this
-module traces a whole tile's bundle *together*:
+The scalar :class:`~repro.rt.tracer.Tracer` walks acceleration
+structures one ray at a time in pure Python — the throughput bottleneck
+of the whole reproduction.  Primary rays inside a tile are highly
+coherent, so this module traces a whole tile's bundle *together* over
+the one flattened layout every structure lowers to
+(:func:`repro.bvh.flatten.flatten`):
 
-* **batched slab tests** — each BVH node is visited at most once per
-  packet; its (up to ``width``) child boxes are slab-tested against every
-  ray still active at that node in one numpy broadcast, and children are
-  descended with the surviving ray subset;
+* **batched slab tests** — each node of a flattened level is visited at
+  most once per packet; its (up to ``width``) child boxes are slab-tested
+  against every ray still active at that node in one numpy broadcast,
+  and children are descended with the surviving ray subset;
+* **two-level traversal** — TLAS leaves gather their instance records
+  (Gaussian id, world->object transform, shared-BLAS slot), the live
+  (ray, instance) bundle is transformed into BLAS object space in one
+  batch, and each shared BLAS is traversed *once* for its whole instance
+  group: the unit-sphere BLAS is a batched root-box test, the template
+  mesh BLAS reuses the same generic level traversal with the pair bundle
+  as its rays;
 * **masked Möller–Trumbore** — all (ray, triangle) candidate pairs
-  produced by the leaf visits are intersected in one vectorized batch
-  (one batched canonical ellipsoid test for the custom-primitive proxy);
+  produced by the leaf visits (monolithic leaves or template-BLAS
+  leaves) are intersected in one vectorized batch;
 * **vectorized front-to-back blending** — per-ray hit lists are sorted
   by ``(t, gaussian_id)``, transmittance is a row-wise ``cumprod``, and
   early ray termination is a monotone cutoff on the running
@@ -29,20 +38,31 @@ capped at ``max_rounds * k`` entries; and early termination is a
 monotone threshold on the running transmittance, so it commutes with
 computing all hits first.
 
-Scope: monolithic structures (triangle and custom proxies) in
-``multiround`` and ``singleround`` modes.  Two-level (GRTX-SW)
-traversal, GRTX-HW checkpointing, per-ray fetch traces and
-``record_blended`` are scalar-engine-only; :func:`packet_supported`
-tells callers when to fall back.
+Scope: every structure the repo builds — monolithic (triangle and
+custom proxies) *and* two-level (``tlas+sphere`` / ``tlas+*-tri``) — in
+``multiround`` and ``singleround`` modes.  GRTX-HW checkpointing,
+per-ray fetch traces and ``record_blended`` stay scalar-engine-only;
+:func:`packet_supported` tells callers when to fall back, and
+:func:`resolve_engine` / :func:`packet_fallback_count` make the
+fallback observable instead of silent.
 """
 
 from __future__ import annotations
 
+import threading
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.bvh.monolithic import MonolithicBVH
+from repro.bvh.flatten import (
+    BLAS_SPHERE,
+    PRIMS_GAUSSIANS,
+    PRIMS_TRIANGLES,
+    FlatBVH,
+    flatten,
+    flattenable,
+)
 from repro.bvh.node import KIND_INTERNAL
 from repro.gaussians.sh import sh_basis
 from repro.rt.shading import ALPHA_MAX, ALPHA_MIN, SceneShading
@@ -56,11 +76,16 @@ _MAX_PACKET = 8192
 _INF = float("inf")
 
 
-#: Proxy labels that build monolithic structures — the packet engine's
-#: structural scope (``tlas+*`` labels build two-level structures).
-#: The single source for request-level fallback prediction, so the
-#: serving layer can never drift from :func:`packet_supported`.
+#: Proxy labels that build monolithic structures.
 MONOLITHIC_PROXIES = ("20-tri", "80-tri", "custom")
+
+#: Proxy labels that build two-level (GRTX-SW) structures.
+TWO_LEVEL_PROXIES = ("tlas+sphere", "tlas+20-tri", "tlas+80-tri")
+
+#: Every proxy label the packet engine covers — the single source for
+#: request-level engine resolution, so the serving layer can never
+#: drift from :func:`packet_supported`.
+PACKET_PROXIES = MONOLITHIC_PROXIES + TWO_LEVEL_PROXIES
 
 
 def packet_config_supported(config: TraceConfig) -> bool:
@@ -73,11 +98,84 @@ def packet_config_supported(config: TraceConfig) -> bool:
 def packet_supported(structure, config: TraceConfig) -> bool:
     """Whether the packet engine covers this (structure, config) pair.
 
-    The packet tracer handles the monolithic proxy path in multiround
-    and singleround modes; everything else falls back to the scalar
-    engine.
+    Structural support is :func:`repro.bvh.flatten.flattenable` — the
+    same predicate the scalar tracer's table setup uses — so both
+    engines agree by construction on what a structure is.
     """
-    return isinstance(structure, MonolithicBVH) and packet_config_supported(config)
+    return flattenable(structure) and packet_config_supported(config)
+
+
+def fallback_reason(structure, config: TraceConfig) -> str | None:
+    """Why this (structure, config) pair needs the scalar engine
+    (``None`` when the packet engine covers it)."""
+    if not flattenable(structure):
+        return f"unsupported structure type {type(structure).__name__}"
+    if config.checkpointing:
+        return "checkpointing (GRTX-HW) is scalar-engine-only"
+    if config.record_blended:
+        return "record_blended is scalar-engine-only"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Fallback observability: a process-wide counter plus a one-time warning
+# per distinct reason, so an engine="packet" request silently degrading
+# to the scalar tracer is visible to callers (the render server surfaces
+# the counter as a gauge in its metric snapshots).
+
+_fallback_lock = threading.Lock()
+_fallback_count = 0
+_warned_reasons: set[str] = set()
+
+
+def note_packet_fallback(reason: str) -> None:
+    """Record one packet->scalar degrade; warns once per reason."""
+    global _fallback_count
+    with _fallback_lock:
+        _fallback_count += 1
+        first = reason not in _warned_reasons
+        _warned_reasons.add(reason)
+    if first:
+        warnings.warn(
+            f"packet engine unavailable ({reason}); falling back to the "
+            "scalar tracer", RuntimeWarning, stacklevel=3)
+
+
+def packet_fallback_count() -> int:
+    """Process-wide count of packet->scalar fallbacks so far."""
+    with _fallback_lock:
+        return _fallback_count
+
+
+def reset_packet_fallbacks() -> None:
+    """Reset the counter and re-arm the one-time warnings (tests)."""
+    global _fallback_count
+    with _fallback_lock:
+        _fallback_count = 0
+        _warned_reasons.clear()
+
+
+def resolve_engine(engine: str, structure, config: TraceConfig) -> str:
+    """The concrete engine a (structure, config) pair will trace with.
+
+    ``"auto"`` picks the packet engine whenever it covers the pair and
+    the scalar tracer otherwise, silently — that is its contract.  An
+    explicit ``"packet"`` that cannot be honored *degrades* to scalar:
+    the degrade is counted (:func:`packet_fallback_count`) and warned
+    about once per reason, because the caller asked for something they
+    are not getting.
+    """
+    if engine == "scalar":
+        return "scalar"
+    if engine not in ("packet", "auto"):
+        raise ValueError(
+            f"unknown engine {engine!r}; expected scalar, packet or auto")
+    reason = fallback_reason(structure, config)
+    if reason is None:
+        return "packet"
+    if engine == "packet":
+        note_packet_fallback(reason)
+    return "scalar"
 
 
 @dataclass
@@ -107,49 +205,77 @@ class PacketResult:
         return self.colors.shape[0]
 
 
+class _Level:
+    """Contiguous traversal arrays for one flattened BVH level."""
+
+    __slots__ = ("child_lo", "child_hi", "child_kind", "child_ref",
+                 "leaf_start", "leaf_count")
+
+    def __init__(self, bvh: FlatBVH) -> None:
+        self.child_lo = np.ascontiguousarray(bvh.child_lo)
+        self.child_hi = np.ascontiguousarray(bvh.child_hi)
+        self.child_kind = bvh.child_kind
+        self.child_ref = bvh.child_ref
+        self.leaf_start = bvh.leaf_start
+        self.leaf_count = bvh.leaf_count
+
+
 class PacketTracer:
-    """Traces ray packets through one monolithic scene structure.
+    """Traces ray packets through one flattened scene structure.
 
     Built once per (structure, shading, config) like the scalar
     :class:`~repro.rt.tracer.Tracer`; carries no per-packet state, so a
-    single instance may trace any number of packets.
+    single instance may trace any number of packets.  Accepts raw
+    structures (flattened on construction, memoized) or an
+    already-flattened :class:`~repro.bvh.flatten.FlatStructure`.
     """
 
     def __init__(
         self,
-        structure: MonolithicBVH,
+        structure,
         shading: SceneShading,
         config: TraceConfig | None = None,
     ) -> None:
         config = config or TraceConfig()
         if not packet_supported(structure, config):
             raise ValueError(
-                "packet engine supports monolithic structures without "
-                "checkpointing or record_blended; use the scalar Tracer")
+                "packet engine supports flattenable structures without "
+                "checkpointing or record_blended; use the scalar Tracer "
+                f"({fallback_reason(structure, config)})")
+        flat = flatten(structure)
         self.structure = structure
+        self.flat = flat
         self.shading = shading
         self.config = config
-        bvh = structure.bvh
-        self._child_lo = np.ascontiguousarray(bvh.child_lo)
-        self._child_hi = np.ascontiguousarray(bvh.child_hi)
-        self._child_kind = bvh.child_kind
-        self._child_ref = bvh.child_ref
-        self._leaf_start = bvh.leaf_start
-        self._leaf_count = bvh.leaf_count
-        order = bvh.prim_order
-        self.triangle_proxy = structure.is_triangle_proxy
-        if self.triangle_proxy:
-            # Leaf-contiguous triangle soup, same layout as the scalar
-            # tracer's plain-list tables but kept as numpy for batching.
-            self._v0 = np.ascontiguousarray(structure.tri_v0[order])
-            self._e1 = np.ascontiguousarray(
-                structure.tri_v1[order] - structure.tri_v0[order])
-            self._e2 = np.ascontiguousarray(
-                structure.tri_v2[order] - structure.tri_v0[order])
-            self._owner = np.ascontiguousarray(
-                structure.tri_gaussian[order].astype(np.int64))
+        self._root = _Level(flat.root)
+        self._prims = flat.root_prims
+        if flat.root_prims == PRIMS_TRIANGLES:
+            mesh = flat.mesh
+            self._v0, self._e1, self._e2 = mesh.v0, mesh.e1, mesh.e2
+            self._owner = mesh.owner
         else:
-            self._gids = np.ascontiguousarray(order.astype(np.int64))
+            # Custom primitives or instances: leaf-ordered Gaussian ids.
+            self._gids = flat.prim_gid
+        if flat.two_level:
+            # The instance table (leaf-ordered, aligned with prim_gid) —
+            # bit-equal to the shading tables by construction, which the
+            # test suite guards, so consuming it preserves scalar parity.
+            self._inst_lin = flat.inst_w2o_linear
+            self._inst_off = flat.inst_w2o_offset
+            self._inst_blas = flat.inst_blas
+            self._blas = flat.blas
+            self._blas_levels = [
+                _Level(b.bvh) if b.bvh is not None else None
+                for b in flat.blas
+            ]
+            self._blas_roots = [
+                b.bvh.root_box() if b.bvh is not None else None
+                for b in flat.blas
+            ]
+
+    @property
+    def triangle_proxy(self) -> bool:
+        return self._prims == PRIMS_TRIANGLES
 
     # ------------------------------------------------------------------
     # Public API
@@ -212,30 +338,43 @@ class PacketTracer:
         safe = np.where(np.abs(d) < 1e-12, 1e-12, d)
         inv_d = 1.0 / safe
 
-        leaf_rays, leaf_refs = self._traverse(o, inv_d, t_clip)
-        if self.triangle_proxy:
+        leaf_rays, leaf_refs = self._traverse(self._root, o, inv_d, t_clip)
+        o2 = d2 = None
+        if self._prims == PRIMS_TRIANGLES:
             ray_c, gid_c, t_proxy = self._leaf_triangles(
                 o, d, leaf_rays, leaf_refs)
-        else:
+        elif self._prims == PRIMS_GAUSSIANS:
             ray_c, gid_c = self._leaf_customs(leaf_rays, leaf_refs)
             t_proxy = None
-        return self._shade_and_blend(o, d, t_clip, ray_c, gid_c, t_proxy)
+        else:
+            ray_c, gid_c, t_proxy, o2, d2 = self._leaf_instances(
+                o, d, t_clip, leaf_rays, leaf_refs)
+        return self._shade_and_blend(o, d, t_clip, ray_c, gid_c, t_proxy,
+                                     o2=o2, d2=d2)
 
     def _traverse(
-        self, o: np.ndarray, inv_d: np.ndarray, t_clip: np.ndarray
+        self,
+        level: _Level,
+        o: np.ndarray,
+        inv_d: np.ndarray,
+        t_clip: np.ndarray,
     ) -> tuple[list[np.ndarray], list[int]]:
-        """Packet traversal: every reachable node visited at most once.
+        """Packet traversal of one flattened level: every reachable node
+        visited at most once.
 
-        Returns the leaf visit list as parallel (active-ray subset, leaf
-        record index) sequences.  There is no t_max pruning: the blend
-        stage applies early termination after all hits are known, which
-        yields the identical blended prefix (termination is a monotone
-        cutoff on sorted hits).
+        The "rays" are whatever bundle the level is traversed with —
+        camera rays for the root level, object-space (ray, instance)
+        pairs for a shared mesh BLAS.  Returns the leaf visit list as
+        parallel (active-ray subset, leaf record index) sequences.
+        There is no t_max pruning: the blend stage applies early
+        termination after all hits are known, which yields the identical
+        blended prefix (termination is a monotone cutoff on sorted
+        hits).
         """
-        kinds = self._child_kind
-        refs = self._child_ref
-        los = self._child_lo
-        his = self._child_hi
+        kinds = level.child_kind
+        refs = level.child_ref
+        los = level.child_lo
+        his = level.child_hi
         leaf_rays: list[np.ndarray] = []
         leaf_refs: list[int] = []
         stack: list[tuple[int, np.ndarray]] = [
@@ -262,15 +401,16 @@ class PacketTracer:
                     leaf_refs.append(int(refs[node, slot]))
         return leaf_rays, leaf_refs
 
+    @staticmethod
     def _leaf_pairs(
-        self, leaf_rays: list[np.ndarray], leaf_refs: list[int]
+        level: _Level, leaf_rays: list[np.ndarray], leaf_refs: list[int]
     ) -> tuple[np.ndarray, np.ndarray]:
         """Flatten leaf visits into (ray index, ordered-primitive index)
         pair arrays — the input of the batched primitive tests."""
         ray_parts: list[np.ndarray] = []
         prim_parts: list[np.ndarray] = []
-        starts = self._leaf_start
-        counts = self._leaf_count
+        starts = level.leaf_start
+        counts = level.leaf_count
         for rays, ref in zip(leaf_rays, leaf_refs):
             start = int(starts[ref])
             count = int(counts[ref])
@@ -282,39 +422,36 @@ class PacketTracer:
             return empty, empty
         return np.concatenate(ray_parts), np.concatenate(prim_parts)
 
-    def _leaf_triangles(
-        self,
-        o: np.ndarray,
-        d: np.ndarray,
-        leaf_rays: list[np.ndarray],
-        leaf_refs: list[int],
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Masked Möller–Trumbore over every (ray, leaf triangle) pair.
+    @staticmethod
+    def _entering_hits(
+        op: np.ndarray,
+        dp: np.ndarray,
+        tp: np.ndarray,
+        v0_arr: np.ndarray,
+        e1_arr: np.ndarray,
+        e2_arr: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Masked Möller–Trumbore over (ray, triangle) candidate pairs.
 
-        Returns per-(ray, gaussian) candidates with the proxy entry
-        depth: backface-culled entering hits, reduced to the nearest
-        entering triangle per Gaussian (the proxy meshes are convex, so
-        a ray has at most one entering hit per Gaussian and the
-        reduction is exact).
+        ``op``/``dp`` are the per-pair ray origins and directions (world
+        space for monolithic leaves, object space for a shared-BLAS
+        bundle); ``tp`` indexes the leaf-ordered triangle tables.
+        Returns ``(sel, t)``: indices into the input pair arrays with a
+        backface-culled entering hit in front of the origin, and their
+        hit distances — expression-for-expression the scalar loops'
+        arithmetic.
         """
-        rp, tp = self._leaf_pairs(leaf_rays, leaf_refs)
-        if rp.size == 0:
-            empty = np.empty(0, dtype=np.int64)
-            return empty, empty, np.empty(0)
-
-        dp = d[rp]
-        e2 = self._e2[tp]
+        e2 = e2_arr[tp]
         pv = np.cross(dp, e2)
-        e1 = self._e1[tp]
+        e1 = e1_arr[tp]
         det = e1[:, 0] * pv[:, 0] + e1[:, 1] * pv[:, 1] + e1[:, 2] * pv[:, 2]
         # Entering (backface-culled) hits only, as in the scalar loop.
-        front = det <= -1e-12
-        rp, tp = rp[front], tp[front]
+        front = np.nonzero(det <= -1e-12)[0]
         dp, e2, pv, det = dp[front], e2[front], pv[front], det[front]
         e1 = e1[front]
 
         inv_det = 1.0 / det
-        tv = o[rp] - self._v0[tp]
+        tv = op[front] - v0_arr[tp[front]]
         u = (tv[:, 0] * pv[:, 0] + tv[:, 1] * pv[:, 1]
              + tv[:, 2] * pv[:, 2]) * inv_det
         qv = np.cross(tv, e1)
@@ -323,8 +460,33 @@ class PacketTracer:
         t = (e2[:, 0] * qv[:, 0] + e2[:, 1] * qv[:, 1]
              + e2[:, 2] * qv[:, 2]) * inv_det
         keep = (u >= 0.0) & (u <= 1.0) & (v >= 0.0) & (u + v <= 1.0) & (t > 0.0)
-        rp, t = rp[keep], t[keep]
-        gid = self._owner[tp[keep]]
+        return front[keep], t[keep]
+
+    def _leaf_triangles(
+        self,
+        o: np.ndarray,
+        d: np.ndarray,
+        leaf_rays: list[np.ndarray],
+        leaf_refs: list[int],
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Monolithic triangle leaves: masked Möller–Trumbore over every
+        (ray, leaf triangle) pair.
+
+        Returns per-(ray, gaussian) candidates with the proxy entry
+        depth: backface-culled entering hits, reduced to the nearest
+        entering triangle per Gaussian (the proxy meshes are convex, so
+        a ray has at most one entering hit per Gaussian and the
+        reduction is exact).
+        """
+        rp, tp = self._leaf_pairs(self._root, leaf_rays, leaf_refs)
+        if rp.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, np.empty(0)
+
+        sel, t = self._entering_hits(o[rp], d[rp], tp,
+                                     self._v0, self._e1, self._e2)
+        rp = rp[sel]
+        gid = self._owner[tp[sel]]
 
         if rp.size == 0:
             empty = np.empty(0, dtype=np.int64)
@@ -341,40 +503,17 @@ class PacketTracer:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Custom-primitive leaves: candidates are the (ray, gaussian)
         pairs directly (each Gaussian lives in exactly one leaf)."""
-        rp, pp = self._leaf_pairs(leaf_rays, leaf_refs)
+        rp, pp = self._leaf_pairs(self._root, leaf_rays, leaf_refs)
         if rp.size == 0:
             return rp, pp
         return rp, self._gids[pp]
 
-    def _shade_and_blend(
-        self,
-        o: np.ndarray,
-        d: np.ndarray,
-        t_clip: np.ndarray,
-        ray_c: np.ndarray,
-        gid_c: np.ndarray,
-        t_proxy: np.ndarray | None,
-    ) -> PacketResult:
-        """Canonical any-hit evaluation + front-to-back blend, batched.
+    # -- two-level -----------------------------------------------------
 
-        Mirrors :meth:`SceneShading.evaluate_hit` and the scalar blend
-        loop expression-for-expression so the per-ray arithmetic (and
-        therefore the early-termination decision) matches the scalar
-        engine.
-        """
-        n = o.shape[0]
-        config = self.config
-        result = self._empty_result(n)
-        if ray_c.size == 0:
-            return result
-        shading = self.shading
-
-        # Object-space ray per candidate (row-expanded 3x3 matvec, same
-        # accumulation order as `linear @ vec`).
-        lin = shading.w2o_linear[gid_c]
-        off = shading.w2o_offset[gid_c]
-        oc = o[ray_c]
-        dc = d[ray_c]
+    @staticmethod
+    def _to_object_space(lin, off, oc, dc):
+        """Per-pair world->object ray transform (row-expanded 3x3
+        matvec, same accumulation order as the scalar ``linear @ vec``)."""
         o2 = np.empty_like(oc)
         d2 = np.empty_like(dc)
         for axis in range(3):
@@ -384,6 +523,165 @@ class PacketTracer:
             d2[:, axis] = (lin[:, axis, 0] * dc[:, 0]
                            + lin[:, axis, 1] * dc[:, 1]
                            + lin[:, axis, 2] * dc[:, 2])
+        return o2, d2
+
+    def _leaf_instances(
+        self,
+        o: np.ndarray,
+        d: np.ndarray,
+        t_clip: np.ndarray,
+        leaf_rays: list[np.ndarray],
+        leaf_refs: list[int],
+    ) -> tuple:
+        """TLAS leaves: transform the live bundle through each instance
+        and intersect every shared BLAS once with its instance group.
+
+        Returns ``(ray_c, gid_c, t_proxy, o2, d2)``.  Candidates for the
+        sphere BLAS carry no proxy depth (the exact ellipsoid entry
+        distance is the sort key, as in the scalar instance path);
+        mesh-BLAS candidates carry the nearest entering template-triangle
+        depth (NaN marks exact-depth entries when BLAS kinds mix).
+        ``o2``/``d2`` are the surviving candidates' object-space rays,
+        handed to the shade stage so it does not re-transform.
+        """
+        empty = np.empty(0, dtype=np.int64)
+        rp, pp = self._leaf_pairs(self._root, leaf_rays, leaf_refs)
+        if rp.size == 0:
+            return empty, empty, None, None, None
+        gid = self._gids[pp]
+        # Gather transforms from the flat instance table (leaf-ordered,
+        # so `pp` indexes it directly) — bit-equal to the scalar
+        # engine's shading tables, guarded by tests.
+        o2, d2 = self._to_object_space(
+            self._inst_lin[pp], self._inst_off[pp], o[rp], d[rp])
+
+        sub_parts: list[np.ndarray] = []
+        t_parts: list[np.ndarray] = []
+        mesh_hit = False
+        for slot, blas in enumerate(self._blas):
+            if len(self._blas) > 1:
+                group = np.nonzero(self._inst_blas[pp] == slot)[0]
+                if group.size == 0:
+                    continue
+                o_s, d_s = o2[group], d2[group]
+                clip_s = t_clip[rp[group]]
+            else:
+                # Single shared BLAS (every structure today): the whole
+                # pair bundle is the group — no gather needed.
+                group = None
+                o_s, d_s = o2, d2
+                clip_s = t_clip[rp]
+            if blas.kind == BLAS_SPHERE:
+                keep = self._sphere_blas_hits(o_s, d_s, clip_s)
+                sub = np.nonzero(keep)[0] if group is None else group[keep]
+                sub_parts.append(sub)
+                t_parts.append(np.full(sub.size, np.nan))
+            else:
+                sel, t = self._mesh_blas_hits(slot, blas, o_s, d_s, clip_s)
+                sub_parts.append(sel if group is None else group[sel])
+                t_parts.append(t)
+                mesh_hit = True
+        if not sub_parts:
+            return empty, empty, None, None, None
+        sub = np.concatenate(sub_parts)
+        # Sphere-only scenes carry no proxy depths (the exact ellipsoid
+        # entry is the sort key); the surviving pairs' object-space rays
+        # ride along so the shade stage need not re-transform them.
+        t_proxy = np.concatenate(t_parts) if mesh_hit else None
+        return rp[sub], gid[sub], t_proxy, o2[sub], d2[sub]
+
+    @staticmethod
+    def _sphere_blas_hits(o2, d2, clip) -> np.ndarray:
+        """Batched unit-box test of the sphere BLAS root record —
+        the scalar instance path's one box test, vectorized (same
+        exact-zero direction guard)."""
+        safe = np.where(d2 == 0.0, 1e-12, d2)
+        t0 = (-1.0 - o2) / safe
+        t1 = (1.0 - o2) / safe
+        tn = np.minimum(t0, t1).max(axis=1)
+        tf = np.maximum(t0, t1).min(axis=1)
+        return (tn <= tf) & (tf >= 0.0) & (tn <= clip)
+
+    def _mesh_blas_hits(
+        self, slot: int, blas, o2, d2, clip
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Traverse one shared mesh BLAS with a whole instance group.
+
+        The pair bundle's object-space rays traverse the template BVH
+        through the same generic level traversal as the root, then one
+        masked Möller–Trumbore batch reduces to the nearest entering
+        template triangle per pair — the scalar ``_traverse_blas``'s
+        ``best``.  Returns ``(sel, t)``: indices into the input group
+        with a hit, and the proxy depths (object-space t equals world t;
+        the transform is affine in the ray parameter).
+        """
+        safe = np.where(np.abs(d2) < 1e-12, 1e-12, d2)
+        inv_d2 = 1.0 / safe
+        root_lo, root_hi = self._blas_roots[slot]
+        t0 = (root_lo[None, :] - o2) * inv_d2
+        t1 = (root_hi[None, :] - o2) * inv_d2
+        tn = np.minimum(t0, t1).max(axis=1)
+        tf = np.maximum(t0, t1).min(axis=1)
+        live = np.nonzero((tn <= tf) & (tf >= 0.0) & (tn <= clip))[0]
+        if live.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+
+        level = self._blas_levels[slot]
+        o_l, d_l = o2[live], d2[live]
+        leaf_rays, leaf_refs = self._traverse(level, o_l, inv_d2[live],
+                                              clip[live])
+        pr, tp = self._leaf_pairs(level, leaf_rays, leaf_refs)
+        if pr.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        mesh = blas.mesh
+        sel, t = self._entering_hits(o_l[pr], d_l[pr], tp,
+                                     mesh.v0, mesh.e1, mesh.e2)
+        pr = pr[sel]
+        if pr.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        # Nearest entering template triangle per instance pair.
+        order = np.lexsort((t, pr))
+        pr, t = pr[order], t[order]
+        first = np.ones(pr.size, dtype=bool)
+        first[1:] = pr[1:] != pr[:-1]
+        return live[pr[first]], t[first]
+
+    # -- shade & blend -------------------------------------------------
+
+    def _shade_and_blend(
+        self,
+        o: np.ndarray,
+        d: np.ndarray,
+        t_clip: np.ndarray,
+        ray_c: np.ndarray,
+        gid_c: np.ndarray,
+        t_proxy: np.ndarray | None,
+        o2: np.ndarray | None = None,
+        d2: np.ndarray | None = None,
+    ) -> PacketResult:
+        """Canonical any-hit evaluation + front-to-back blend, batched.
+
+        Mirrors :meth:`SceneShading.evaluate_hit` and the scalar blend
+        loop expression-for-expression so the per-ray arithmetic (and
+        therefore the early-termination decision) matches the scalar
+        engine.  ``t_proxy`` holds proxy-geometry depths (the blend sort
+        key for triangle proxies); ``None`` or NaN entries sort by the
+        exact ellipsoid entry depth instead.  ``o2``/``d2`` are the
+        candidates' object-space rays when the caller already computed
+        them (the two-level instance path); otherwise they are derived
+        here from the shading tables.
+        """
+        n = o.shape[0]
+        config = self.config
+        result = self._empty_result(n)
+        if ray_c.size == 0:
+            return result
+        shading = self.shading
+
+        if o2 is None:
+            o2, d2 = self._to_object_space(
+                shading.w2o_linear[gid_c], shading.w2o_offset[gid_c],
+                o[ray_c], d[ray_c])
         dd = d2[:, 0] * d2[:, 0] + d2[:, 1] * d2[:, 1] + d2[:, 2] * d2[:, 2]
         od = o2[:, 0] * d2[:, 0] + o2[:, 1] * d2[:, 1] + o2[:, 2] * d2[:, 2]
         oo = o2[:, 0] * o2[:, 0] + o2[:, 1] * o2[:, 1] + o2[:, 2] * o2[:, 2]
@@ -399,7 +697,10 @@ class PacketTracer:
         valid &= alpha >= ALPHA_MIN
         false_positives = int(ray_c.size - np.count_nonzero(valid))
 
-        t_hit = t_entry if t_proxy is None else t_proxy
+        if t_proxy is None:
+            t_hit = t_entry
+        else:
+            t_hit = np.where(np.isnan(t_proxy), t_entry, t_proxy)
         valid &= t_hit <= t_clip[ray_c]
         rays = ray_c[valid]
         if rays.size == 0:

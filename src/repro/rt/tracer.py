@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.bvh.flatten import PRIMS_TRIANGLES, flatten
 from repro.bvh.layout import INSTANCE_BYTES, LEAF_HEADER_BYTES, SPHERE_PRIM_BYTES, internal_node_bytes
 from repro.bvh.monolithic import MonolithicBVH
 from repro.bvh.node import KIND_INTERNAL, KIND_LEAF
@@ -191,16 +192,19 @@ class Tracer:
         shading: SceneShading,
         config: TraceConfig | None = None,
     ) -> None:
+        # Both engines consume the same flattened layout (leaf-ordered
+        # primitive tables, instance table, shared-BLAS slots), so the
+        # scalar and packet tracers cannot drift apart on what a
+        # structure is.  A pre-flattened structure (what pool workers
+        # receive) is accepted directly.
+        flat = flatten(structure)
         self.structure = structure
+        self.flat = flat
         self.shading = shading
         self.config = config or TraceConfig()
-        self.two_level = isinstance(structure, TwoLevelBVH)
-        if self.two_level:
-            self._bvh = structure.tlas
-            self._blas = structure.blas
-        else:
-            self._bvh = structure.bvh
-            self._blas = None
+        self.two_level = flat.two_level
+        self._bvh = flat.root
+        self._blas = flat.blas[0] if flat.two_level else None
         self._node_bytes = internal_node_bytes(self._bvh.width)
         self._sphere_blas_bytes = LEAF_HEADER_BYTES + 24 + SPHERE_PRIM_BYTES
         self._prepare_tables()
@@ -249,27 +253,23 @@ class Tracer:
         self._child_bytes = sizes
         self._child_is_leaf = leaf_mask
 
-        structure = self.structure
-        order = bvh.prim_order
+        flat = self.flat
         if self.two_level:
-            self._ordered_gids = order.tolist()
-            blas = self._blas
-            if blas.kind == "icosphere":
-                bbvh = blas.bvh
-                self._blas_tables = _BlasTables(bbvh, blas)
-        elif structure.is_triangle_proxy:
-            v0 = structure.tri_v0[order]
-            e1 = structure.tri_v1[order] - structure.tri_v0[order]
-            e2 = structure.tri_v2[order] - structure.tri_v0[order]
-            # Plain-list copies: leaves hold <= a handful of triangles, and
+            self._ordered_gids = flat.prim_gid.tolist()
+            if self._blas.kind == "mesh":
+                self._blas_tables = _BlasTables(self._blas)
+        elif flat.is_triangle_proxy:
+            # Plain-list copies of the flattened (already leaf-ordered)
+            # triangle soup: leaves hold <= a handful of triangles, and
             # a scalar Moller-Trumbore over Python floats beats numpy's
             # per-call overhead by ~6x at that size.
-            self._v0l = v0.tolist()
-            self._e1l = e1.tolist()
-            self._e2l = e2.tolist()
-            self._ownero = structure.tri_gaussian[order].tolist()
+            mesh = flat.mesh
+            self._v0l = mesh.v0.tolist()
+            self._e1l = mesh.e1.tolist()
+            self._e2l = mesh.e2.tolist()
+            self._ownero = mesh.owner.tolist()
         else:
-            self._ordered_gids = order.tolist()
+            self._ordered_gids = flat.prim_gid.tolist()
 
     # ------------------------------------------------------------------
     # Public API
@@ -621,7 +621,7 @@ class Tracer:
     def _process_leaf(self, leaf_ref: int, state: _RoundState, ray_trace: RayTrace) -> None:
         if self.two_level:
             self._process_tlas_leaf(leaf_ref, state, ray_trace)
-        elif self.structure.is_triangle_proxy:
+        elif self.flat.root_prims == PRIMS_TRIANGLES:
             self._process_triangle_leaf(leaf_ref, state, ray_trace)
         else:
             self._process_custom_leaf(leaf_ref, state, ray_trace)
@@ -951,7 +951,8 @@ class Tracer:
 
 
 class _BlasTables:
-    """Precomputed fast-path tables for the shared icosphere BLAS."""
+    """Precomputed fast-path tables for a shared mesh BLAS, built from
+    the flattened layout (the triangle soup is already leaf-ordered)."""
 
     __slots__ = (
         "bvh", "child_kind", "child_ref", "node_addr", "leaf_addr",
@@ -959,7 +960,8 @@ class _BlasTables:
         "v0", "e1", "e2", "root_lo", "root_hi",
     )
 
-    def __init__(self, bbvh, blas) -> None:
+    def __init__(self, blas) -> None:
+        bbvh = blas.bvh
         self.bvh = bbvh
         self.child_kind = bbvh.child_kind.tolist()
         self.child_ref = bbvh.child_ref.tolist()
@@ -969,8 +971,7 @@ class _BlasTables:
         self.leaf_start = bbvh.leaf_start.tolist()
         self.leaf_count = bbvh.leaf_count.tolist()
         self.node_bytes = internal_node_bytes(bbvh.width)
-        order = bbvh.prim_order
-        self.v0 = blas.tri_v0[order].tolist()
-        self.e1 = (blas.tri_v1[order] - blas.tri_v0[order]).tolist()
-        self.e2 = (blas.tri_v2[order] - blas.tri_v0[order]).tolist()
+        self.v0 = blas.mesh.v0.tolist()
+        self.e1 = blas.mesh.e1.tolist()
+        self.e2 = blas.mesh.e2.tolist()
         self.root_lo, self.root_hi = bbvh.root_box()

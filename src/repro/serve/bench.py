@@ -63,18 +63,19 @@ def bench_tile_speedup(
     pool-reuse win (and the returned pool counters prove the cache hits
     and steals happened).
 
-    The default structure/config follows the engine: the scalar engine
-    measures the service's GRTX defaults (tlas+sphere, checkpointing);
-    the packet engine measures its own scope (monolithic 20-tri, no
-    checkpointing) so the packet path is actually the thing timed
-    rather than silently falling back to scalar.
+    The measured structure is the paper's headline ``tlas+sphere`` for
+    every engine; the config follows the engine: the scalar engine
+    measures the service's GRTX defaults (checkpointing on), while
+    ``packet``/``auto`` measure baseline mode (no checkpointing) so the
+    vectorized two-level path is actually the thing timed rather than
+    silently falling back to scalar.
     """
     if proxy is None:
-        proxy = "20-tri" if engine == "packet" else "tlas+sphere"
+        proxy = "tlas+sphere"
     registry = SceneRegistry()
     cloud, _ = registry.scene(RenderRequest(scene=scene, scale=scale).scene_ref)
     structure = registry.structure(RenderRequest(scene=scene, scale=scale).scene_ref, proxy)
-    config = TraceConfig(k=8, checkpointing=engine != "packet")
+    config = TraceConfig(k=8, checkpointing=engine == "scalar")
     from repro.render import default_camera_for
 
     camera = default_camera_for(cloud, size, size)
@@ -232,15 +233,15 @@ def run_benchmark(
 ) -> BenchReport:
     """Run all three measurements and format the report.
 
-    With ``engine="packet"`` the default workload switches to the
-    packet engine's scope — monolithic proxies, no checkpointing — so
-    the benchmark exercises the packet path instead of measuring the
-    scalar fallback under a packet label.
+    With ``engine="packet"`` or ``"auto"`` the workload switches to
+    baseline mode (no checkpointing) — the packet engine now covers
+    both structure families, so the default proxies stay the service's
+    two-level-plus-monolithic mix and the benchmark exercises the
+    vectorized path instead of measuring a scalar fallback.
     """
     if proxies is None:
-        proxies = (("20-tri", "custom") if engine == "packet"
-                   else ("tlas+sphere", "20-tri"))
-    mode = "baseline" if engine == "packet" else "grtx"
+        proxies = ("tlas+sphere", "20-tri")
+    mode = "grtx" if engine == "scalar" else "baseline"
     speedup = bench_tile_speedup(scene, size, scale, tile, workers,
                                  engine=engine)
     traffic = bench_throughput(scene, request_size, scale, proxies,

@@ -120,11 +120,12 @@ class RenderRequest:
         Evaluates :func:`repro.rt.packet.packet_supported`'s rule from
         request fields alone (the proxy label stands in for the
         structure family), so cache keys always carry the engine a
-        render would really use.
+        render would really use — in particular ``engine="auto"``
+        resolves *before* any frame or tracer key is formed.
         """
-        from repro.rt.packet import MONOLITHIC_PROXIES, packet_config_supported
+        from repro.rt.packet import PACKET_PROXIES, packet_config_supported
 
-        if (self.engine == "packet" and self.proxy in MONOLITHIC_PROXIES
+        if (self.engine in ("packet", "auto") and self.proxy in PACKET_PROXIES
                 and packet_config_supported(self.trace_config())):
             return "packet"
         return "scalar"

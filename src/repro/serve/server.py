@@ -342,10 +342,17 @@ class RenderServer:
             return entry, True
 
     def _render_now(self, request: RenderRequest, cloud, scene_hash: str) -> RenderResult:
+        from repro.rt.packet import resolve_engine
+
         structure = self.registry.structure(
             request.scene_ref, request.proxy, self.build_params)
         camera = self._camera_for(request, cloud)
         config = request.trace_config()
+        # Resolve the engine exactly once per rendered request (counting
+        # a degraded explicit "packet" exactly once, whatever the tracer
+        # cache holds), then hand the concrete engine to the renderer
+        # and scheduler so nothing downstream re-resolves.
+        engine = resolve_engine(request.engine, structure, config)
         renderer = None
         tracer_key = None
         if self.scheduler.workers <= 1:
@@ -370,12 +377,12 @@ class RenderServer:
                 from repro.render.renderer import GaussianRayTracer
 
                 renderer = GaussianRayTracer(cloud, structure, config,
-                                             engine=request.engine)
+                                             engine=engine)
         t0 = time.perf_counter()
         try:
             result = self.scheduler.render(
                 cloud, structure, config, camera, renderer=renderer,
-                engine=request.engine)
+                engine=engine)
         finally:
             if renderer is not None:
                 self._tracers.put(tracer_key, renderer)
@@ -416,7 +423,15 @@ class RenderServer:
     # -- reporting ------------------------------------------------------
 
     def _gauges(self) -> dict[str, float]:
-        """Instantaneous load gauges merged into metric snapshots."""
+        """Instantaneous load gauges merged into metric snapshots.
+
+        ``packet_fallbacks`` counts engine="packet" requests that
+        degraded to the scalar tracer (process-wide; engines are
+        resolved in this process before tiles ship, so pooled renders
+        are covered too).
+        """
+        from repro.rt.packet import packet_fallback_count
+
         pool = self.scheduler.pool
         with self._dispatch_lock:
             busy = self._dispatchers_busy
@@ -426,6 +441,7 @@ class RenderServer:
             "dispatchers_busy": busy,
             "worker_utilization": round(
                 pool.utilization() if pool is not None else 0.0, 4),
+            "packet_fallbacks": packet_fallback_count(),
         }
 
     @property

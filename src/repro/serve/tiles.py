@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.bvh.flatten import flatten
 from repro.bvh.monolithic import MonolithicBVH
 from repro.bvh.two_level import TwoLevelBVH
 from repro.gaussians import GaussianCloud
@@ -226,10 +227,19 @@ class TileScheduler:
         engine) — per-frame shading setup is O(scene) — and only applies
         to the serial path (pool workers resolve their own from their
         scene caches). ``engine`` selects the tracing engine
-        (``"scalar"``/``"packet"``) when no renderer is passed;
-        unsupported (structure, config) combinations fall back to
-        scalar inside :class:`GaussianRayTracer`.
+        (``"scalar"``/``"packet"``/``"auto"``); it is resolved to the
+        concrete engine *here*, before any cache key is formed, so
+        ``auto`` and an equivalent explicit engine share worker scene
+        caches, and an explicit ``packet`` that degrades to scalar is
+        counted by :func:`repro.rt.packet.packet_fallback_count` in the
+        parent process (workers only ever see resolved engines).
+        Pooled tiles ship the *flattened* structure
+        (:func:`repro.bvh.flatten.flatten`): workers build either
+        engine straight from the one SoA layout.
         """
+        from repro.rt.packet import resolve_engine
+
+        engine = resolve_engine(engine, structure, config)
         bundle = camera.generate_rays()
 
         tiles = split_frame(camera.width, camera.height,
@@ -254,11 +264,15 @@ class TileScheduler:
         pool = self._ensure_pool()
         tiles = self._plan_tiles(key, camera.width, camera.height,
                                  pool.n_workers, tiles)
+        # Workers receive the flattened SoA layout, not the original
+        # structure objects; the key stays content-based on the source
+        # structure (flatten is memoized, so warm frames pay a lookup).
+        flat = flatten(structure)
         futures = []
         for tile in tiles:
             ids = tile.pixel_ids(camera.width)
             futures.append(pool.submit_tile(
-                cloud, structure, config, objects, engine,
+                cloud, flat, config, objects, engine,
                 bundle.origins[ids], bundle.directions[ids],
                 bundle.pixel_ids[ids], keep_traces, key=key))
         parts, costs = [], []

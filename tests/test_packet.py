@@ -1,12 +1,13 @@
-"""Packet-engine parity and the two PR-2 bugfix regressions.
+"""Packet-engine parity (both structure families) and regressions.
 
-The packet engine's contract (ISSUE 2): for every supported proxy/mode
-combination it renders the scalar tracer's image within 1e-9 per
-channel, and the parity-matched functional counters — ``n_rays``,
-``blended_total``, ``rays_terminated_early`` — agree exactly.  Alongside
-live the regression tests for the equal-t hit drop in multiround
-tracing (tied depths must survive k-buffer overflow) and the packet
-engine's fallback rules.
+The packet engine's contract (ISSUEs 2 and 4): for every supported
+proxy/mode combination — monolithic *and* two-level — it renders the
+scalar tracer's image within 1e-9 per channel, and the parity-matched
+functional counters — ``n_rays``, ``blended_total``,
+``rays_terminated_early`` — agree exactly.  Alongside live the
+regression tests for the equal-t hit drop in multiround tracing (tied
+depths must survive k-buffer overflow), the flattened-layout round-trip
+guarantees, engine="auto" resolution, and fallback observability.
 """
 
 from __future__ import annotations
@@ -14,11 +15,17 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.bvh import build_monolithic, build_two_level
+from repro.bvh import build_monolithic, build_two_level, flatten
 from repro.gaussians import GaussianCloud
 from repro.render import GaussianRayTracer, SceneObjects, default_camera_for
 from repro.rt import RayTrace, SceneShading, TraceConfig, Tracer
-from repro.rt.packet import PacketTracer, packet_supported
+from repro.rt.packet import (
+    PacketTracer,
+    packet_fallback_count,
+    packet_supported,
+    reset_packet_fallbacks,
+    resolve_engine,
+)
 from repro.serve import TileScheduler
 
 from tests.conftest import tiny_cloud
@@ -29,6 +36,11 @@ TOL = 1e-9
 #: Counters that must agree exactly between engines.
 PARITY_COUNTERS = ("n_rays", "n_primary", "n_secondary",
                    "blended_total", "rays_terminated_early")
+
+#: The full structural parity matrix: monolithic proxies plus the
+#: paper's two-level structures (sphere and icosphere BLAS).
+ALL_PROXIES = ["20-tri", "custom", "tlas+sphere", "tlas+ico"]
+TWO_LEVEL = ["tlas+sphere", "tlas+ico"]
 
 
 @pytest.fixture(scope="module")
@@ -52,6 +64,8 @@ def structures(cloud):
     return {
         "20-tri": build_monolithic(cloud, "20-tri"),
         "custom": build_monolithic(cloud, "custom"),
+        "tlas+sphere": build_two_level(cloud, "sphere"),
+        "tlas+ico": build_two_level(cloud, "icosphere", 0),
     }
 
 
@@ -73,14 +87,14 @@ def assert_parity(scalar, packet):
 
 
 class TestPacketParity:
-    @pytest.mark.parametrize("proxy", ["20-tri", "custom"])
+    @pytest.mark.parametrize("proxy", ALL_PROXIES)
     @pytest.mark.parametrize("mode", ["multiround", "singleround"])
     def test_image_and_counter_parity(self, cloud, structures, proxy, mode):
         scalar, packet = render_pair(
             cloud, structures[proxy], TraceConfig(k=4, mode=mode))
         assert_parity(scalar, packet)
 
-    @pytest.mark.parametrize("proxy", ["20-tri", "custom"])
+    @pytest.mark.parametrize("proxy", ALL_PROXIES)
     @pytest.mark.parametrize("mode", ["multiround", "singleround"])
     def test_parity_with_scene_objects(self, cloud, structures, proxy, mode):
         """Secondary rays (t_clip-truncated primaries + scattered
@@ -92,7 +106,7 @@ class TestPacketParity:
         assert scalar.stats.n_secondary > 0  # the setup must exercise them
         assert_parity(scalar, packet)
 
-    @pytest.mark.parametrize("proxy", ["20-tri", "custom"])
+    @pytest.mark.parametrize("proxy", ALL_PROXIES)
     def test_parity_with_t_clip(self, cloud, structures, proxy):
         """An explicit per-ray segment bound cuts the same hits."""
         structure = structures[proxy]
@@ -118,32 +132,39 @@ class TestPacketParity:
             assert out.terminated_early == bool(got.terminated[i])
         assert clipped_someone  # the bounds must actually cut hits
 
-    def test_early_termination_parity(self, opaque_cloud):
+    @pytest.mark.parametrize("proxy", ["20-tri", "tlas+sphere", "tlas+ico"])
+    def test_early_termination_parity(self, opaque_cloud, proxy):
         """Opaque scenes terminate rays early; the cutoff index must
         match the scalar blend loop exactly."""
-        structure = build_monolithic(opaque_cloud, "20-tri")
+        from repro.eval.harness import build_structure_for
+
+        label = "tlas+20-tri" if proxy == "tlas+ico" else proxy
+        structure = build_structure_for(opaque_cloud, label)
         scalar, packet = render_pair(
             opaque_cloud, structure, TraceConfig(k=4), res=12)
         assert scalar.stats.rays_terminated_early > 0
         assert_parity(scalar, packet)
 
-    def test_max_rounds_cap_parity(self, cloud, structures):
+    @pytest.mark.parametrize("proxy", ["20-tri", "tlas+sphere"])
+    def test_max_rounds_cap_parity(self, cloud, structures, proxy):
         """The scalar loop blends at most max_rounds * k hits per ray;
         the packet engine applies the identical cap."""
         config = TraceConfig(k=1, max_rounds=3)
-        scalar, packet = render_pair(cloud, structures["20-tri"], config)
+        scalar, packet = render_pair(cloud, structures[proxy], config)
         assert_parity(scalar, packet)
 
-    def test_tiled_packet_render_matches_untiled(self, cloud, structures):
+    @pytest.mark.parametrize("proxy", ["20-tri", "tlas+sphere", "tlas+ico"])
+    def test_tiled_packet_render_matches_untiled(self, cloud, structures,
+                                                 proxy):
         """Rays are independent, so a tiled packet render must be
         bit-identical to the untiled packet render."""
         config = TraceConfig(k=4)
         camera = default_camera_for(cloud, 12, 12)
         whole = GaussianRayTracer(
-            cloud, structures["20-tri"], config, engine="packet").render(
+            cloud, structures[proxy], config, engine="packet").render(
                 camera, keep_traces=False)
         tiled = TileScheduler(tile_size=(5, 5), workers=1).render(
-            cloud, structures["20-tri"], config, camera, engine="packet")
+            cloud, structures[proxy], config, camera, engine="packet")
         np.testing.assert_array_equal(whole.image, tiled.image)
 
 
@@ -153,29 +174,37 @@ class TestEngineSelection:
             GaussianRayTracer(cloud, structures["20-tri"], TraceConfig(),
                               engine="warp")
 
-    def test_two_level_falls_back_to_scalar(self, cloud):
-        tlas = build_two_level(cloud, "sphere")
-        renderer = GaussianRayTracer(cloud, tlas, TraceConfig(k=4),
-                                     engine="packet")
-        assert renderer.engine_active == "scalar"
+    @pytest.mark.parametrize("proxy", TWO_LEVEL)
+    def test_two_level_runs_on_the_packet_engine(self, cloud, structures,
+                                                 proxy):
+        """The paper's headline structures no longer fall back (the PR-2
+        era silently traced every tlas+* scene on the slow path)."""
+        renderer = GaussianRayTracer(cloud, structures[proxy],
+                                     TraceConfig(k=4), engine="packet")
+        assert renderer.engine_active == "packet"
 
     def test_checkpointing_falls_back_to_scalar(self, cloud, structures):
+        reset_packet_fallbacks()  # re-arm the one-time warning
         config = TraceConfig(k=4, checkpointing=True)
-        renderer = GaussianRayTracer(cloud, structures["20-tri"], config,
-                                     engine="packet")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            renderer = GaussianRayTracer(cloud, structures["tlas+sphere"],
+                                         config, engine="packet")
         assert renderer.engine_active == "scalar"
 
     def test_record_blended_falls_back_to_scalar(self, cloud, structures):
+        reset_packet_fallbacks()
         config = TraceConfig(k=4, record_blended=True)
-        renderer = GaussianRayTracer(cloud, structures["20-tri"], config,
-                                     engine="packet")
+        with pytest.warns(RuntimeWarning, match="record_blended"):
+            renderer = GaussianRayTracer(cloud, structures["20-tri"], config,
+                                         engine="packet")
         assert renderer.engine_active == "scalar"
 
-    def test_packet_tracer_rejects_unsupported(self, cloud):
-        tlas = build_two_level(cloud, "sphere")
-        assert not packet_supported(tlas, TraceConfig())
+    def test_packet_tracer_rejects_unsupported(self, cloud, structures):
+        config = TraceConfig(k=4, checkpointing=True)
+        assert not packet_supported(structures["tlas+sphere"], config)
         with pytest.raises(ValueError, match="packet engine"):
-            PacketTracer(tlas, SceneShading(cloud), TraceConfig())
+            PacketTracer(structures["tlas+sphere"], SceneShading(cloud),
+                         config)
 
     def test_scalar_keeps_traces_packet_does_not(self, cloud, structures):
         """Per-ray fetch traces are scalar-engine-only."""
@@ -186,6 +215,162 @@ class TestEngineSelection:
                                    engine="packet")
         assert scalar.render(camera, keep_traces=True).traces
         assert packet.render(camera, keep_traces=True).traces == []
+
+
+class TestAutoEngine:
+    """engine="auto": packet whenever supported, scalar otherwise —
+    silently (no fallback counter, no warning)."""
+
+    def test_auto_picks_packet_when_supported(self, cloud, structures):
+        for proxy in ALL_PROXIES:
+            renderer = GaussianRayTracer(cloud, structures[proxy],
+                                         TraceConfig(k=4), engine="auto")
+            assert renderer.engine_active == "packet", proxy
+
+    def test_auto_picks_scalar_for_checkpointing(self, cloud, structures):
+        config = TraceConfig(k=4, checkpointing=True)
+        renderer = GaussianRayTracer(cloud, structures["tlas+sphere"],
+                                     config, engine="auto")
+        assert renderer.engine_active == "scalar"
+
+    def test_auto_never_counts_a_fallback(self, cloud, structures):
+        reset_packet_fallbacks()
+        config = TraceConfig(k=4, checkpointing=True)
+        GaussianRayTracer(cloud, structures["tlas+sphere"], config,
+                          engine="auto")
+        assert packet_fallback_count() == 0
+
+    def test_resolve_engine_values(self, structures):
+        supported = TraceConfig(k=4)
+        unsupported = TraceConfig(k=4, checkpointing=True)
+        assert resolve_engine("scalar", structures["tlas+sphere"],
+                              supported) == "scalar"
+        assert resolve_engine("auto", structures["tlas+sphere"],
+                              supported) == "packet"
+        assert resolve_engine("auto", structures["tlas+sphere"],
+                              unsupported) == "scalar"
+        with pytest.raises(ValueError, match="engine"):
+            resolve_engine("warp", structures["tlas+sphere"], supported)
+
+
+class TestFallbackObservability:
+    """An explicit engine="packet" degrade is counted and warned about
+    (once per reason), instead of being invisible to callers."""
+
+    def test_explicit_packet_degrade_counts_and_warns_once(
+            self, cloud, structures):
+        reset_packet_fallbacks()
+        config = TraceConfig(k=4, checkpointing=True)
+        with pytest.warns(RuntimeWarning, match="scalar-engine-only"):
+            GaussianRayTracer(cloud, structures["tlas+sphere"], config,
+                              engine="packet")
+        # Second degrade for the same reason: counted, but not re-warned.
+        with warnings_none():
+            GaussianRayTracer(cloud, structures["tlas+sphere"], config,
+                              engine="packet")
+        assert packet_fallback_count() == 2
+
+    def test_server_exposes_fallback_gauge(self, tmp_path):
+        from repro.serve import RenderRequest, RenderServer
+
+        reset_packet_fallbacks()
+        with RenderServer(workers=1) as server:
+            # mode="grtx" checkpoints, so an explicit packet request
+            # degrades; the gauge must reflect it.
+            request = RenderRequest(scene="train", scale=1 / 4000.0,
+                                    width=6, height=6, proxy="tlas+sphere",
+                                    mode="grtx", engine="packet")
+            assert request.engine_active == "scalar"
+            import warnings as _w
+
+            with _w.catch_warnings():
+                _w.simplefilter("ignore", RuntimeWarning)
+                server.render(request)
+            snapshot = server.metrics.snapshot()
+            report = server.stats_report()
+        assert snapshot["packet_fallbacks"] >= 1
+        assert report["server"]["packet_fallbacks"] >= 1
+
+
+class warnings_none:
+    """Context manager asserting no warning is emitted inside it."""
+
+    def __enter__(self):
+        import warnings as _w
+
+        self._catcher = _w.catch_warnings(record=True)
+        self._records = self._catcher.__enter__()
+        _w.simplefilter("always")
+        return self._records
+
+    def __exit__(self, *exc):
+        self._catcher.__exit__(*exc)
+        assert self._records == [], [str(r.message) for r in self._records]
+
+
+class TestFlattenRoundTrip:
+    """The flattened layout must round-trip the source structure's byte
+    accounting exactly, and its instance table must equal the shading
+    tables (the drift guard for the two transform sources)."""
+
+    @pytest.mark.parametrize("proxy", ALL_PROXIES)
+    def test_total_bytes_and_height(self, structures, proxy):
+        structure = structures[proxy]
+        flat = flatten(structure)
+        assert flat.total_bytes == structure.total_bytes
+        assert flat.height == structure.height
+        assert flat.proxy == structure.proxy
+        assert flat.n_gaussians == structure.n_gaussians
+
+    @pytest.mark.parametrize("proxy", TWO_LEVEL)
+    def test_instance_addresses(self, structures, proxy):
+        structure = structures[proxy]
+        flat = flatten(structure)
+        tlas = structure.tlas
+        for leaf in range(tlas.n_leaves):
+            for slot in range(int(tlas.leaf_count[leaf])):
+                assert (flat.instance_address(leaf, slot)
+                        == structure.instance_address(leaf, slot))
+
+    def test_monolithic_has_no_instances(self, structures):
+        flat = flatten(structures["20-tri"])
+        with pytest.raises(ValueError, match="instance"):
+            flat.instance_address(0, 0)
+
+    @pytest.mark.parametrize("proxy", TWO_LEVEL)
+    def test_instance_transforms_match_shading(self, cloud, structures,
+                                               proxy):
+        """Both engines transform rays with the shading tables; the flat
+        instance table carries the same values by construction."""
+        flat = flatten(structures[proxy])
+        shading = SceneShading(cloud)
+        np.testing.assert_array_equal(
+            flat.inst_w2o_linear, shading.w2o_linear[flat.prim_gid])
+        np.testing.assert_array_equal(
+            flat.inst_w2o_offset, shading.w2o_offset[flat.prim_gid])
+
+    def test_flatten_is_memoized_and_idempotent(self, structures):
+        flat = flatten(structures["tlas+sphere"])
+        assert flatten(structures["tlas+sphere"]) is flat
+        assert flatten(flat) is flat
+
+    @pytest.mark.parametrize("proxy", TWO_LEVEL)
+    def test_flattened_structure_renders_identically(self, cloud,
+                                                     structures, proxy):
+        """A pre-flattened structure (what ships to pool workers) must
+        trace bit-identically to the source structure on both engines."""
+        config = TraceConfig(k=4)
+        camera = default_camera_for(cloud, 8, 8)
+        flat = flatten(structures[proxy])
+        for engine in ("scalar", "packet"):
+            src = GaussianRayTracer(cloud, structures[proxy], config,
+                                    engine=engine).render(
+                                        camera, keep_traces=False)
+            via_flat = GaussianRayTracer(cloud, flat, config,
+                                         engine=engine).render(
+                                             camera, keep_traces=False)
+            np.testing.assert_array_equal(src.image, via_flat.image)
+            assert via_flat.structure_bytes == src.structure_bytes
 
 
 # ---------------------------------------------------------------------------
@@ -246,9 +431,83 @@ class TestEqualTDepthRegression:
         multi = trace_one(structure, cloud, TraceConfig(k=2))
         assert multi.blended == 5
 
-    def test_packet_parity_on_tied_depths(self):
+    @pytest.mark.parametrize("builder", [
+        lambda c: build_monolithic(c, "custom"),
+        lambda c: build_two_level(c, "sphere"),
+        lambda c: build_two_level(c, "icosphere", 0),
+    ], ids=["custom", "tlas+sphere", "tlas+ico"])
+    def test_packet_parity_on_tied_depths(self, builder):
         cloud = tie_cloud(3)
-        structure = build_monolithic(cloud, "custom")
+        structure = builder(cloud)
         config = TraceConfig(k=1)
         scalar, packet = render_pair(cloud, structure, config, res=6)
         assert_parity(scalar, packet)
+
+
+# ---------------------------------------------------------------------------
+# Two-level interval-pruning regression: the TLAS used to bound only the
+# ellipsoid, but the icosphere BLAS reports proxy-triangle depths that
+# can lie beyond the ellipsoid AABB's exit — so a hit deferred past a
+# k-buffer overflow was pruned by the next round's t_min and dropped
+# forever (multiround diverged from singleround on dense scenes).
+
+
+class TestTwoLevelIntervalRegression:
+    @pytest.mark.parametrize("subdivisions", [0, 1])
+    def test_tlas_boxes_bound_the_proxy_geometry(self, subdivisions):
+        """Soundness invariant: every instance's TLAS leaf box contains
+        its transformed template mesh, so an interval-pruned leaf can
+        never hide a proxy hit inside the live interval."""
+        from repro.geometry import unit_icosahedron_circumscribed
+        from repro.math3d import quat_to_rotation_matrix
+        from tests.conftest import tiny_cloud as make
+
+        cloud = make(n=64, seed=3)
+        structure = build_two_level(cloud, "icosphere", subdivisions)
+        verts, _ = unit_icosahedron_circumscribed(subdivisions)
+        rot = quat_to_rotation_matrix(cloud.rotations)
+        radii = cloud.kappa * cloud.scales
+        world = np.einsum("nij,nvj->nvi", rot,
+                          verts[None, :, :] * radii[:, None, :]
+                          ) + cloud.means[:, None, :]
+        tlas = structure.tlas
+        flat = flatten(structure)
+        for leaf in range(tlas.n_leaves):
+            for slot, gid in enumerate(tlas.leaf_prims(leaf)):
+                node, box_slot = _leaf_slot_of(tlas, leaf)
+                lo = tlas.child_lo[node, box_slot]
+                hi = tlas.child_hi[node, box_slot]
+                assert np.all(world[gid].min(axis=0) >= lo - 1e-9)
+                assert np.all(world[gid].max(axis=0) <= hi + 1e-9)
+        assert flat.two_level
+
+    def test_multiround_matches_singleround_on_dense_scene(self):
+        """The end-to-end shape of the bug: on a dense scene the scalar
+        multiround render must blend exactly what singleround does."""
+        from repro.gaussians import make_workload
+        from repro.render import default_camera_for
+
+        cloud = make_workload("train", scale=1 / 2000.0)
+        structure = build_two_level(cloud, "icosphere", 0)
+        shading = SceneShading(cloud)
+        multi = Tracer(structure, shading, TraceConfig(k=4))
+        single = Tracer(structure, shading,
+                        TraceConfig(k=4, mode="singleround"))
+        bundle = default_camera_for(cloud, 8, 8).generate_rays()
+        for i in range(bundle.origins.shape[0]):
+            m = multi.trace_ray(bundle.origins[i], bundle.directions[i],
+                                RayTrace())
+            g = single.trace_ray(bundle.origins[i], bundle.directions[i],
+                                 RayTrace())
+            assert m.blended == g.blended
+            np.testing.assert_allclose(m.color, g.color, atol=1e-12)
+
+
+def _leaf_slot_of(bvh, leaf_ref: int) -> tuple[int, int]:
+    """Locate the (node, slot) whose child is the given leaf record."""
+    from repro.bvh import KIND_LEAF
+
+    hits = np.argwhere((bvh.child_kind == KIND_LEAF)
+                       & (bvh.child_ref == leaf_ref))
+    assert hits.shape[0] == 1
+    return int(hits[0][0]), int(hits[0][1])

@@ -352,3 +352,35 @@ class TestTracerReuseCache:
     def test_rejects_unknown_engine(self):
         with pytest.raises(ValueError):
             _request(engine="quantum")
+
+    def test_auto_resolves_before_frame_keying(self):
+        """The frame key carries the *effective* engine, so auto and an
+        equivalent explicit engine share one cache entry, and auto's
+        resolution follows the mode (checkpointing => scalar)."""
+        auto = _request(proxy="tlas+sphere", mode="baseline", engine="auto")
+        packet = _request(proxy="tlas+sphere", mode="baseline",
+                          engine="packet")
+        assert auto.engine_active == "packet"
+        assert auto.frame_key("h") == packet.frame_key("h")
+        checkpointed = _request(proxy="tlas+sphere", mode="grtx",
+                                engine="auto")
+        assert checkpointed.engine_active == "scalar"
+        with RenderServer(workers=1) as server:
+            first = server.render(auto)
+            second = server.render(packet)
+        assert not first.frame_cache_hit
+        assert second.frame_cache_hit
+
+    def test_two_level_packet_request_serves_packet_frames(self):
+        """tlas+sphere (the paper's structure) renders on the packet
+        engine through the whole serving stack, matching a scalar
+        server's frame within the parity bound."""
+        request = _request(proxy="tlas+sphere", mode="baseline",
+                           engine="packet")
+        assert request.engine_active == "packet"
+        with RenderServer(workers=1) as server:
+            packet = server.render(request)
+        with RenderServer(workers=1) as server:
+            scalar = server.render(_request(proxy="tlas+sphere",
+                                            mode="baseline"))
+        assert np.abs(scalar.image - packet.image).max() <= 1e-9
