@@ -1,0 +1,240 @@
+"""Timing-pipeline benchmark: packet-order traces + vectorized replay.
+
+Measures the paper campaign's measurement pipeline — fetch-trace
+production plus :func:`repro.hwsim.replay` — on the fig13/14 trace
+configurations (Baseline = monolithic 20-tri, GRTX-SW = tlas+20-tri),
+comparing the pre-refactor path (scalar tracer + the per-event
+:func:`repro.hwsim.replay_reference` loop) with the new one (packet
+trace recorder + batched replay).  Unlike the figure benchmarks in this
+directory (which run under ``pytest --benchmark-only``), this is a
+plain script::
+
+    python benchmarks/bench_replay.py [--size 20] [--check]
+
+Three sections, written to ``benchmarks/results/BENCH_replay.json``:
+
+* **trace parity** — per-ray fetch multisets plus the replayed
+  ``node_fetches`` / ``l1_hits`` / ``l2_accesses`` / ``cycles`` must be
+  identical between engines (always fatal on mismatch, ``--check`` or
+  not: identical timing figures are the recorder's contract);
+* **replay throughput** — events/s of the batched replay vs the golden
+  reference loop on the same traces (the best config is gated by
+  ``--min-replay-speedup``, default 3x: the bar the first-occurrence
+  fast path clears on the CI scene; a config whose working set exceeds
+  the modeled L1's associativity replays on the exact sequential
+  fallback instead and only gains modestly);
+* **end-to-end** — trace+replay wall-clock, old path vs new path, per
+  config and total (gated by ``--min-e2e-speedup``, default 1.3x
+  overall; the recorded ratios are the honest measurement — the
+  two-level GRTX-SW config lands ~3-4x on the CI scene while the
+  monolithic baseline hovers near parity, its traversal being exactly
+  the dense-geometry case the scalar tracer's inline hot loops were
+  tuned for).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+# Allow running straight from a checkout without installing the package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Replayed aggregates that must match between engines (the fig14-17
+#: quantities plus the headline cycle count).
+PARITY_FIELDS = ("node_fetches", "merged_requests", "l1_accesses",
+                 "l1_hits", "l2_accesses", "dram_accesses", "prefetches",
+                 "cycles", "fetch_latency_sum")
+
+CONFIGS = (("Baseline", "20-tri"), ("GRTX-SW", "tlas+20-tri"))
+
+
+def _parse(argv: list[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="trace recording + replay: old pipeline vs new")
+    parser.add_argument("--scene", default="train")
+    parser.add_argument("--size", type=int, default=20,
+                        help="image width=height (default 20)")
+    parser.add_argument("--scale", type=float, default=1 / 2000.0)
+    parser.add_argument("--k", type=int, default=8)
+    parser.add_argument("--replay-reps", type=int, default=3,
+                        help="replay timing repetitions (min is reported)")
+    parser.add_argument("--min-replay-speedup", type=float, default=3.0,
+                        help="batched-vs-reference replay bar for --check")
+    parser.add_argument("--min-e2e-speedup", type=float, default=1.3,
+                        help="overall trace+replay bar for --check")
+    parser.add_argument("--check", action="store_true",
+                        help="gate on the speed bars (trace/replay parity "
+                             "failures exit non-zero regardless)")
+    return parser.parse_args(argv)
+
+
+def _trace_multisets(traces):
+    return sorted(tuple(sorted(t.fetch_multiset().items())) for t in traces)
+
+
+def run_config(cloud, structure, camera, k: int, reps: int) -> dict:
+    """Measure one configuration end to end on both pipelines."""
+    from repro.hwsim import GpuConfig, replay, replay_reference
+    from repro.render import GaussianRayTracer
+    from repro.rt import TraceConfig
+
+    config = TraceConfig(k=k)
+    gpu = GpuConfig.rtx_like()
+
+    t0 = time.perf_counter()
+    scalar = GaussianRayTracer(cloud, structure, config,
+                               engine="scalar").render(
+        camera, keep_traces=True)
+    t_scalar_trace = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    packet = GaussianRayTracer(cloud, structure, config,
+                               engine="packet").render(
+        camera, keep_traces=True)
+    t_packet_trace = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    plain = GaussianRayTracer(cloud, structure, config,
+                              engine="packet").render(
+        camera, keep_traces=False)
+    t_packet_plain = time.perf_counter() - t0
+    del plain
+
+    n_events = sum(r.n_fetches for t in scalar.traces for r in t.rounds)
+
+    # Replay throughput: batched vs the golden reference loop.
+    ref_times, new_times = [], []
+    for _ in range(max(reps, 1)):
+        t0 = time.perf_counter()
+        ref_report = replay_reference(scalar.traces, gpu)
+        ref_times.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        new_report = replay(packet.traces, gpu)
+        new_times.append(time.perf_counter() - t0)
+    t_ref_replay = min(ref_times)
+    t_new_replay = min(new_times)
+
+    parity = {
+        "multisets": _trace_multisets(scalar.traces)
+                     == _trace_multisets(packet.traces),
+        "stats": scalar.stats == packet.stats,
+    }
+    for field in PARITY_FIELDS:
+        parity[field] = getattr(ref_report, field) == getattr(
+            new_report, field)
+
+    old_total = t_scalar_trace + t_ref_replay
+    new_total = t_packet_trace + t_new_replay
+    return {
+        "n_events": n_events,
+        "scalar_trace_s": t_scalar_trace,
+        "packet_trace_s": t_packet_trace,
+        "packet_plain_s": t_packet_plain,
+        "record_overhead": t_packet_trace / t_packet_plain,
+        "trace_speedup": t_scalar_trace / t_packet_trace,
+        "ref_replay_s": t_ref_replay,
+        "new_replay_s": t_new_replay,
+        "replay_speedup": t_ref_replay / t_new_replay,
+        "replay_events_per_s": n_events / t_new_replay,
+        "old_total_s": old_total,
+        "new_total_s": new_total,
+        "e2e_speedup": old_total / new_total,
+        "parity": parity,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parse(argv)
+    from repro.eval.harness import build_structure_for
+    from repro.eval.report import format_table
+    from repro.gaussians import make_workload
+    from repro.render import default_camera_for
+
+    cloud = make_workload(args.scene, scale=args.scale)
+    camera = default_camera_for(cloud, args.size, args.size)
+
+    rows = []
+    measurements = {}
+    for name, proxy in CONFIGS:
+        structure = build_structure_for(cloud, proxy)
+        m = run_config(cloud, structure, camera, args.k, args.replay_reps)
+        measurements[name] = m
+        rows.append([
+            name,
+            f"{m['n_events']}",
+            f"{m['trace_speedup']:.2f}x",
+            f"{m['record_overhead']:.1f}x",
+            f"{m['replay_speedup']:.2f}x",
+            f"{m['replay_events_per_s']:,.0f}",
+            f"{m['e2e_speedup']:.2f}x",
+            "ok" if all(m["parity"].values()) else "MISMATCH",
+        ])
+
+    old_total = sum(m["old_total_s"] for m in measurements.values())
+    new_total = sum(m["new_total_s"] for m in measurements.values())
+    total_e2e = old_total / new_total
+    # The replay bar applies to the best config: the monolithic
+    # baseline's big working set can exceed the modeled L1's
+    # associativity, dropping its replay onto the exact sequential
+    # fallback (a modest win); the fast first-occurrence path (the
+    # two-level config here) is what the >=3x vectorization bar gates.
+    replay_speedup = max(m["replay_speedup"] for m in measurements.values())
+    rows.append(["TOTAL", "", "", "", "", "", f"{total_e2e:.2f}x", ""])
+
+    report = format_table(
+        f"trace+replay pipeline: {args.scene} {args.size}x{args.size} "
+        f"k={args.k} ({len(cloud)} gaussians)",
+        ["config", "events", "trace speedup", "record cost",
+         "replay speedup", "replay ev/s", "e2e speedup", "parity"],
+        rows,
+        notes="old = scalar trace + reference replay; "
+              "new = packet recorder + batched replay",
+    )
+    print(report)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "replay_pipeline.txt").write_text(report + "\n")
+    payload = {
+        "scene": args.scene,
+        "size": args.size,
+        "scale": args.scale,
+        "k": args.k,
+        "n_gaussians": len(cloud),
+        "configs": measurements,
+        "campaign_old_total_s": old_total,
+        "campaign_new_total_s": new_total,
+        "campaign_e2e_speedup": total_e2e,
+    }
+    (RESULTS_DIR / "BENCH_replay.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+
+    failures = []
+    for name, m in measurements.items():
+        bad = [k for k, ok in m["parity"].items() if not ok]
+        if bad:
+            failures.append(f"{name}: trace/replay parity mismatch on {bad}")
+    if args.check:
+        if replay_speedup < args.min_replay_speedup:
+            failures.append(
+                f"best-config replay speedup {replay_speedup:.2f}x below "
+                f"{args.min_replay_speedup}x")
+        if total_e2e < args.min_e2e_speedup:
+            failures.append(
+                f"end-to-end speedup {total_e2e:.2f}x below "
+                f"{args.min_e2e_speedup}x")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

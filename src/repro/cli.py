@@ -193,8 +193,7 @@ def _cmd_render(args: argparse.Namespace) -> int:
 
         scheduler = TileScheduler(tile_size=(tiles, tiles), workers=args.workers)
         result = scheduler.render(cloud, structure, config, camera,
-                                  keep_traces=engine_active == "scalar",
-                                  engine=engine_active)
+                                  keep_traces=True, engine=engine_active)
     else:
         renderer = GaussianRayTracer(cloud, structure, config,
                                      engine=engine_active)
@@ -210,7 +209,7 @@ def _cmd_render(args: argparse.Namespace) -> int:
         print(f"timing:    {timing.time_ms:.3f} model-ms, {timing.node_fetches} node fetches, "
               f"L1 hit {timing.l1_hit_rate:.1%}")
     else:
-        print("timing:    n/a (per-ray fetch traces are scalar-engine-only)")
+        print("timing:    n/a (no fetch traces recorded)")
     print(f"image:     {args.out}")
     return 0
 

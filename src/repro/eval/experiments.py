@@ -580,7 +580,8 @@ def ablation_builder(scene: str = "bonsai") -> ExperimentResult:
         structure = build_two_level(
             cloud, "sphere", params=BuildParams(strategy=strategy))
         quality = tree_quality(structure.tlas)
-        renderer = GaussianRayTracer(cloud, structure, _trace_config(k=8))
+        renderer = GaussianRayTracer(cloud, structure, _trace_config(k=8),
+                                     engine="auto")
         result = renderer.render(
             default_camera_for(cloud, *BENCH_RESOLUTION))
         from repro.hwsim import replay as hw_replay
@@ -615,7 +616,8 @@ def ablation_treelet(scene: str = "drjohnson") -> ExperimentResult:
 
     cloud = get_cloud(scene)
     structure = get_structure(scene, "20-tri")
-    renderer = GaussianRayTracer(cloud, structure, _trace_config(k=8))
+    renderer = GaussianRayTracer(cloud, structure, _trace_config(k=8),
+                                 engine="auto")
     result = renderer.render(default_camera_for(cloud, *BENCH_RESOLUTION))
     treelets = build_treelet_map(structure, 1024)
 
@@ -721,7 +723,7 @@ def ablation_dram(scene: str = "truck") -> ExperimentResult:
     for label, overrides in FIG13_CONFIGS.items():
         structure = get_structure(scene, overrides["proxy"])
         config = _trace_config(k=8, checkpointing=overrides["checkpointing"])
-        renderer = GaussianRayTracer(cloud, structure, config)
+        renderer = GaussianRayTracer(cloud, structure, config, engine="auto")
         result = renderer.render(default_camera_for(cloud, *BENCH_RESOLUTION))
         timing = hw_replay(result.traces, banked)
         rows.append([label, timing.dram_accesses, timing.dram_row_hit_rate,
@@ -861,7 +863,8 @@ def ablation_cameras(scene: str = "train") -> ExperimentResult:
 
     cloud = get_cloud(scene)
     structure = get_structure(scene, "tlas+sphere")
-    renderer = GaussianRayTracer(cloud, structure, _trace_config(k=8))
+    renderer = GaussianRayTracer(cloud, structure, _trace_config(k=8),
+                                 engine="auto")
     res = BENCH_RESOLUTION
     pin = default_camera_for(cloud, *res)
     cameras = [

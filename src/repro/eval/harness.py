@@ -134,6 +134,7 @@ def normalize_config(
     gpu: str = "rtx",
     prefetch: bool = True,
     width: int = 6,
+    engine: str = "auto",
 ) -> dict:
     """Resolve a run_config kwarg set to fully explicit values.
 
@@ -141,13 +142,19 @@ def normalize_config(
     ``BENCH_SCALE``/``BENCH_RESOLUTION``, so a normalized config means
     the same render everywhere — in this process, or shipped to a pool
     worker whose module defaults may differ.
+
+    ``engine`` defaults to ``"auto"``: trace-producing campaign renders
+    run on the packet engine's recording path whenever it covers the
+    (structure, config) pair — per-ray fetch traces and every replayed
+    timing figure are engine-identical — and fall back to the scalar
+    tracer otherwise (GRTX-HW checkpointing).
     """
     return dict(
         scene=scene, proxy=proxy, k=k, mode=mode, checkpointing=checkpointing,
         scale=BENCH_SCALE if scale is None else scale,
         resolution=tuple(resolution or BENCH_RESOLUTION),
         fov_mode=fov_mode, objects=objects, kbuffer_layout=kbuffer_layout,
-        gpu=gpu, prefetch=prefetch, width=width,
+        gpu=gpu, prefetch=prefetch, width=width, engine=engine,
     )
 
 
@@ -156,7 +163,7 @@ def _config_key(cfg: dict) -> tuple:
     return (cfg["scene"], cfg["proxy"], cfg["k"], cfg["mode"],
             cfg["checkpointing"], cfg["scale"], cfg["resolution"],
             cfg["fov_mode"], cfg["objects"], cfg["kbuffer_layout"],
-            cfg["gpu"], cfg["prefetch"], cfg["width"])
+            cfg["gpu"], cfg["prefetch"], cfg["width"], cfg["engine"])
 
 
 def run_config(scene: str, **kwargs) -> CachedRun:
@@ -186,7 +193,8 @@ def run_config(scene: str, **kwargs) -> CachedRun:
         camera = camera.with_resolution(*resolution)
 
     scene_objects = SceneObjects.default_for(cloud) if cfg["objects"] else None
-    renderer = GaussianRayTracer(cloud, structure, config)
+    renderer = GaussianRayTracer(cloud, structure, config,
+                                 engine=cfg["engine"])
     result = renderer.render(camera, objects=scene_objects)
 
     if cfg["gpu"] == "rtx":

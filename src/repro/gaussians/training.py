@@ -111,6 +111,13 @@ class GaussianTrainer:
     (``record_blended`` on) so the backward pass sees exactly the
     Gaussians that contributed to each pixel, in blend order, with early
     ray termination applied.
+
+    ``engine`` selects the forward tracer: ``"auto"`` (default) runs the
+    vectorized packet engine — ``record_blended`` is packetized, so a
+    whole view's bundle is traced in one packet and the backward pass
+    consumes :attr:`~repro.rt.packet.PacketResult.blend_records` —
+    falling back to the scalar per-ray tracer only when the packet
+    engine cannot cover the structure.
     """
 
     def __init__(
@@ -119,11 +126,13 @@ class GaussianTrainer:
         views: list[TrainingView],
         lr: float = 0.05,
         k: int = 8,
+        engine: str = "auto",
     ) -> None:
         if not views:
             raise ValueError("need at least one training view")
         self.cloud = cloud
         self.views = views
+        self.engine = engine
         self.params = {
             "opacity_logit": _logit(cloud.opacities.copy()),
             "sh": cloud.sh.copy(),
@@ -145,12 +154,32 @@ class GaussianTrainer:
             name=self.cloud.name,
         )
 
+    def _forward_view(self, tracer, engine: str, bundle):
+        """Colors + per-ray blend records for one view's ray bundle."""
+        if engine == "packet":
+            result = tracer.trace_packet(bundle.origins, bundle.directions)
+            return result.colors, result.blend_records
+        colors = np.empty((len(bundle), 3))
+        records = []
+        for i in range(len(bundle)):
+            outcome = tracer.trace_ray(bundle.origins[i],
+                                       bundle.directions[i])
+            colors[i] = outcome.color
+            records.append(outcome.blend_records or [])
+        return colors, records
+
     def loss_and_grads(self) -> tuple[float, dict[str, np.ndarray]]:
         """MSE loss over all views plus analytic parameter gradients."""
+        from repro.rt.packet import PacketTracer, resolve_engine
+
         cloud = self._current_cloud()
         structure = build_two_level(cloud, "sphere")
         shading = SceneShading(cloud)
-        tracer = Tracer(structure, shading, self._config)
+        engine = resolve_engine(self.engine, structure, self._config)
+        if engine == "packet":
+            tracer = PacketTracer(structure, shading, self._config)
+        else:
+            tracer = Tracer(structure, shading, self._config)
 
         opacities = cloud.opacities
         grad_opacity = np.zeros(len(cloud))
@@ -161,17 +190,15 @@ class GaussianTrainer:
         for view in self.views:
             bundle = view.camera.generate_rays()
             target = view.target.reshape(-1, 3)
+            colors, records = self._forward_view(tracer, engine, bundle)
+            residuals = colors - target[bundle.pixel_ids]
+            total_sq += float((residuals * residuals).sum())
+            total_px += len(bundle)
             for i in range(len(bundle)):
-                origin = bundle.origins[i]
-                direction = bundle.directions[i]
-                outcome = tracer.trace_ray(origin, direction)
-                residual = outcome.color - target[int(bundle.pixel_ids[i])]
-                total_sq += float(residual @ residual)
-                total_px += 1
-                if not outcome.blend_records:
+                if not records[i]:
                     continue
                 self._backward_ray(
-                    outcome.blend_records, residual, direction,
+                    records[i], residuals[i], bundle.directions[i],
                     opacities, grad_opacity, grad_sh,
                 )
 
@@ -256,17 +283,30 @@ class GaussianTrainer:
 
 
 def render_views(cloud: GaussianCloud, cameras: list[PinholeCamera],
-                 k: int = 8) -> list[TrainingView]:
+                 k: int = 8, engine: str = "auto") -> list[TrainingView]:
     """Render ground-truth target views from a reference cloud."""
+    from repro.rt.packet import PacketTracer, resolve_engine
+
     structure = build_two_level(cloud, "sphere")
-    tracer = Tracer(structure, SceneShading(cloud), TraceConfig(k=k))
+    config = TraceConfig(k=k)
+    shading = SceneShading(cloud)
+    resolved = resolve_engine(engine, structure, config)
+    if resolved == "packet":
+        tracer = PacketTracer(structure, shading, config)
+    else:
+        tracer = Tracer(structure, shading, config)
     views = []
     for camera in cameras:
         bundle = camera.generate_rays()
         image = np.zeros((camera.n_pixels, 3))
-        for i in range(len(bundle)):
-            outcome = tracer.trace_ray(bundle.origins[i], bundle.directions[i])
-            image[int(bundle.pixel_ids[i])] = outcome.color
+        if resolved == "packet":
+            result = tracer.trace_packet(bundle.origins, bundle.directions)
+            image[bundle.pixel_ids] = result.colors
+        else:
+            for i in range(len(bundle)):
+                outcome = tracer.trace_ray(bundle.origins[i],
+                                           bundle.directions[i])
+                image[int(bundle.pixel_ids[i])] = outcome.color
         views.append(TrainingView(camera=camera,
                                   target=image.reshape(camera.height, camera.width, 3)))
     return views

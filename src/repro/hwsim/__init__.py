@@ -11,7 +11,7 @@ from repro.hwsim.config import GpuConfig
 from repro.hwsim.cache import CacheStats, SetAssociativeCache
 from repro.hwsim.dram import DramModel, DramStats, DramTimings
 from repro.hwsim.energy import EnergyParams, EnergyReport, estimate_energy
-from repro.hwsim.replay import TimingReport, raster_cycles, replay
+from repro.hwsim.replay import TimingReport, raster_cycles, replay, replay_reference
 from repro.hwsim.rtunit import CheckpointHardware, checkpoint_hardware_cost
 from repro.hwsim.treelet import build_treelet_map
 from repro.hwsim.warp import WarpDivergenceReport, analyze_divergence
@@ -34,4 +34,5 @@ __all__ = [
     "estimate_energy",
     "raster_cycles",
     "replay",
+    "replay_reference",
 ]

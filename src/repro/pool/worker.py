@@ -16,7 +16,10 @@ Two task kinds exist:
   scheduler ships is the *flattened* SoA layout
   (:class:`~repro.bvh.flatten.FlatStructure`) and the engine is always
   concrete (``auto`` resolves in the parent): a worker builds either
-  tracing engine straight from the one layout.
+  tracing engine straight from the one layout. When the task asks for
+  fetch traces, both engines record them (the packet engine through its
+  trace recorder) and the per-ray ``RayTrace`` streams ship back inside
+  the tile's ``BundleResult``.
 * ``"call"`` — run an arbitrary picklable ``fn(*args, **kwargs)``. This
   is what the eval campaign fans out; workers keep their module state
   (e.g. the eval harness render caches) across calls, which is the whole

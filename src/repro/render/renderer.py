@@ -249,11 +249,15 @@ class GaussianRayTracer:
         the untiled render.
 
         With the packet engine active the whole batch is traced as one
-        ray packet; per-ray fetch traces are scalar-engine-only, so
-        ``keep_traces`` yields an empty trace list there.
+        ray packet. ``keep_traces`` selects the *recorded* packet path
+        (:meth:`PacketTracer.trace_packet_recorded`): per-ray fetch
+        traces stream- and counter-identical to the scalar recorder's,
+        at extra recording cost — so serving paths keep it off and
+        timing runs turn it on.
         """
         if self.packet is not None:
-            return self._trace_rays_packet(origins, directions, pixel_ids, objects)
+            return self._trace_rays_packet(origins, directions, pixel_ids,
+                                           objects, keep_traces)
         n = origins.shape[0]
         colors = np.zeros((n, 3), dtype=np.float64)
         stats = RenderStats()
@@ -304,9 +308,15 @@ class GaussianRayTracer:
         directions: np.ndarray,
         pixel_ids: np.ndarray,
         objects: SceneObjects | None,
+        keep_traces: bool = False,
     ) -> BundleResult:
         """Packet-engine ray batch: one vectorized primary packet plus
-        (when scene objects clip primaries) one secondary packet."""
+        (when scene objects clip primaries) one secondary packet.
+
+        With ``keep_traces`` the packets run through the recording path
+        and the stats are absorbed from the reconstructed traces exactly
+        like the scalar loop's, so every RenderStats counter matches the
+        scalar engine (not just the parity trio)."""
         origins = np.asarray(origins, dtype=np.float64)
         directions = np.asarray(directions, dtype=np.float64)
         n = origins.shape[0]
@@ -323,9 +333,16 @@ class GaussianRayTracer:
             for i in range(n):
                 t_clip[i], objs[i] = objects.nearest(origins[i], directions[i])
 
-        result = self.packet.trace_packet(origins, directions, t_clip)
+        traces: list[RayTrace] = []
+        if keep_traces:
+            result, primary_traces = self.packet.trace_packet_recorded(
+                origins, directions, t_clip, label="primary")
+            traces.extend(primary_traces)
+            self._absorb_recorded(stats, result, primary_traces, primary=True)
+        else:
+            result = self.packet.trace_packet(origins, directions, t_clip)
+            self._absorb_packet(stats, result, primary=True)
         colors = result.colors
-        self._absorb_packet(stats, result, primary=True)
 
         if objs is not None:
             live = [i for i in range(n)
@@ -339,13 +356,35 @@ class GaussianRayTracer:
                     sec_o[j], sec_d[j] = objs[i].scatter(
                         origins[i], directions[i], t_clip[i])
                     tints[j] = np.asarray(objs[i].tint)
-                secondary = self.packet.trace_packet(sec_o, sec_d)
+                if keep_traces:
+                    secondary, sec_traces = self.packet.trace_packet_recorded(
+                        sec_o, sec_d, label="secondary")
+                    traces.extend(sec_traces)
+                    self._absorb_recorded(stats, secondary, sec_traces,
+                                          primary=False)
+                else:
+                    secondary = self.packet.trace_packet(sec_o, sec_d)
+                    self._absorb_packet(stats, secondary, primary=False)
                 weight = result.transmittance[live]
                 colors[live] = colors[live] + (
                     weight[:, None] * tints * secondary.colors)
-                self._absorb_packet(stats, secondary, primary=False)
 
-        return BundleResult(colors=colors, pixel_ids=pixel_ids, stats=stats)
+        return BundleResult(colors=colors, pixel_ids=pixel_ids, stats=stats,
+                            traces=traces)
+
+    @staticmethod
+    def _absorb_recorded(stats: RenderStats, result, traces, primary: bool) -> None:
+        """Absorb a recorded packet like the scalar per-ray loop does:
+        every counter (visit totals, anyhit calls, k-buffer ops, ...)
+        comes from the reconstructed traces, so the stats block equals
+        the scalar engine's exactly."""
+        rounds = result.rounds
+        blended = result.blended
+        terminated = result.terminated
+        for i, trace in enumerate(traces):
+            trace.label = "primary" if primary else "secondary"
+            stats.absorb(trace, int(rounds[i]), int(blended[i]),
+                         bool(terminated[i]))
 
     @staticmethod
     def _absorb_packet(stats: RenderStats, result, primary: bool) -> None:

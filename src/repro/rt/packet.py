@@ -40,11 +40,15 @@ computing all hits first.
 
 Scope: every structure the repo builds — monolithic (triangle and
 custom proxies) *and* two-level (``tlas+sphere`` / ``tlas+*-tri``) — in
-``multiround`` and ``singleround`` modes.  GRTX-HW checkpointing,
-per-ray fetch traces and ``record_blended`` stay scalar-engine-only;
-:func:`packet_supported` tells callers when to fall back, and
-:func:`resolve_engine` / :func:`packet_fallback_count` make the
-fallback observable instead of silent.
+``multiround`` and ``singleround`` modes, including ``record_blended``
+(per-ray blend lists extracted from the vectorized blend) and per-ray
+fetch traces (:meth:`PacketTracer.trace_packet_recorded`, backed by
+:mod:`repro.rt.tracerecord`: batched geometry passes plus a per-ray
+control-flow reconstruction that emits scalar-identical
+:class:`~repro.rt.recorder.RayTrace` streams).  GRTX-HW checkpointing
+stays scalar-engine-only; :func:`packet_supported` tells callers when
+to fall back, and :func:`resolve_engine` / :func:`packet_fallback_count`
+make the fallback observable instead of silent.
 """
 
 from __future__ import annotations
@@ -90,9 +94,9 @@ PACKET_PROXIES = MONOLITHIC_PROXIES + TWO_LEVEL_PROXIES
 
 def packet_config_supported(config: TraceConfig) -> bool:
     """The config half of :func:`packet_supported`: GRTX-HW
-    checkpointing and ``record_blended`` (the training substrate needs
-    per-ray blend lists) stay on the scalar engine."""
-    return not config.checkpointing and not config.record_blended
+    checkpointing stays on the scalar engine (``record_blended`` is
+    packetized — the blend stage extracts per-ray blend lists)."""
+    return not config.checkpointing
 
 
 def packet_supported(structure, config: TraceConfig) -> bool:
@@ -112,8 +116,6 @@ def fallback_reason(structure, config: TraceConfig) -> str | None:
         return f"unsupported structure type {type(structure).__name__}"
     if config.checkpointing:
         return "checkpointing (GRTX-HW) is scalar-engine-only"
-    if config.record_blended:
-        return "record_blended is scalar-engine-only"
     return None
 
 
@@ -199,10 +201,37 @@ class PacketResult:
     #: Candidate pairs rejected by the canonical evaluation (proxy
     #: false positives, negligible alpha, entry behind the origin).
     false_positives: int = 0
+    #: Per-ray ``(gaussian_id, alpha, t)`` blend lists in blend order,
+    #: populated when ``TraceConfig.record_blended`` is set — the same
+    #: lists the scalar tracer's ``RayOutcome.blend_records`` carries
+    #: (the training substrate's backward pass consumes them).
+    blend_records: list[list[tuple[int, float, float]]] | None = None
 
     @property
     def n_rays(self) -> int:
         return self.colors.shape[0]
+
+    @classmethod
+    def concatenate(cls, parts: list["PacketResult"],
+                    record_blended: bool) -> "PacketResult":
+        """Merge chunked results back into one, in chunk order (shared
+        by the plain and recorded tracing paths, so a new field cannot
+        be merged in one and dropped in the other)."""
+        records = None
+        if record_blended:
+            records = []
+            for p in parts:
+                records.extend(p.blend_records or [])
+        return cls(
+            colors=np.concatenate([p.colors for p in parts]),
+            transmittance=np.concatenate([p.transmittance for p in parts]),
+            blended=np.concatenate([p.blended for p in parts]),
+            terminated=np.concatenate([p.terminated for p in parts]),
+            rounds=np.concatenate([p.rounds for p in parts]),
+            anyhit_calls=sum(p.anyhit_calls for p in parts),
+            false_positives=sum(p.false_positives for p in parts),
+            blend_records=records,
+        )
 
 
 class _Level:
@@ -240,13 +269,14 @@ class PacketTracer:
         if not packet_supported(structure, config):
             raise ValueError(
                 "packet engine supports flattenable structures without "
-                "checkpointing or record_blended; use the scalar Tracer "
+                "checkpointing; use the scalar Tracer "
                 f"({fallback_reason(structure, config)})")
         flat = flatten(structure)
         self.structure = structure
         self.flat = flat
         self.shading = shading
         self.config = config
+        self._recorder = None
         self._root = _Level(flat.root)
         self._prims = flat.root_prims
         if flat.root_prims == PRIMS_TRIANGLES:
@@ -309,15 +339,7 @@ class PacketTracer:
                               t_clip[i:i + _MAX_PACKET])
             for i in range(0, n, _MAX_PACKET)
         ]
-        return PacketResult(
-            colors=np.concatenate([p.colors for p in parts]),
-            transmittance=np.concatenate([p.transmittance for p in parts]),
-            blended=np.concatenate([p.blended for p in parts]),
-            terminated=np.concatenate([p.terminated for p in parts]),
-            rounds=np.concatenate([p.rounds for p in parts]),
-            anyhit_calls=sum(p.anyhit_calls for p in parts),
-            false_positives=sum(p.false_positives for p in parts),
-        )
+        return PacketResult.concatenate(parts, self.config.record_blended)
 
     # ------------------------------------------------------------------
     # Pipeline stages
@@ -330,6 +352,8 @@ class PacketTracer:
             blended=np.zeros(n, dtype=np.int64),
             terminated=np.zeros(n, dtype=bool),
             rounds=np.ones(n, dtype=np.int64),
+            blend_records=([[] for _ in range(n)]
+                           if self.config.record_blended else None),
         )
 
     def _trace_chunk(self, o, d, t_clip) -> PacketResult:
@@ -400,6 +424,75 @@ class PacketTracer:
                     leaf_rays.append(sub)
                     leaf_refs.append(int(refs[node, slot]))
         return leaf_rays, leaf_refs
+
+    def _traverse_log(
+        self,
+        level: _Level,
+        o: np.ndarray,
+        inv_d: np.ndarray,
+        t_clip: np.ndarray,
+    ) -> tuple[list, list[np.ndarray], list[int]]:
+        """Recording variant of :meth:`_traverse`.
+
+        Identical stack discipline and leaf output, but additionally
+        returns the per-node visit log ``[(node, rays, tn, tf, hit),
+        ...]`` with every visiting ray's child slab results for *all*
+        slots and the accept mask — the geometry the packet trace
+        recorder's per-ray control-flow reconstruction replays (visits
+        with ``t_min = 0`` and no ``t_max`` are a superset of every
+        tracing round's visits).
+        """
+        kinds = level.child_kind
+        refs = level.child_ref
+        los = level.child_lo
+        his = level.child_hi
+        visits: list = []
+        leaf_rays: list[np.ndarray] = []
+        leaf_refs: list[int] = []
+        stack: list[tuple[int, np.ndarray]] = [
+            (0, np.arange(o.shape[0], dtype=np.int64))
+        ]
+        while stack:
+            node, rays = stack.pop()
+            ro = o[rays]
+            ri = inv_d[rays]
+            t0 = (los[node][None, :, :] - ro[:, None, :]) * ri[:, None, :]
+            t1 = (his[node][None, :, :] - ro[:, None, :]) * ri[:, None, :]
+            tn = np.minimum(t0, t1).max(axis=2)
+            tf = np.maximum(t0, t1).min(axis=2)
+            hit = (tn <= tf) & (tf >= 0.0) & (tn <= t_clip[rays, None])
+            hit &= (kinds[node] != 0)[None, :]
+            visits.append((node, rays, tn, tf, hit))
+            for slot in np.nonzero(hit.any(axis=0))[0]:
+                sub = rays[hit[:, slot]]
+                if kinds[node, slot] == KIND_INTERNAL:
+                    stack.append((int(refs[node, slot]), sub))
+                else:
+                    leaf_rays.append(sub)
+                    leaf_refs.append(int(refs[node, slot]))
+        return visits, leaf_rays, leaf_refs
+
+    def trace_packet_recorded(
+        self,
+        origins: np.ndarray,
+        directions: np.ndarray,
+        t_clip: np.ndarray | None = None,
+        label: str = "primary",
+    ):
+        """Trace a bundle *and* record per-ray fetch traces.
+
+        Returns ``(PacketResult, traces)`` where ``traces`` is one
+        :class:`~repro.rt.recorder.RayTrace` per input ray, stream- and
+        counter-equal to what the scalar tracer would have recorded (the
+        timing model replays either interchangeably). The result's
+        ``rounds`` array carries the reconstructed exact round counts.
+        See :mod:`repro.rt.tracerecord` for the recording pipeline.
+        """
+        from repro.rt.tracerecord import PacketTraceRecorder
+
+        if self._recorder is None:
+            self._recorder = PacketTraceRecorder(self)
+        return self._recorder.record(origins, directions, t_clip, label)
 
     @staticmethod
     def _leaf_pairs(
@@ -714,7 +807,8 @@ class PacketTracer:
         # (each round's k-buffer is exactly the k closest remaining
         # hits), and literally the singleround sort.
         order = np.lexsort((gids, ts, rays))
-        rays, gids, alphas = rays[order], gids[order], alphas[order]
+        rays, gids, alphas, ts = (
+            rays[order], gids[order], alphas[order], ts[order])
         result.anyhit_calls = int(rays.size)
         result.false_positives = false_positives
         counts = np.bincount(rays, minlength=n)
@@ -725,8 +819,9 @@ class PacketTracer:
             # The scalar loop runs at most max_rounds rounds of k blends.
             cap = config.max_rounds * config.k
             within = col < cap
-            rays, gids, alphas, col = (
-                rays[within], gids[within], alphas[within], col[within])
+            rays, gids, alphas, ts, col = (
+                rays[within], gids[within], alphas[within], ts[within],
+                col[within])
             counts = np.minimum(counts, cap)
             if rays.size == 0:
                 return result
@@ -739,6 +834,7 @@ class PacketTracer:
         colors = np.zeros((n, 3))
         transmittance = np.ones(n)
         blended = np.zeros(n, dtype=np.int64)
+        records = result.blend_records  # per-ray lists when recording
         basis = sh_basis(d, shading._sh_degree)
         # The blend works on dense (rays, max hits) matrices; process
         # contiguous ray ranges whose matrix stays under the element
@@ -771,6 +867,16 @@ class PacketTracer:
             blend = prev_pair >= config.transmittance_min
             rr_b = rr[blend]
             aa_b, prev_b = aa[blend], prev_pair[blend]
+            if records is not None:
+                # Pairs are sorted by (ray, t, gid): appends land in the
+                # scalar tracer's exact blend order.
+                slice_rays = rays[p0:p1][blend]
+                slice_gids = gids[p0:p1][blend]
+                slice_ts = ts[p0:p1][blend]
+                for ray_i, gid_i, a_i, t_i in zip(
+                        slice_rays.tolist(), slice_gids.tolist(),
+                        aa_b.tolist(), slice_ts.tolist()):
+                    records[ray_i].append((gid_i, a_i, t_i))
 
             color = np.einsum("pc,pcd->pd", basis[rays[p0:p1][blend]],
                               shading.sh[gids[p0:p1][blend]]) + 0.5

@@ -1,15 +1,28 @@
 """Fetch-trace recording for the timing model.
 
-The functional tracer emits, per ray and per tracing round, the exact
+The functional tracers emit, per ray and per tracing round, the exact
 sequence of BVH node fetches (byte address, size, kind) together with the
 intersection-test work done at each node. :mod:`repro.hwsim` replays these
 streams through its cache hierarchy and RT-unit model.
 
-The stream is a flat ``array('q')`` of int64 records to keep the memory
-cost of millions of events tolerable in pure Python:
+A round's events live in two flat ``array('q')`` streams so that millions
+of events stay cheap to store *and* cheap to consume:
 
-    [addr, nbytes, kind, box_tests, prim_tests, prim_kind,
-     n_prefetch, pf_addr0, pf_bytes0, pf_addr1, pf_bytes1, ...]
+* ``stream`` — one fixed-width record of :data:`RECORD_FIELDS` int64
+  words per fetch::
+
+      [addr, nbytes, kind, box_tests, prim_tests, prim_kind, n_prefetch]
+
+* ``pf`` — the prefetch ``(addr, nbytes)`` pairs of all records,
+  concatenated in record order (record ``i`` owns the next
+  ``n_prefetch[i]`` pairs).
+
+The fixed-width layout is what makes zero-copy consumption possible:
+:meth:`RoundTrace.events_view` and :meth:`RoundTrace.prefetch_view`
+reinterpret the buffers as numpy arrays (``np.frombuffer``) without
+copying or per-event Python iteration — the vectorized replay in
+:mod:`repro.hwsim.replay` is built on these views. :meth:`iter_events`
+remains as the per-event compatibility API.
 
 ``prefetch`` entries model the sibling-node prefetcher the paper adds to
 Vulkan-Sim to match real-GPU L1 hit rates (Section V-A): when an internal
@@ -21,6 +34,8 @@ from __future__ import annotations
 
 from array import array
 
+import numpy as np
+
 FETCH_INTERNAL = 1
 FETCH_LEAF = 2
 
@@ -30,22 +45,34 @@ PRIM_SPHERE = 2
 PRIM_CUSTOM = 3
 PRIM_TRANSFORM = 4
 
+#: int64 words per fixed-width fetch record in ``RoundTrace.stream``.
+RECORD_FIELDS = 7
+
+_EMPTY_EVENTS = np.empty((0, RECORD_FIELDS), dtype=np.int64)
+_EMPTY_PAIRS = np.empty((0, 2), dtype=np.int64)
+
 
 class RoundTrace:
     """Events and counters for one ray x one tracing round."""
 
     __slots__ = (
         "stream",
+        "pf",
         "anyhit_calls",
         "kbuffer_ops",
         "false_positives",
         "blended",
         "checkpoints_written",
         "evictions_written",
+        "_ev_cache",
+        "_pf_cache",
     )
 
     def __init__(self) -> None:
         self.stream = array("q")
+        self.pf = array("q")
+        self._ev_cache: np.ndarray | None = None
+        self._pf_cache: np.ndarray | None = None
         self.anyhit_calls = 0
         self.kbuffer_ops = 0
         self.false_positives = 0
@@ -64,32 +91,81 @@ class RoundTrace:
         prefetch: list[tuple[int, int]] | None = None,
     ) -> None:
         """Record one node fetch and the work performed at that node."""
-        stream = self.stream
         if prefetch:
-            stream.extend((addr, nbytes, kind, box_tests, prim_tests, prim_kind,
-                           len(prefetch)))
+            self.stream.extend((addr, nbytes, kind, box_tests, prim_tests,
+                                prim_kind, len(prefetch)))
+            pf = self.pf
             for pair in prefetch:
-                stream.extend(pair)
+                pf.extend(pair)
         else:
-            stream.extend((addr, nbytes, kind, box_tests, prim_tests, prim_kind, 0))
+            self.stream.extend((addr, nbytes, kind, box_tests, prim_tests,
+                                prim_kind, 0))
+
+    def __getstate__(self):
+        # Ship only the streams and counters: the memoized views are
+        # per-process buffer aliases (pickling would copy them), and a
+        # fresh instance re-derives them on first use.
+        return (self.stream, self.pf, self.anyhit_calls, self.kbuffer_ops,
+                self.false_positives, self.blended,
+                self.checkpoints_written, self.evictions_written)
+
+    def __setstate__(self, state):
+        (self.stream, self.pf, self.anyhit_calls, self.kbuffer_ops,
+         self.false_positives, self.blended,
+         self.checkpoints_written, self.evictions_written) = state
+        self._ev_cache = None
+        self._pf_cache = None
+
+    def events_view(self) -> np.ndarray:
+        """Zero-copy ``(n_fetches, RECORD_FIELDS)`` int64 view of the
+        record stream (columns: addr, nbytes, kind, box_tests,
+        prim_tests, prim_kind, n_prefetch).
+
+        Memoized: traces are write-then-read, and the first view pins
+        the underlying buffer — a later :meth:`fetch` on a viewed round
+        raises ``BufferError`` rather than silently going stale.
+        """
+        if not len(self.stream):
+            return _EMPTY_EVENTS
+        cached = self._ev_cache
+        if cached is not None:
+            return cached
+        view = np.frombuffer(self.stream, dtype=np.int64).reshape(
+            -1, RECORD_FIELDS)
+        self._ev_cache = view
+        return view
+
+    def prefetch_view(self) -> np.ndarray:
+        """Zero-copy ``(n_pairs, 2)`` int64 view of the prefetch pairs,
+        in record order; record ``i``'s pairs start at
+        ``events_view()[:i, 6].sum()``. Memoized like
+        :meth:`events_view`."""
+        if not len(self.pf):
+            return _EMPTY_PAIRS
+        cached = self._pf_cache
+        if cached is not None:
+            return cached
+        view = np.frombuffer(self.pf, dtype=np.int64).reshape(-1, 2)
+        self._pf_cache = view
+        return view
 
     def iter_events(self):
         """Yield ``(addr, nbytes, kind, box, prim, prim_kind, prefetch)``."""
         stream = self.stream
-        i = 0
-        n = len(stream)
-        while i < n:
-            addr, nbytes, kind, box, prim, prim_kind, n_pf = stream[i : i + 7]
-            i += 7
+        pf = self.pf
+        j = 0
+        for i in range(0, len(stream), RECORD_FIELDS):
+            addr, nbytes, kind, box, prim, prim_kind, n_pf = (
+                stream[i : i + RECORD_FIELDS])
             prefetch = []
             for _ in range(n_pf):
-                prefetch.append((stream[i], stream[i + 1]))
-                i += 2
+                prefetch.append((pf[j], pf[j + 1]))
+                j += 2
             yield addr, nbytes, kind, box, prim, prim_kind, prefetch
 
     @property
     def n_fetches(self) -> int:
-        return sum(1 for _ in self.iter_events())
+        return len(self.stream) // RECORD_FIELDS
 
 
 class RayTrace:
@@ -146,3 +222,15 @@ class RayTrace:
     @property
     def unique_fetches(self) -> int:
         return len(self.unique_internal) + len(self.unique_leaf)
+
+    def fetch_multiset(self) -> dict[tuple[int, int], int]:
+        """Whole-ray ``(addr, kind) -> count`` fetch multiset (the
+        engine-parity invariant the trace tests compare)."""
+        counts: dict[tuple[int, int], int] = {}
+        for rnd in self.rounds:
+            events = rnd.events_view()
+            for addr, kind in zip(events[:, 0].tolist(),
+                                  events[:, 2].tolist()):
+                key = (addr, kind)
+                counts[key] = counts.get(key, 0) + 1
+        return counts

@@ -27,6 +27,7 @@ numpy-everywhere code.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -178,6 +179,105 @@ class _RoundState:
         self.round_trace.checkpoints_written += 1
 
 
+class FlatTables:
+    """Plain-list views of one flattened structure for per-ray loops.
+
+    The scalar tracer's hot loops index Python lists (faster than numpy
+    scalars at this granularity), and the packet trace recorder's
+    control-flow reconstruction reads the *same* tables — one builder,
+    so the two consumers cannot disagree on addresses, child layouts or
+    leaf contents. Built once per :class:`~repro.bvh.flatten.FlatStructure`
+    (see :func:`flat_tables`); treat every attribute as immutable.
+    """
+
+    __slots__ = (
+        "child_lo", "child_hi", "child_kind", "child_ref",
+        "node_addr", "leaf_addr", "leaf_bytes", "leaf_start", "leaf_count",
+        "child_addr", "child_bytes", "child_is_leaf", "node_bytes",
+        "ordered_gids", "v0", "e1", "e2", "owner", "blas_tables",
+    )
+
+    def __init__(self, flat) -> None:
+        bvh = flat.root
+        self.child_lo = bvh.child_lo.tolist()
+        self.child_hi = bvh.child_hi.tolist()
+        self.child_kind = bvh.child_kind.tolist()
+        self.child_ref = bvh.child_ref.tolist()
+        self.node_addr = bvh.node_addr.tolist()
+        self.leaf_addr = bvh.leaf_addr.tolist()
+        self.leaf_bytes = bvh.leaf_bytes.tolist()
+        self.leaf_start = bvh.leaf_start.tolist()
+        self.leaf_count = bvh.leaf_count.tolist()
+        self.node_bytes = internal_node_bytes(bvh.width)
+        # Child (address, size) for prefetch lists, any slot kind.
+        addr, sizes, leaf_mask = [], [], []
+        for n in range(bvh.n_nodes):
+            row_a, row_s, row_l = [], [], []
+            for slot in range(bvh.width):
+                kind = self.child_kind[n][slot]
+                ref = self.child_ref[n][slot]
+                if kind == KIND_INTERNAL:
+                    row_a.append(self.node_addr[ref])
+                    row_s.append(self.node_bytes)
+                    row_l.append(False)
+                elif kind == KIND_LEAF:
+                    row_a.append(self.leaf_addr[ref])
+                    row_s.append(self.leaf_bytes[ref])
+                    row_l.append(True)
+                else:
+                    row_a.append(0)
+                    row_s.append(0)
+                    row_l.append(False)
+            addr.append(row_a)
+            sizes.append(row_s)
+            leaf_mask.append(row_l)
+        self.child_addr = addr
+        self.child_bytes = sizes
+        self.child_is_leaf = leaf_mask
+
+        self.ordered_gids = None
+        self.v0 = self.e1 = self.e2 = self.owner = None
+        self.blas_tables = None
+        if flat.two_level:
+            self.ordered_gids = flat.prim_gid.tolist()
+            if flat.blas[0].kind == "mesh":
+                self.blas_tables = _BlasTables(flat.blas[0])
+        elif flat.is_triangle_proxy:
+            # Plain-list copies of the flattened (already leaf-ordered)
+            # triangle soup: leaves hold <= a handful of triangles, and
+            # a scalar Moller-Trumbore over Python floats beats numpy's
+            # per-call overhead by ~6x at that size.
+            mesh = flat.mesh
+            self.v0 = mesh.v0.tolist()
+            self.e1 = mesh.e1.tolist()
+            self.e2 = mesh.e2.tolist()
+            self.owner = mesh.owner.tolist()
+        else:
+            self.ordered_gids = flat.prim_gid.tolist()
+
+
+# Identity-checked memo mirroring repro.bvh.flatten's registry: keyed
+# by id() (FlatStructure defines __eq__, so it is unhashable), verified
+# against the live object, and evicted when the structure dies. Keeping
+# the tables out of the object itself also keeps them out of the pickle
+# stream when pooled tiles ship flattened structures to workers.
+_TABLES_CACHE: dict[int, tuple] = {}
+
+
+def flat_tables(flat) -> FlatTables:
+    """The (memoized) :class:`FlatTables` of one flattened structure."""
+    key = id(flat)
+    hit = _TABLES_CACHE.get(key)
+    if hit is not None:
+        ref, tables = hit
+        if ref() is flat:
+            return tables
+    tables = FlatTables(flat)
+    ref = weakref.ref(flat, lambda _r, k=key: _TABLES_CACHE.pop(k, None))
+    _TABLES_CACHE[key] = (ref, tables)
+    return tables
+
+
 class Tracer:
     """Traces rays through one scene + acceleration structure.
 
@@ -215,61 +315,32 @@ class Tracer:
         self._blend_log: list[tuple[int, float, float]] | None = None
 
     def _prepare_tables(self) -> None:
-        """Precompute list views and leaf-contiguous primitive arrays."""
-        bvh = self._bvh
-        self._child_lo_l = bvh.child_lo.tolist()
-        self._child_hi_l = bvh.child_hi.tolist()
-        self._child_kind = bvh.child_kind.tolist()
-        self._child_ref = bvh.child_ref.tolist()
-        self._node_addr = bvh.node_addr.tolist()
-        self._leaf_addr = bvh.leaf_addr.tolist()
-        self._leaf_bytes = bvh.leaf_bytes.tolist()
-        self._leaf_start = bvh.leaf_start.tolist()
-        self._leaf_count = bvh.leaf_count.tolist()
-        # Child (address, size) for prefetch lists, any slot kind.
-        node_bytes = self._node_bytes
-        addr, sizes, leaf_mask = [], [], []
-        for n in range(bvh.n_nodes):
-            row_a, row_s, row_l = [], [], []
-            for slot in range(bvh.width):
-                kind = self._child_kind[n][slot]
-                ref = self._child_ref[n][slot]
-                if kind == KIND_INTERNAL:
-                    row_a.append(self._node_addr[ref])
-                    row_s.append(node_bytes)
-                    row_l.append(False)
-                elif kind == KIND_LEAF:
-                    row_a.append(self._leaf_addr[ref])
-                    row_s.append(self._leaf_bytes[ref])
-                    row_l.append(True)
-                else:
-                    row_a.append(0)
-                    row_s.append(0)
-                    row_l.append(False)
-            addr.append(row_a)
-            sizes.append(row_s)
-            leaf_mask.append(row_l)
-        self._child_addr = addr
-        self._child_bytes = sizes
-        self._child_is_leaf = leaf_mask
+        """Bind the shared plain-list tables to hot-loop attributes."""
+        tables = flat_tables(self.flat)
+        self._child_lo_l = tables.child_lo
+        self._child_hi_l = tables.child_hi
+        self._child_kind = tables.child_kind
+        self._child_ref = tables.child_ref
+        self._node_addr = tables.node_addr
+        self._leaf_addr = tables.leaf_addr
+        self._leaf_bytes = tables.leaf_bytes
+        self._leaf_start = tables.leaf_start
+        self._leaf_count = tables.leaf_count
+        self._child_addr = tables.child_addr
+        self._child_bytes = tables.child_bytes
+        self._child_is_leaf = tables.child_is_leaf
 
-        flat = self.flat
         if self.two_level:
-            self._ordered_gids = flat.prim_gid.tolist()
+            self._ordered_gids = tables.ordered_gids
             if self._blas.kind == "mesh":
-                self._blas_tables = _BlasTables(self._blas)
-        elif flat.is_triangle_proxy:
-            # Plain-list copies of the flattened (already leaf-ordered)
-            # triangle soup: leaves hold <= a handful of triangles, and
-            # a scalar Moller-Trumbore over Python floats beats numpy's
-            # per-call overhead by ~6x at that size.
-            mesh = flat.mesh
-            self._v0l = mesh.v0.tolist()
-            self._e1l = mesh.e1.tolist()
-            self._e2l = mesh.e2.tolist()
-            self._ownero = mesh.owner.tolist()
+                self._blas_tables = tables.blas_tables
+        elif self.flat.is_triangle_proxy:
+            self._v0l = tables.v0
+            self._e1l = tables.e1
+            self._e2l = tables.e2
+            self._ownero = tables.owner
         else:
-            self._ordered_gids = flat.prim_gid.tolist()
+            self._ordered_gids = tables.ordered_gids
 
     # ------------------------------------------------------------------
     # Public API

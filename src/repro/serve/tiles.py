@@ -222,7 +222,10 @@ class TileScheduler:
         Any camera type works: tiles are cut out of the camera's own
         full-frame bundle. Traces default to off (they are the expensive
         part to ship between processes); enable ``keep_traces`` when the
-        caller needs a timing replay. ``renderer`` lets a caller reuse an
+        caller needs a timing replay — both engines record them (the
+        packet engine through its trace recorder), and pooled tile
+        workers ship the per-ray traces back with their tile results, so
+        a pooled trace-producing render still fans out across cores. ``renderer`` lets a caller reuse an
         already-constructed tracer for this (cloud, structure, config,
         engine) — per-frame shading setup is O(scene) — and only applies
         to the serial path (pool workers resolve their own from their

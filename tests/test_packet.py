@@ -191,13 +191,31 @@ class TestEngineSelection:
                                          config, engine="packet")
         assert renderer.engine_active == "scalar"
 
-    def test_record_blended_falls_back_to_scalar(self, cloud, structures):
+    def test_record_blended_stays_on_packet(self, cloud, structures):
+        """record_blended is packetized: no fallback, and the per-ray
+        blend lists match the scalar tracer's (same gids in the same
+        blend order; alpha/t to float noise)."""
         reset_packet_fallbacks()
         config = TraceConfig(k=4, record_blended=True)
-        with pytest.warns(RuntimeWarning, match="record_blended"):
-            renderer = GaussianRayTracer(cloud, structures["20-tri"], config,
-                                         engine="packet")
-        assert renderer.engine_active == "scalar"
+        renderer = GaussianRayTracer(cloud, structures["20-tri"], config,
+                                     engine="packet")
+        assert renderer.engine_active == "packet"
+        assert packet_fallback_count() == 0
+
+        camera = default_camera_for(cloud, 6, 6)
+        bundle = camera.generate_rays()
+        result = renderer.packet.trace_packet(bundle.origins,
+                                              bundle.directions)
+        scalar = Tracer(structures["20-tri"], SceneShading(cloud), config)
+        for i in range(len(bundle)):
+            outcome = scalar.trace_ray(bundle.origins[i],
+                                       bundle.directions[i])
+            expected = outcome.blend_records or []
+            got = result.blend_records[i]
+            assert [g for g, _, _ in got] == [g for g, _, _ in expected]
+            for (g1, a1, t1), (g2, a2, t2) in zip(expected, got):
+                assert a1 == pytest.approx(a2, abs=1e-12)
+                assert t1 == pytest.approx(t2, abs=1e-12)
 
     def test_packet_tracer_rejects_unsupported(self, cloud, structures):
         config = TraceConfig(k=4, checkpointing=True)
@@ -206,15 +224,20 @@ class TestEngineSelection:
             PacketTracer(structures["tlas+sphere"], SceneShading(cloud),
                          config)
 
-    def test_scalar_keeps_traces_packet_does_not(self, cloud, structures):
-        """Per-ray fetch traces are scalar-engine-only."""
+    def test_both_engines_keep_traces(self, cloud, structures):
+        """Per-ray fetch traces come from either engine now; the packet
+        recorder emits one RayTrace per ray like the scalar loop (deep
+        equivalence is covered by tests/test_tracerecord.py)."""
         config = TraceConfig(k=4)
         camera = default_camera_for(cloud, 4, 4)
         scalar = GaussianRayTracer(cloud, structures["20-tri"], config)
         packet = GaussianRayTracer(cloud, structures["20-tri"], config,
                                    engine="packet")
-        assert scalar.render(camera, keep_traces=True).traces
-        assert packet.render(camera, keep_traces=True).traces == []
+        s = scalar.render(camera, keep_traces=True)
+        p = packet.render(camera, keep_traces=True)
+        assert len(s.traces) == len(p.traces) == 16
+        # Traces stay off (empty) unless asked for, on both engines.
+        assert packet.render(camera, keep_traces=False).traces == []
 
 
 class TestAutoEngine:
