@@ -1,0 +1,239 @@
+"""Observability overhead + trace validity gate (standalone script).
+
+Two measurements, matching the ``repro.obs`` subsystem's claims:
+
+1. **Instrumentation overhead** — the same frame rendered repeatedly
+   with tracing off vs tracing on (span events streamed to a real file),
+   best-of-``--trials`` wall-clock each. The images must be
+   bit-identical (fatal regardless of ``--check``: instrumentation may
+   never change a pixel), and ``--check`` gates the slowdown at
+   ``--max-overhead-pct`` (default 3%).
+2. **Trace validity** — a small serve flow (tile-pooled
+   :class:`~repro.serve.RenderServer`, repeated + fresh requests) run
+   with tracing on. The resulting JSON-lines file must validate against
+   the Chrome ``about:tracing`` event schema with zero errors, and must
+   contain spans from every layer of one request: server admission,
+   render, tile scheduling, the worker process, and the engine — worker
+   spans prove the cross-process ride-back path works. The merged
+   registry must hold worker-side tile timings for the same reason.
+
+Unlike the figure benchmarks in this directory (which run under
+``pytest --benchmark-only``), this is a plain script::
+
+    python benchmarks/bench_obs.py --check --max-overhead-pct 3
+
+Results are printed as tables and written machine-readable to
+``benchmarks/results/BENCH_obs.json`` (``--out`` overrides).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+# Allow running straight from a checkout without installing the package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def _parse(argv: list[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="observability overhead gate + trace validity")
+    parser.add_argument("--scene", default="train")
+    parser.add_argument("--size", type=int, default=32,
+                        help="frame width=height (default 32)")
+    parser.add_argument("--scale", type=float, default=1 / 2000.0)
+    parser.add_argument("--proxy", default="tlas+sphere")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes for the serve-flow trace "
+                             "(0 = auto, honors REPRO_WORKERS)")
+    parser.add_argument("--frames", type=int, default=3,
+                        help="renders per timed trial (default 3)")
+    parser.add_argument("--trials", type=int, default=3,
+                        help="timed trials per variant, best taken (default 3)")
+    parser.add_argument("--max-overhead-pct", type=float, default=3.0,
+                        help="tracing-on slowdown allowed by --check")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when overhead exceeds the gate "
+                             "or the trace file fails validation")
+    parser.add_argument("--out", default=str(RESULTS_DIR / "BENCH_obs.json"),
+                        help="machine-readable results path")
+    return parser.parse_args(argv)
+
+
+def measure_overhead(args: argparse.Namespace, trace_path: str) -> dict:
+    """Best-of-``trials`` render wall-clock, tracing off vs on."""
+    from repro.eval.harness import build_structure_for
+    from repro.gaussians import make_workload
+    from repro.obs import start_tracing, stop_tracing
+    from repro.render import GaussianRayTracer, default_camera_for
+    from repro.rt import TraceConfig
+
+    cloud = make_workload(args.scene, scale=args.scale)
+    structure = build_structure_for(cloud, args.proxy)
+    renderer = GaussianRayTracer(cloud, structure, TraceConfig(k=8))
+    camera = default_camera_for(cloud, args.size, args.size)
+
+    image_off = renderer.render(camera).image  # warm-up doubles as reference
+
+    def timed() -> tuple[float, np.ndarray]:
+        t0 = time.perf_counter()
+        for _ in range(args.frames):
+            image = renderer.render(camera).image
+        return time.perf_counter() - t0, image
+
+    best_off = best_on = float("inf")
+    image_on = None
+    # Interleave the variants so drift (thermal, competing load) hits
+    # both sides instead of biasing one.
+    for _ in range(args.trials):
+        t, image = timed()
+        best_off = min(best_off, t)
+        assert np.array_equal(image, image_off)
+        start_tracing(trace_path)
+        try:
+            t, image_on = timed()
+        finally:
+            stop_tracing()
+        best_on = min(best_on, t)
+
+    identical = bool(np.array_equal(image_on, image_off))
+    overhead_pct = (best_on / best_off - 1.0) * 100.0 if best_off else 0.0
+    return {
+        "frame": f"{args.size}x{args.size}",
+        "frames_per_trial": args.frames,
+        "trials": args.trials,
+        "t_off_s": best_off,
+        "t_on_s": best_on,
+        "overhead_pct": overhead_pct,
+        "images_identical": identical,
+    }
+
+
+#: Spans one traced serve request must produce, layer by layer. The
+#: worker.* names prove worker-process events rode back with results.
+REQUIRED_SPANS = {"serve.request", "serve.render", "tiles.render"}
+REQUIRED_POOLED_SPANS = {"worker.tile", "rt.scalar.trace"}
+
+
+def trace_serve_flow(args: argparse.Namespace, trace_path: str) -> dict:
+    """Run a pooled serve flow with tracing on; validate the file."""
+    from repro.obs import get_registry, start_tracing, stop_tracing, validate_trace_file
+    from repro.serve import RenderRequest, RenderServer
+
+    tile = max(4, args.size // 2)
+    request = RenderRequest(scene=args.scene, scale=args.scale,
+                            width=args.size, height=args.size)
+    start_tracing(trace_path)
+    try:
+        with RenderServer(workers=args.workers,
+                          tile_size=(tile, tile)) as server:
+            first = server.render(request)
+            repeat = server.render(request)  # frame-cache hit
+            fresh = server.render(RenderRequest(
+                scene=args.scene, scale=args.scale,
+                width=args.size, height=args.size, k=4))
+    finally:
+        stop_tracing()
+    assert repeat.frame_cache_hit and not first.frame_cache_hit
+    assert fresh.image.shape == first.image.shape
+
+    report = validate_trace_file(trace_path)
+    pooled = args.workers != 1
+    required = REQUIRED_SPANS | (REQUIRED_POOLED_SPANS if pooled else set())
+    missing = sorted(required - report["names"])
+    worker_hist = get_registry().histogram("worker.tile_seconds")
+    return {
+        "workers": args.workers,
+        "events": report["events"],
+        "validation_errors": report["errors"][:10],
+        "span_names": sorted(report["names"]),
+        "missing_spans": missing,
+        "worker_tile_samples": worker_hist.count if worker_hist else 0,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.eval.report import format_table
+
+    args = _parse(argv)
+    failures: list[str] = []
+
+    with tempfile.TemporaryDirectory() as tmp:
+        overhead = measure_overhead(args, str(Path(tmp) / "overhead.jsonl"))
+        serve_trace_path = Path(tmp) / "serve_trace.jsonl"
+        trace = trace_serve_flow(args, str(serve_trace_path))
+
+    print(format_table(
+        f"obs 1/2: instrumentation overhead ({args.scene} {overhead['frame']}, "
+        f"{args.frames} frame(s)/trial, best of {args.trials})",
+        ["tracing off (s)", "tracing on (s)", "overhead", "images identical"],
+        [[f"{overhead['t_off_s']:.3f}", f"{overhead['t_on_s']:.3f}",
+          f"{overhead['overhead_pct']:+.2f}%",
+          "yes" if overhead["images_identical"] else "NO"]],
+    ))
+    print()
+    print(format_table(
+        f"obs 2/2: serve-flow trace validity ({trace['workers']} worker(s))",
+        ["events", "validation errors", "missing spans",
+         "worker tile samples"],
+        [[trace["events"], len(trace["validation_errors"]),
+          ", ".join(trace["missing_spans"]) or "none",
+          trace["worker_tile_samples"]]],
+    ))
+    print()
+    print(f"spans seen: {', '.join(trace['span_names'])}")
+
+    # Pixel parity is fatal regardless of --check: instrumentation that
+    # changes the image is broken, not slow.
+    if not overhead["images_identical"]:
+        print("FATAL: traced render produced different pixels", file=sys.stderr)
+        return 1
+    if trace["validation_errors"]:
+        failures.append(
+            f"trace file has {len(trace['validation_errors'])} invalid "
+            f"event(s): {trace['validation_errors'][0]}")
+    if trace["missing_spans"]:
+        failures.append(f"missing spans: {', '.join(trace['missing_spans'])}")
+    if args.workers != 1 and trace["worker_tile_samples"] < 1:
+        failures.append("no worker-side tile timings reached the parent")
+    if overhead["overhead_pct"] > args.max_overhead_pct:
+        failures.append(
+            f"overhead {overhead['overhead_pct']:.2f}% exceeds "
+            f"{args.max_overhead_pct:.2f}%")
+
+    out = Path(args.out)
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(json.dumps({
+        "benchmark": "obs",
+        "created_unix": time.time(),
+        "config": {"scene": args.scene, "size": args.size,
+                   "scale": args.scale, "proxy": args.proxy,
+                   "workers": args.workers, "frames": args.frames,
+                   "trials": args.trials,
+                   "max_overhead_pct": args.max_overhead_pct},
+        "overhead": overhead,
+        "trace": trace,
+        "failures": failures,
+    }, indent=2, sort_keys=True) + "\n")
+    print(f"\nresults: {out}")
+
+    if failures:
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        return 1 if args.check else 0
+    print("checks passed" if args.check else "checks not gated (--check off)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,19 +1,23 @@
 """Load generator for the render service (standalone script).
 
 Runs the three serve-bench measurements — tile-parallel speedup, cached
-throughput with p50/p95 latency, and BVH build dedup — and prints the
-report. Unlike the figure benchmarks in this directory (which run under
-``pytest --benchmark-only``), this is a plain script::
+throughput with p50/p95/p99 latency, and BVH build dedup — and prints
+the report. Unlike the figure benchmarks in this directory (which run
+under ``pytest --benchmark-only``), this is a plain script::
 
     python benchmarks/bench_serve_throughput.py [--workers 4] [--requests 60]
 
 It accepts the same flags as ``python -m repro serve-bench`` and writes
-the report to ``benchmarks/results/serve_throughput.txt``.
+the report to ``benchmarks/results/serve_throughput.txt`` plus the raw
+numbers (speedup + traffic dicts, with every latency percentile and the
+merged observability snapshot) to ``benchmarks/results/BENCH_serve.json``.
 """
 
 from __future__ import annotations
 
+import json
 import sys
+import time
 from pathlib import Path
 
 # Allow running straight from a checkout without installing the package.
@@ -39,10 +43,25 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         requests=args.requests,
         unique=args.unique,
+        engine=args.engine,
     )
     print(report)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "serve_throughput.txt").write_text(report.report + "\n")
+    document = {
+        "benchmark": "serve_throughput",
+        "created_unix": time.time(),
+        "config": {
+            "scene": args.scene, "size": args.size,
+            "request_size": args.request_size, "scale": args.scale,
+            "tile": args.tile, "workers": args.workers,
+            "requests": args.requests, "unique": args.unique,
+            "engine": args.engine,
+        },
+        "metrics": report.metrics,
+    }
+    (RESULTS_DIR / "BENCH_serve.json").write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n")
     return 0
 
 

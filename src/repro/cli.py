@@ -14,12 +14,22 @@ Five commands cover the workflows a user reaches for first:
 * ``structures`` — build every acceleration-structure variant for a
   scene and compare sizes (the Figure 5b / Table II comparison).
 * ``serve-bench`` — load-test the render service: tile-parallel speedup,
-  cached throughput with p50/p95 latency, and cache/build dedup rates.
+  cached throughput with p50/p95/p99 latency, and cache/build dedup
+  rates.
+* ``stats`` — pretty-print (or re-emit as JSON) an observability
+  snapshot written by ``--stats-out``.
+
+``render`` and ``serve-bench`` accept ``--trace-out FILE`` (stream
+Chrome ``about:tracing``-compatible span events as JSON lines; open the
+file via ``chrome://tracing`` or Perfetto) and ``--stats-out FILE``
+(write the merged metrics-registry snapshot, including worker-side
+counters that rode back with task results).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Callable
 
@@ -72,6 +82,7 @@ def _build_parser() -> argparse.ArgumentParser:
     render.add_argument("--workers", type=int, default=1,
                         help="worker processes for tiled rendering "
                              "(implies --tiles 16 when unset; 0 = one per core)")
+    _add_obs_flags(render)
 
     experiment = sub.add_parser("experiment", help="regenerate paper tables/figures")
     experiment.add_argument("exp_id", help="experiment id, e.g. fig13, table2; "
@@ -114,7 +125,53 @@ def _build_parser() -> argparse.ArgumentParser:
                                   "(no checkpointing) so the vectorized "
                                   "path is what gets measured, on the "
                                   "paper's tlas+sphere structure")
+    _add_obs_flags(serve_bench)
+
+    stats = sub.add_parser(
+        "stats", help="pretty-print an observability snapshot")
+    stats.add_argument("path", nargs="?", default=None,
+                       help="snapshot file written by --stats-out; omitted: "
+                            "snapshot this process's (mostly empty) registry")
+    stats.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the snapshot as JSON instead of tables")
     return parser
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="stream span events (Chrome about:tracing JSON "
+                             "lines) to FILE while the command runs")
+    parser.add_argument("--stats-out", default=None, metavar="FILE",
+                        help="write the merged metrics snapshot (parent + "
+                             "worker counters/histograms) to FILE on exit")
+
+
+@contextlib.contextmanager
+def _obs_session(args: argparse.Namespace):
+    """Honor ``--trace-out`` / ``--stats-out`` around one command.
+
+    Commands without the flags pass through untouched (getattr guards),
+    so this wraps every command uniformly from :func:`main`.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    stats_out = getattr(args, "stats_out", None)
+    if trace_out:
+        from repro.obs import start_tracing
+
+        start_tracing(trace_out)
+    try:
+        yield
+    finally:
+        if trace_out:
+            from repro.obs import stop_tracing
+
+            stop_tracing()
+            print(f"trace:     {trace_out} (load via chrome://tracing)")
+        if stats_out:
+            from repro.obs import write_snapshot
+
+            write_snapshot(stats_out)
+            print(f"stats:     {stats_out} (view with 'repro stats')")
 
 
 def _cmd_workloads(_args: argparse.Namespace) -> int:
@@ -301,19 +358,47 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        SNAPSHOT_SCHEMA,
+        format_snapshot,
+        get_registry,
+        load_snapshot,
+    )
+
+    if args.path is not None:
+        try:
+            document = load_snapshot(args.path)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read snapshot {args.path!r}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        document = {"schema": SNAPSHOT_SCHEMA,
+                    "snapshot": get_registry().snapshot()}
+    if args.as_json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(format_snapshot(document))
+    return 0
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "render": _cmd_render,
     "experiment": _cmd_experiment,
     "structures": _cmd_structures,
     "serve-bench": _cmd_serve_bench,
+    "stats": _cmd_stats,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    with _obs_session(args):
+        return _COMMANDS[args.command](args)
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ variables for higher-fidelity (slower) runs.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,6 +23,7 @@ from repro.bvh.stats import BVHStats
 from repro.gaussians import GaussianCloud, make_workload
 from repro.gaussians.synthetic import WORKLOAD_ORDER
 from repro.hwsim import GpuConfig, TimingReport, replay
+from repro.obs import get_registry, span
 from repro.render import GaussianRayTracer, PinholeCamera, SceneObjects, default_camera_for
 from repro.render.renderer import RenderStats
 from repro.rt import TraceConfig
@@ -177,8 +179,19 @@ def run_config(scene: str, **kwargs) -> CachedRun:
     cfg = normalize_config(scene, **kwargs)
     key = _config_key(cfg)
     if key in _run_cache:
+        get_registry().add("campaign.run_cache_hits")
         return _run_cache[key]
+    with span("campaign.run", scene=cfg["scene"], proxy=cfg["proxy"],
+              mode=cfg["mode"], checkpointing=cfg["checkpointing"]):
+        run = _run_config_uncached(cfg)
+    _run_cache[key] = run
+    return run
 
+
+def _run_config_uncached(cfg: dict) -> CachedRun:
+    registry = get_registry()
+    registry.add("campaign.runs")
+    scene = cfg["scene"]
     scale, resolution = cfg["scale"], cfg["resolution"]
     proxy, kbuffer_layout = cfg["proxy"], cfg["kbuffer_layout"]
     cloud = get_cloud(scene, scale)
@@ -195,7 +208,9 @@ def run_config(scene: str, **kwargs) -> CachedRun:
     scene_objects = SceneObjects.default_for(cloud) if cfg["objects"] else None
     renderer = GaussianRayTracer(cloud, structure, config,
                                  engine=cfg["engine"])
+    t0 = time.perf_counter()
     result = renderer.render(camera, objects=scene_objects)
+    registry.observe("campaign.render_seconds", time.perf_counter() - t0)
 
     if cfg["gpu"] == "rtx":
         gpu_config = GpuConfig.rtx_like()
@@ -207,10 +222,12 @@ def run_config(scene: str, **kwargs) -> CachedRun:
         from dataclasses import replace
         gpu_config = replace(gpu_config, prefetch_enabled=False)
 
+    t0 = time.perf_counter()
     timing = replay(result.traces, gpu_config, kbuffer_layout=kbuffer_layout)
+    registry.observe("campaign.replay_seconds", time.perf_counter() - t0)
     result.drop_traces()
 
-    run = CachedRun(
+    return CachedRun(
         scene=scene,
         proxy=proxy,
         image=result.image,
@@ -220,8 +237,6 @@ def run_config(scene: str, **kwargs) -> CachedRun:
         config=config,
         structure_bytes=structure.total_bytes,
     )
-    _run_cache[key] = run
-    return run
 
 
 def parallel_run_configs(configs: list[dict], pool=None,

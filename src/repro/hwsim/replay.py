@@ -38,6 +38,7 @@ against.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -45,6 +46,7 @@ import numpy as np
 from repro.hwsim.cache import SetAssociativeCache
 from repro.hwsim.config import GpuConfig
 from repro.hwsim.dram import DramModel
+from repro.obs import emit_span, get_registry
 from repro.render.raster import RasterResult
 from repro.rt.recorder import (
     PRIM_CUSTOM,
@@ -171,6 +173,19 @@ def replay(
     if not traces:
         return report
 
+    # Per-phase wall time (seconds), flushed into the replay.phase.*
+    # histograms at the end: decode (trace decode + global interleave),
+    # cost (RT-unit/shader compute + cycle assembly), tagwalk (merge
+    # window + cache tag walk — the sequential part worth optimizing).
+    started_ns = time.time_ns()
+    phase_seconds = {"decode": 0.0, "cost": 0.0, "tagwalk": 0.0}
+    _mark = [time.perf_counter()]
+
+    def _phase(name: str) -> None:
+        now = time.perf_counter()
+        phase_seconds[name] += now - _mark[0]
+        _mark[0] = now
+
     warps = _group_warps(traces, config.warp_size)
     dram = DramModel() if config.dram_model == "banked" else None
     n_sms = config.n_sms
@@ -229,6 +244,7 @@ def replay(
             seg_sorting.append(sorting)
             seg_blending.append(blending)
     n_seg = len(seg_sm)
+    _phase("decode")
 
     touched_lines: set[int] = set()
     fast_footprint: int | None = None
@@ -278,6 +294,7 @@ def replay(
             pf_nbytes_l = pf_all[:, 1].tolist()
         else:
             pf_addr_l = pf_nbytes_l = ()
+        _phase("decode")
 
         # -- RT-unit / shader compute (vectorized) ---------------------
         rt_comp = (
@@ -296,6 +313,7 @@ def replay(
                 seg_o[custom],
                 weights=prim[custom] * config.custom_test_cycles,
                 minlength=n_seg)
+        _phase("cost")
 
         # -- merge window (the truly sequential state) -----------------
         # An MSHR-like LRU window per (warp, round): whether a request
@@ -649,6 +667,7 @@ def replay(
 
         report.node_fetches = sum(seg_fetch)
         report.merged_requests = sum(seg_merged)
+        _phase("tagwalk")
 
     # ------------------------------------------------------------------
     # Pass 3 — assemble per-segment warp cycles in replay order.
@@ -685,6 +704,13 @@ def replay(
     report.cycles = max(sm_cycles)
     report.time_ms = config.cycles_to_ms(report.cycles)
     report.label_cycles = label_cycles
+
+    _phase("cost")
+    registry = get_registry()
+    for name, seconds in phase_seconds.items():
+        registry.observe(f"replay.phase.{name}", seconds)
+    emit_span("hwsim.replay", started_ns, time.time_ns(),
+              traces=len(traces), segments=n_seg)
     return report
 
 

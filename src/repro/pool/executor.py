@@ -33,6 +33,7 @@ from concurrent.futures import Future
 from concurrent.futures import as_completed as as_completed  # re-export
 from typing import Callable, Hashable, Iterable
 
+from repro.obs import absorb_worker_delta, get_registry
 from repro.pool import worker as _w
 from repro.pool.stealing import StealingScheduler
 from repro.pool.worker import SceneCacheMirror, scene_key
@@ -372,8 +373,10 @@ class WorkerPool:
                         self._mirrors[wid].touch(key)
                         if tag == _w.SCENE_SHIP:
                             self._scene_ships += 1
+                            get_registry().add("pool.scene_ships")
                         else:
                             self._scene_hits += 1
+                            get_registry().add("pool.scene_cache_hits")
 
     def _ship_failed(self, wid: int, task_id: int, exc) -> list[tuple]:
         """Recover from a failed pipe write (lock held); returns
@@ -412,20 +415,29 @@ class WorkerPool:
 
     def _handle(self, message) -> None:
         tag, wid, task_id = message[0], message[1], message[2]
+        # Fold the worker's observability delta into this process before
+        # taking the pool lock: the merge takes the registry lock, and
+        # the delta is independent of pool state (the previously-lost
+        # worker-side fallback counts and per-tile timings land here).
+        delta = message[5] if len(message) > 5 else None
+        absorb_worker_delta(delta)
+        registry = get_registry()
         with self._lock:
             if self._inflight[wid] == task_id:
                 self._inflight[wid] = None
             task = self._tasks.pop(task_id, None)
             if task is not None:
                 if tag == _w.RESULT_OK:
-                    _, _, _, value, cost = message
+                    _, _, _, value, cost = message[:5]
                     self._completed += 1
+                    registry.add("pool.tasks_completed")
                     result = (value, cost) if task.kind == _w.TASK_TILE else value
                     if not task.future.done():
                         task.future.set_result(result)
                 else:
-                    _, _, _, error_repr, tb = message
+                    _, _, _, error_repr, tb = message[:5]
                     self._failed += 1
+                    registry.add("pool.tasks_failed")
                     if not task.future.done():
                         task.future.set_exception(RemoteTaskError(
                             f"task raised in worker {wid}: {error_repr}", tb))
@@ -448,6 +460,7 @@ class WorkerPool:
         """Recover from a dead worker (lock held): requeue its work and
         respawn a fresh process into the slot. Returns ship plans."""
         self._crashes += 1
+        get_registry().add("pool.worker_crashes")
         displaced = self._sched.drain_worker(wid)
         task_id = self._inflight[wid]
         self._inflight[wid] = None
@@ -466,6 +479,7 @@ class WorkerPool:
                         self._drained.notify_all()
                 else:
                     self._requeues += 1
+                    get_registry().add("pool.task_requeues")
                     displaced.insert(0, task_id)
         self._spawn(wid)
         for tid in displaced:

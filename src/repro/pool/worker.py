@@ -26,7 +26,13 @@ Two task kinds exist:
   point of a persistent pool.
 
 Results carry the worker-measured execution seconds, which feed the
-cost-aware tile splitter in :mod:`repro.pool.costs`.
+cost-aware tile splitter in :mod:`repro.pool.costs`, plus an
+observability delta: whatever the task recorded into the worker's
+:mod:`repro.obs` registry (packet fallbacks, per-phase engine timings)
+and any trace spans, collected-and-reset per task so each result ships
+exactly the measurements of its own task. The parent folds the delta
+into its registry — worker-side metrics were previously lost entirely
+(a fallback inside a worker never reached the parent's gauge).
 """
 
 from __future__ import annotations
@@ -36,6 +42,8 @@ import pickle
 import time
 import traceback
 from collections import OrderedDict
+
+from repro.obs import BufferTraceSink, emit_span, get_registry, install_sink
 
 #: Default number of scenes a worker keeps resident.
 DEFAULT_SCENE_CACHE = 4
@@ -149,24 +157,59 @@ def execute_task(task, cache: SceneCacheMirror):
     """
     kind = task[0]
     if kind == TASK_TILE:
-        _, _tid, scene_field, origins, directions, pixel_ids, keep = task
+        _, task_id, scene_field, origins, directions, pixel_ids, keep = task
         tracer, objects = _resolve_tracer(scene_field, cache)
+        started_ns = time.time_ns()
         started = time.perf_counter()
         value = tracer.trace_rays(origins, directions, pixel_ids,
                                   objects=objects, keep_traces=keep)
-        return value, time.perf_counter() - started
+        cost = time.perf_counter() - started
+        emit_span("worker.tile", started_ns, time.time_ns(),
+                  task=task_id, rays=int(len(pixel_ids)))
+        get_registry().observe("worker.tile_seconds", cost)
+        return value, cost
     if kind == TASK_CALL:
-        _, _tid, fn, args, kwargs = task
+        _, task_id, fn, args, kwargs = task
+        started_ns = time.time_ns()
         started = time.perf_counter()
         value = fn(*args, **(kwargs or {}))
-        return value, time.perf_counter() - started
+        cost = time.perf_counter() - started
+        emit_span("worker.call", started_ns, time.time_ns(), task=task_id)
+        get_registry().observe("worker.call_seconds", cost)
+        return value, cost
     raise ValueError(f"unknown task kind {kind!r}")
+
+
+def _collect_obs_delta(trace_sink: BufferTraceSink) -> dict | None:
+    """This task's observability delta: metrics + spans since last task.
+
+    ``collect(reset=True)`` is exact here because the worker is
+    single-threaded — nothing writes between the task finishing and the
+    collect. Returns None when the task recorded nothing (the common
+    wire stays one small tuple element).
+    """
+    delta = get_registry().collect(reset=True)
+    events = trace_sink.drain()
+    if events:
+        delta["trace_events"] = events
+    if not delta["counters"] and not delta["histograms"] and not events:
+        return None
+    return delta
 
 
 def worker_main(worker_id: int, task_queue, result_queue,
                 scene_cache_size: int = DEFAULT_SCENE_CACHE) -> None:
     """Process entry point: serve tasks until the shutdown sentinel."""
     cache = SceneCacheMirror(scene_cache_size)
+    # Workers always buffer spans (a handful of dict appends per task);
+    # the parent decides at fold-in time whether tracing is active and
+    # drops the events otherwise. This sidesteps ever having to signal
+    # tracing on/off across the process boundary.
+    trace_sink = BufferTraceSink()
+    install_sink(trace_sink)
+    # Anything recorded at import/startup time belongs to no task; drop
+    # it so the first result's delta covers only its own task.
+    get_registry().collect(reset=True)
     while True:
         task = task_queue.get()
         if task is None:
@@ -176,6 +219,8 @@ def worker_main(worker_id: int, task_queue, result_queue,
             value, cost = execute_task(task, cache)
         except BaseException as exc:  # ship, don't die: workers are shared
             result_queue.put((RESULT_ERROR, worker_id, task_id,
-                              repr(exc), traceback.format_exc()))
+                              repr(exc), traceback.format_exc(),
+                              _collect_obs_delta(trace_sink)))
             continue
-        result_queue.put((RESULT_OK, worker_id, task_id, value, cost))
+        result_queue.put((RESULT_OK, worker_id, task_id, value, cost,
+                          _collect_obs_delta(trace_sink)))

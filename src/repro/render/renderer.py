@@ -16,6 +16,7 @@ import numpy as np
 from repro.bvh.monolithic import MonolithicBVH
 from repro.bvh.two_level import TwoLevelBVH
 from repro.gaussians import GaussianCloud
+from repro.obs import PhaseAccumulator, span
 from repro.render.camera import PinholeCamera
 from repro.render.effects import SceneObjects
 from repro.render.image import ImageBuffer
@@ -263,8 +264,33 @@ class GaussianRayTracer:
         stats = RenderStats()
         traces: list[RayTrace] = []
         tracer = self.tracer
+        # Per-phase timing at bundle granularity: the tracer accumulates
+        # traversal/blend seconds across all rays of this bundle and the
+        # totals flush as one histogram sample each — the same shape the
+        # packet engine reports per chunk.
+        profile = tracer.profile = PhaseAccumulator()
+        bundle_span = span("rt.scalar.trace", rays=n)
+        bundle_span.__enter__()
+        try:
+            self._trace_rays_scalar_loop(
+                tracer, origins, directions, colors, stats, traces,
+                objects, keep_traces)
+        finally:
+            bundle_span.__exit__(None, None, None)
+            tracer.profile = None
+        profile.flush("rt.phase")
+        return BundleResult(
+            colors=colors,
+            pixel_ids=np.asarray(pixel_ids, dtype=np.int64),
+            stats=stats,
+            traces=traces,
+        )
 
-        for i in range(n):
+    def _trace_rays_scalar_loop(self, tracer, origins, directions, colors,
+                                stats, traces, objects, keep_traces) -> None:
+        """The per-ray scalar loop (split out so the caller can bracket
+        it with profiling/tracing teardown in one ``finally``)."""
+        for i in range(origins.shape[0]):
             origin = origins[i]
             direction = directions[i]
 
@@ -294,13 +320,6 @@ class GaussianRayTracer:
                 color = color + weight * np.asarray(obj.tint) * sec_outcome.color
 
             colors[i] = color
-
-        return BundleResult(
-            colors=colors,
-            pixel_ids=np.asarray(pixel_ids, dtype=np.int64),
-            stats=stats,
-            traces=traces,
-        )
 
     def _trace_rays_packet(
         self,

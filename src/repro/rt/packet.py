@@ -54,10 +54,13 @@ make the fallback observable instead of silent.
 from __future__ import annotations
 
 import threading
+import time
 import warnings
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.obs import get_registry, span
 
 from repro.bvh.flatten import (
     BLAS_SPHERE,
@@ -137,6 +140,11 @@ def note_packet_fallback(reason: str) -> None:
         _fallback_count += 1
         first = reason not in _warned_reasons
         _warned_reasons.add(reason)
+    # Mirror into the obs registry: inside a pool worker the global
+    # counter above dies with the process, but the registry delta rides
+    # back to the parent with the task result (satellite fix — worker
+    # fallbacks used to be silently lost).
+    get_registry().add("rt.packet_fallbacks")
     if first:
         warnings.warn(
             f"packet engine unavailable ({reason}); falling back to the "
@@ -332,14 +340,15 @@ class PacketTracer:
             t_clip = np.asarray(t_clip, dtype=np.float64)
         if n == 0:
             return self._empty_result(0)
-        if n <= _MAX_PACKET:
-            return self._trace_chunk(o, d, t_clip)
-        parts = [
-            self._trace_chunk(o[i:i + _MAX_PACKET], d[i:i + _MAX_PACKET],
-                              t_clip[i:i + _MAX_PACKET])
-            for i in range(0, n, _MAX_PACKET)
-        ]
-        return PacketResult.concatenate(parts, self.config.record_blended)
+        with span("rt.packet.trace", rays=n):
+            if n <= _MAX_PACKET:
+                return self._trace_chunk(o, d, t_clip)
+            parts = [
+                self._trace_chunk(o[i:i + _MAX_PACKET], d[i:i + _MAX_PACKET],
+                                  t_clip[i:i + _MAX_PACKET])
+                for i in range(0, n, _MAX_PACKET)
+            ]
+            return PacketResult.concatenate(parts, self.config.record_blended)
 
     # ------------------------------------------------------------------
     # Pipeline stages
@@ -362,7 +371,14 @@ class PacketTracer:
         safe = np.where(np.abs(d) < 1e-12, 1e-12, d)
         inv_d = 1.0 / safe
 
+        # Per-phase timing at chunk granularity (one perf_counter pair
+        # per stage, thousands of rays each — far off the hot path).
+        # The same three-way split the scalar tracer reports, so the
+        # rt.phase.* histograms compare engines directly.
+        registry = get_registry()
+        t_start = time.perf_counter()
         leaf_rays, leaf_refs = self._traverse(self._root, o, inv_d, t_clip)
+        t_traversal = time.perf_counter()
         o2 = d2 = None
         if self._prims == PRIMS_TRIANGLES:
             ray_c, gid_c, t_proxy = self._leaf_triangles(
@@ -373,8 +389,14 @@ class PacketTracer:
         else:
             ray_c, gid_c, t_proxy, o2, d2 = self._leaf_instances(
                 o, d, t_clip, leaf_rays, leaf_refs)
-        return self._shade_and_blend(o, d, t_clip, ray_c, gid_c, t_proxy,
-                                     o2=o2, d2=d2)
+        t_intersect = time.perf_counter()
+        result = self._shade_and_blend(o, d, t_clip, ray_c, gid_c, t_proxy,
+                                       o2=o2, d2=d2)
+        t_blend = time.perf_counter()
+        registry.observe("rt.phase.traversal", t_traversal - t_start)
+        registry.observe("rt.phase.intersect", t_intersect - t_traversal)
+        registry.observe("rt.phase.blend", t_blend - t_intersect)
+        return result
 
     def _traverse(
         self,

@@ -27,6 +27,7 @@ numpy-everywhere code.
 
 from __future__ import annotations
 
+import time
 import weakref
 from dataclasses import dataclass
 
@@ -313,6 +314,12 @@ class Tracer:
         self._d = np.zeros(3)
         self._inv_d = np.zeros(3)
         self._blend_log: list[tuple[int, float, float]] | None = None
+        #: Optional :class:`repro.obs.PhaseAccumulator`; when set, the
+        #: round drivers accumulate traversal/blend seconds into it
+        #: (the renderer attaches one per bundle and flushes it into
+        #: the ``rt.phase.*`` histograms). None keeps the hot loop
+        #: branch-cheap.
+        self.profile = None
 
     def _prepare_tables(self) -> None:
         """Bind the shared plain-list tables to hot-loop attributes."""
@@ -382,14 +389,22 @@ class Tracer:
         during traversal and no per-hit sorting in the any-hit shader;
         all intersections are collected and sorted afterwards.
         """
+        profile = self.profile
         round_trace = ray_trace.begin_round()
         state = _RoundState(0.0, None, round_trace, collect_all=True,
                             ckpt_enabled=False, t_clip=t_clip)
+        if profile is not None:
+            t0 = time.perf_counter()
         self._drain([(KIND_INTERNAL, 0, 0.0)], state, ray_trace)
         hits = sorted(state.hits, key=lambda e: (e.t, e.gaussian_id))
         round_trace.kbuffer_ops += len(hits)
         self._blend_log = [] if self.config.record_blended else None
+        if profile is not None:
+            t1 = time.perf_counter()
+            profile.add("traversal", t1 - t0)
         color, transmittance, blended, terminated = self._blend(hits, 1.0, np.zeros(3))
+        if profile is not None:
+            profile.add("blend", time.perf_counter() - t1)
         round_trace.blended = blended
         return RayOutcome(
             color=color,
@@ -421,6 +436,7 @@ class Tracer:
         evict_src: list[KBufferEntry] = []
         rounds = 0
 
+        profile = self.profile
         for round_index in range(config.max_rounds):
             round_trace = ray_trace.begin_round()
             rounds += 1
@@ -428,11 +444,15 @@ class Tracer:
             state = _RoundState(t_min, kbuffer, round_trace, collect_all=False,
                                 ckpt_enabled=hw, t_clip=t_clip, frontier=frontier)
 
+            if profile is not None:
+                t0 = time.perf_counter()
             if hw and round_index > 0:
                 self._prefill_from_evictions(evict_src, state)
                 self._replay_checkpoints(ckpt_src, state, ray_trace)
             else:
                 self._drain([(KIND_INTERNAL, 0, 0.0)], state, ray_trace)
+            if profile is not None:
+                profile.add("traversal", time.perf_counter() - t0)
 
             entries = sorted(kbuffer.drain(), key=lambda e: (e.t, e.gaussian_id))
             round_trace.kbuffer_ops += kbuffer.insertions
@@ -445,9 +465,13 @@ class Tracer:
             if not entries:
                 break
 
+            if profile is not None:
+                t1 = time.perf_counter()
             color, transmittance, blended, terminated = self._blend(
                 entries, transmittance, color
             )
+            if profile is not None:
+                profile.add("blend", time.perf_counter() - t1)
             round_trace.blended = blended
             blended_total += blended
             if terminated:

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.eval.report import format_table
+from repro.obs import Histogram, get_registry
 from repro.rt import TraceConfig
 from repro.serve.registry import SceneRegistry
 from repro.serve.request import RenderRequest
@@ -42,8 +43,17 @@ class BenchReport:
         return self.report
 
 
-def _percentile(samples: list[float], q: float) -> float:
-    return float(np.percentile(np.asarray(samples), q))
+def _percentiles_ms(samples: list[float]) -> dict[str, float]:
+    """p50/p95/p99 of a sample list in milliseconds.
+
+    Goes through :class:`repro.obs.Histogram` — the same bucketed
+    estimator the live metrics use — so the numbers here match what a
+    registry snapshot of the identical samples would report.
+    """
+    hist = Histogram()
+    for sample in samples:
+        hist.observe(float(sample))
+    return {q: value * 1e3 for q, value in hist.percentiles().items()}
 
 
 def bench_tile_speedup(
@@ -83,6 +93,8 @@ def bench_tile_speedup(
     timings = {}
     t_warm = None
     pool_stats: dict = {}
+    tile_costs: list[float] = []
+    worker_tile_costs: list[float] = []
     for n in dict.fromkeys((1, workers)):  # workers == 1: render once
         with TileScheduler(tile_size=(tile, tile), workers=n) as scheduler:
             t0 = time.perf_counter()
@@ -90,6 +102,8 @@ def bench_tile_speedup(
                                       engine=engine)
             timings[n] = time.perf_counter() - t0
             assert result.stats.n_rays >= size * size
+            if n == 1:
+                tile_costs = [cost for _, cost in scheduler.last_tile_costs]
             if n > 1:
                 t0 = time.perf_counter()
                 warm = scheduler.render(cloud, structure, config, camera,
@@ -97,6 +111,11 @@ def bench_tile_speedup(
                 t_warm = time.perf_counter() - t0
                 assert warm.stats.n_rays >= size * size
                 pool_stats = scheduler.pool_stats()
+                # Worker-measured per-tile render costs: they rode back
+                # with the task results, so this is the pool's view of
+                # the same frame, not the parent's.
+                worker_tile_costs = [cost for _, cost
+                                     in scheduler.last_tile_costs]
     return {
         "frame": f"{size}x{size}",
         "tile": tile,
@@ -112,6 +131,9 @@ def bench_tile_speedup(
                          if t_warm else
                          timings[1] / timings[workers] if timings[workers] else 0.0),
         "pool": pool_stats,
+        "tile_latency_ms": _percentiles_ms(tile_costs),
+        "worker_tile_latency_ms": _percentiles_ms(
+            worker_tile_costs or tile_costs),
     }
 
 
@@ -160,18 +182,22 @@ def bench_throughput(
     tile: int,
     engine: str = "scalar",
     mode: str = "grtx",
+    workers: int = 1,
 ) -> dict:
     """Run the repeated-request workload through a server; measure.
 
     Requests go through the bounded ``submit()`` queue (sized to hold
     the whole burst) so the run exercises the dispatcher path and the
-    mid-burst queue-depth / utilization gauges mean something.
+    mid-burst queue-depth / utilization gauges mean something. With
+    ``workers > 1`` the cold renders fan out on the scheduler's pool —
+    the full production path, and (when tracing) the path that puts
+    server, scheduler, worker, and engine spans inside one request.
     """
     registry = SceneRegistry()
     requests = _workload_requests(scene, size, scale, proxies, unique, total,
                                   engine, mode)
     with RenderServer(registry=registry, frame_cache_size=max(64, unique),
-                      tile_size=(tile, tile), workers=1,
+                      tile_size=(tile, tile), workers=workers,
                       max_pending=max(total, 1)) as server:
         # Client-observed latency = submit -> completion (including
         # queue wait, stamped by a done-callback; response.latency_s
@@ -197,25 +223,36 @@ def bench_throughput(
     builds = registry.builds
     served = snapshot["server"]
     cached = served["frame_hits"] + served["coalesced"]
+    client = _percentiles_ms(latencies)
     return {
         "requests": total,
         "unique_configs": unique,
         "wall_s": wall,
         "throughput_rps": total / wall if wall > 0 else 0.0,
-        "p50_ms": _percentile(latencies, 50) * 1e3,
-        "p95_ms": _percentile(latencies, 95) * 1e3,
+        "p50_ms": client["p50"],
+        "p95_ms": client["p95"],
+        "p99_ms": client["p99"],
+        # Server-side view of the same traffic (service time once a
+        # dispatcher picks the job up), from the server's own registry.
+        "server_latency_ms": {
+            q: served.get(f"latency_{q}", 0.0) * 1e3
+            for q in ("p50", "p95", "p99")},
+        "queue_wait_ms": {
+            q: served.get(f"queue_wait_{q}", 0.0) * 1e3
+            for q in ("p50", "p95", "p99")},
         "frame_hit_rate": served["frame_hit_rate"],
         "frame_hits": served["frame_hits"],
         "coalesced": served["coalesced"],
         "cache_served_rate": cached / total if total else 0.0,
         "rendered": served["rendered"],
         "rejected": served["rejected"],
-        "queue_depth_burst": burst["queue_depth"],
-        "max_pending": served["max_pending"],
-        "worker_utilization": served["worker_utilization"],
+        "queue_depth_burst": burst["gauge.queue_depth"],
+        "max_pending": served["gauge.max_pending"],
+        "worker_utilization": served["gauge.worker_utilization"],
         "distinct_scene_proxy_pairs": len(distinct_pairs),
         "bvh_builds": builds,
         "redundant_builds": builds - len(distinct_pairs),
+        "obs": snapshot["obs"],
     }
 
 
@@ -245,48 +282,68 @@ def run_benchmark(
     speedup = bench_tile_speedup(scene, size, scale, tile, workers,
                                  engine=engine)
     traffic = bench_throughput(scene, request_size, scale, proxies,
-                               unique, requests, tile, engine, mode)
+                               unique, requests, tile, engine, mode,
+                               workers=workers)
 
     pool_stats = speedup.get("pool") or {}
+    tile_lat = speedup["tile_latency_ms"]
+    worker_lat = speedup["worker_tile_latency_ms"]
+    server_lat = traffic["server_latency_ms"]
+    build_hist = (traffic["obs"].get("histograms") or {}).get(
+        "serve.build_seconds") or {}
+    build_lat = {q: build_hist.get(q, 0.0) * 1e3 for q in ("p50", "p95", "p99")}
+
+    def _pcols(lat: dict) -> list[str]:
+        return [f"{lat['p50']:.2f}", f"{lat['p95']:.2f}", f"{lat['p99']:.2f}"]
+
     sections = [
         format_table(
             f"serve-bench 1/4: tile-parallel speedup (cold {speedup['frame']} "
             f"{speedup['proxy']} frame, {engine} engine, "
             f"{speedup['cores_available']} core(s) available)",
             ["tile", "workers", "serial (s)", "parallel (s)", "warm (s)",
-             "speedup", "warm speedup"],
+             "speedup", "warm speedup",
+             "tile p50 (ms)", "tile p95 (ms)", "tile p99 (ms)"],
             [[f"{tile}x{tile}", speedup["workers"],
               f"{speedup['t_serial_s']:.2f}", f"{speedup['t_parallel_s']:.2f}",
               f"{speedup['t_warm_s']:.2f}",
-              f"{speedup['speedup']:.2f}x", f"{speedup['warm_speedup']:.2f}x"]],
+              f"{speedup['speedup']:.2f}x", f"{speedup['warm_speedup']:.2f}x"]
+             + _pcols(tile_lat)],
         ),
         format_table(
-            "serve-bench 2/4: worker pool (persistent, work-stealing)",
+            "serve-bench 2/4: worker pool (persistent, work-stealing; tile "
+            "latencies are worker-measured, shipped back with results)",
             ["workers", "tasks", "steals", "scene ships", "scene cache hits",
-             "crashes"],
+             "crashes", "tile p50 (ms)", "tile p95 (ms)", "tile p99 (ms)"],
             [[pool_stats.get("workers", workers),
               pool_stats.get("tasks_completed", 0),
               pool_stats.get("steals", 0),
               pool_stats.get("scene_ships", 0),
               pool_stats.get("scene_cache_hits", 0),
-              pool_stats.get("crashes", 0)]],
+              pool_stats.get("crashes", 0)] + _pcols(worker_lat)],
         ),
         format_table(
             f"serve-bench 3/4: cached throughput ({requests} requests, "
             f"{unique} unique configs, {request_size}x{request_size}, "
-            f"{engine} engine, bounded submit queue)",
-            ["throughput (req/s)", "p50 (ms)", "p95 (ms)", "served from cache",
+            f"{engine} engine, bounded submit queue; p50/p95/p99 are "
+            "client-observed submit-to-completion)",
+            ["throughput (req/s)", "p50 (ms)", "p95 (ms)", "p99 (ms)",
+             "service p50/p95/p99 (ms)", "served from cache",
              "burst queue depth", "rejected"],
             [[f"{traffic['throughput_rps']:.1f}", f"{traffic['p50_ms']:.3f}",
-              f"{traffic['p95_ms']:.1f}", f"{traffic['cache_served_rate']:.1%}",
+              f"{traffic['p95_ms']:.1f}", f"{traffic['p99_ms']:.1f}",
+              "/".join(_pcols(server_lat)),
+              f"{traffic['cache_served_rate']:.1%}",
               f"{traffic['queue_depth_burst']}/{traffic['max_pending']}",
               traffic["rejected"]]],
         ),
         format_table(
-            "serve-bench 4/4: BVH build dedup",
-            ["distinct (scene, proxy)", "structures built", "redundant builds"],
+            "serve-bench 4/4: BVH build dedup (build latencies are "
+            "process-wide serve.build_seconds)",
+            ["distinct (scene, proxy)", "structures built", "redundant builds",
+             "build p50 (ms)", "build p95 (ms)", "build p99 (ms)"],
             [[traffic["distinct_scene_proxy_pairs"], traffic["bvh_builds"],
-              traffic["redundant_builds"]]],
+              traffic["redundant_builds"]] + _pcols(build_lat)],
         ),
     ]
     summary = (

@@ -18,10 +18,12 @@ from __future__ import annotations
 import os
 import tempfile
 import threading
+import time
 from dataclasses import astuple
 from pathlib import Path
 
 from repro.bvh import BuildParams, StructureFormatError, load_structure, save_structure
+from repro.obs import get_registry, span
 from repro.gaussians import GaussianCloud
 from repro.serve.cache import LRUCache
 from repro.serve.request import SceneRef, cloud_fingerprint
@@ -118,7 +120,12 @@ class SceneRegistry:
             if structure is None:
                 from repro.eval.harness import build_structure_for
 
-                structure = build_structure_for(cloud, proxy, params)
+                t0 = time.perf_counter()
+                with span("serve.build", proxy=proxy,
+                          scene=str(key[0])[:16]):
+                    structure = build_structure_for(cloud, proxy, params)
+                get_registry().observe("serve.build_seconds",
+                                       time.perf_counter() - t0)
                 self._count("builds")
                 self._save_to_disk(key, structure)
             self._structures.put(key, structure)

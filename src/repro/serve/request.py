@@ -166,6 +166,10 @@ class RenderJob:
 
     request: RenderRequest
     future: Future = field(repr=False, default_factory=Future)
+    #: Wall-clock nanoseconds at enqueue time (0 = never queued); the
+    #: dispatcher turns it into the ``serve.queue_wait`` histogram and
+    #: span, so queue pressure is visible per request.
+    enqueued_ns: int = field(default=0, repr=False, compare=False)
 
     def done(self) -> bool:
         return self.future.done()

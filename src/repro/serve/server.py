@@ -27,10 +27,10 @@ import copy
 import queue as queue_mod
 import threading
 import time
-from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.bvh import BuildParams
+from repro.obs import MetricsRegistry, get_registry, span
 from repro.render.renderer import RenderResult
 from repro.serve.cache import LRUCache
 from repro.serve.registry import SceneRegistry, params_key
@@ -42,46 +42,75 @@ class ServerSaturated(RuntimeError):
     """``submit()`` was refused because the pending queue is full."""
 
 
-@dataclass
 class ServerMetrics:
-    """Aggregate request counters (cache behavior and work done).
+    """Request counters and latency histograms for one server.
+
+    A thin facade over a **private** :class:`~repro.obs.MetricsRegistry`
+    (each server owns its own, so sequential servers in one process
+    report exact per-server counts; the server merges it into the
+    process-global registry on close). Counter fields of the old
+    dataclass (``requests``, ``rendered``, ...) remain readable as
+    attributes and in :meth:`snapshot` under their unprefixed names;
+    inside the registry they live as ``serve.<name>``.
 
     ``gauges`` is an optional provider of instantaneous values (queue
-    depth, worker utilization) merged into :meth:`snapshot` — the server
-    wires it up so load metrics appear next to the counters.
+    depth, worker utilization). In :meth:`snapshot` the provider's keys
+    are namespaced ``gauge.<name>`` so a gauge can never shadow a
+    counter (a provider returning ``rejected`` used to silently
+    overwrite the rejection count), and the provider is deliberately
+    called with **no lock held**: providers read other subsystems'
+    state (the pool lock, the queue), and calling them under a metrics
+    lock would order those locks.
     """
 
-    requests: int = 0
-    frame_hits: int = 0
-    coalesced: int = 0
-    rendered: int = 0
-    rejected: int = 0
-    render_seconds: float = 0.0
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
-    gauges: Callable[[], dict] | None = field(default=None, repr=False,
-                                              compare=False)
+    _COUNTER_FIELDS = ("requests", "frame_hits", "coalesced", "rendered",
+                       "rejected")
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.gauges: Callable[[], dict] | None = None
 
     def count(self, field_name: str, amount: float = 1) -> None:
-        with self._lock:
-            setattr(self, field_name, getattr(self, field_name) + amount)
+        self.registry.add(f"serve.{field_name}", amount)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the ``serve.<name>`` histogram."""
+        self.registry.observe(f"serve.{name}", value)
+
+    def __getattr__(self, name: str):
+        if name in ServerMetrics._COUNTER_FIELDS:
+            return int(self.registry.counter_value(f"serve.{name}"))
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")
+
+    @property
+    def render_seconds(self) -> float:
+        """Total seconds spent actually rendering (histogram sum, plus
+        anything legacy callers added through ``count``)."""
+        hist = self.registry.histogram("serve.render_seconds")
+        total = hist.sum if hist is not None else 0.0
+        return total + self.registry.counter_value("serve.render_seconds")
 
     @property
     def frame_hit_rate(self) -> float:
-        return self.frame_hits / self.requests if self.requests else 0.0
+        requests = self.requests
+        return self.frame_hits / requests if requests else 0.0
 
     def snapshot(self) -> dict[str, float]:
-        with self._lock:
-            data = {
-                "requests": self.requests,
-                "frame_hits": self.frame_hits,
-                "coalesced": self.coalesced,
-                "rendered": self.rendered,
-                "rejected": self.rejected,
-                "render_seconds": round(self.render_seconds, 6),
-                "frame_hit_rate": round(self.frame_hit_rate, 4),
-            }
+        data: dict[str, float] = {
+            name: getattr(self, name) for name in self._COUNTER_FIELDS
+        }
+        data["render_seconds"] = round(self.render_seconds, 6)
+        data["frame_hit_rate"] = round(self.frame_hit_rate, 4)
+        for metric in ("latency", "queue_wait", "render_seconds"):
+            hist = self.registry.histogram(f"serve.{metric}")
+            if hist is not None:
+                for q, value in hist.percentiles().items():
+                    data[f"{metric}_{q}"] = round(value, 6)
         if self.gauges is not None:
-            data.update(self.gauges())
+            # Outside any lock, on purpose — see the class docstring.
+            for name, value in self.gauges().items():
+                data[f"gauge.{name}"] = value
         return data
 
 
@@ -156,6 +185,7 @@ class RenderServer:
         self._dispatchers_busy = 0
         self._dispatch_lock = threading.Lock()
         self._closed = False
+        self._obs_merged = False
 
     # -- sync API -------------------------------------------------------
 
@@ -168,6 +198,11 @@ class RenderServer:
     def _serve(self, request: RenderRequest) -> RenderResponse:
         # The internal path skips the closed check so jobs already
         # accepted by submit() drain during close() instead of failing.
+        with span("serve.request", scene=request.scene_ref.name,
+                  width=request.width, height=request.height):
+            return self._serve_inner(request)
+
+    def _serve_inner(self, request: RenderRequest) -> RenderResponse:
         started = time.perf_counter()
         self.metrics.count("requests")
 
@@ -267,6 +302,7 @@ class RenderServer:
     def _enqueue(self, request: RenderRequest, block: bool) -> RenderJob:
         self._ensure_dispatchers()
         job = RenderJob(request=request)
+        job.enqueued_ns = time.time_ns()
         try:
             if block:
                 self._queue.put(job)
@@ -295,6 +331,14 @@ class RenderServer:
             job = self._queue.get()
             if job is None:
                 return
+            if job.enqueued_ns:
+                from repro.obs import emit_span
+
+                dequeued_ns = time.time_ns()
+                self.metrics.observe(
+                    "queue_wait", (dequeued_ns - job.enqueued_ns) / 1e9)
+                emit_span("serve.queue_wait", job.enqueued_ns, dequeued_ns,
+                          scene=job.request.scene_ref.name)
             with self._dispatch_lock:
                 self._dispatchers_busy += 1
             try:
@@ -324,6 +368,12 @@ class RenderServer:
             if job is not None and not job.future.done():
                 job.future.set_exception(RuntimeError("server is closed"))
         self.scheduler.close()
+        # Fold this server's private metrics into the process-global
+        # registry exactly once, so `repro stats` and obs snapshots see
+        # servers that have come and gone. close() is idempotent.
+        if not self._obs_merged:
+            self._obs_merged = True
+            get_registry().merge(self.metrics.registry.collect())
 
     def __enter__(self) -> "RenderServer":
         return self
@@ -380,14 +430,17 @@ class RenderServer:
                                              engine=engine)
         t0 = time.perf_counter()
         try:
-            result = self.scheduler.render(
-                cloud, structure, config, camera, renderer=renderer,
-                engine=engine)
+            with span("serve.render", scene=request.scene_ref.name,
+                      engine=engine, width=request.width,
+                      height=request.height):
+                result = self.scheduler.render(
+                    cloud, structure, config, camera, renderer=renderer,
+                    engine=engine)
         finally:
             if renderer is not None:
                 self._tracers.put(tracer_key, renderer)
         self.metrics.count("rendered")
-        self.metrics.count("render_seconds", time.perf_counter() - t0)
+        self.metrics.observe("render_seconds", time.perf_counter() - t0)
         return result
 
     def _camera_for(self, request: RenderRequest, cloud):
@@ -410,6 +463,8 @@ class RenderServer:
     ) -> RenderResponse:
         # Cached frames are shared between responses; hand out copies so
         # one caller mutating its image or stats cannot poison the cache.
+        latency = time.perf_counter() - started
+        self.metrics.observe("latency", latency)
         return RenderResponse(
             request=request,
             image=result.image.copy(),
@@ -417,7 +472,7 @@ class RenderServer:
             stats=copy.copy(result.stats),
             frame_cache_hit=frame_cache_hit,
             coalesced=coalesced,
-            latency_s=time.perf_counter() - started,
+            latency_s=latency,
         )
 
     # -- reporting ------------------------------------------------------
@@ -426,12 +481,13 @@ class RenderServer:
         """Instantaneous load gauges merged into metric snapshots.
 
         ``packet_fallbacks`` counts engine="packet" requests that
-        degraded to the scalar tracer (process-wide; engines are
-        resolved in this process before tiles ship, so pooled renders
-        are covered too).
+        degraded to the scalar tracer. It reads the process-global
+        registry counter ``rt.packet_fallbacks`` rather than the legacy
+        in-process global: worker processes fold their fallback counts
+        into that registry with every task result, so pooled renders
+        whose fallback fired *inside a worker* are counted too (the old
+        gauge silently missed them).
         """
-        from repro.rt.packet import packet_fallback_count
-
         pool = self.scheduler.pool
         with self._dispatch_lock:
             busy = self._dispatchers_busy
@@ -441,7 +497,8 @@ class RenderServer:
             "dispatchers_busy": busy,
             "worker_utilization": round(
                 pool.utilization() if pool is not None else 0.0, 4),
-            "packet_fallbacks": packet_fallback_count(),
+            "packet_fallbacks": int(
+                get_registry().counter_value("rt.packet_fallbacks")),
         }
 
     @property
@@ -455,4 +512,5 @@ class RenderServer:
             "frame_cache": self._frames.stats,
             "registry": self.registry.counters(),
             "pool": self.scheduler.pool_stats(),
+            "obs": get_registry().snapshot(),
         }

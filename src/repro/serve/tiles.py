@@ -20,6 +20,7 @@ computes.
 
 from __future__ import annotations
 
+import time
 import weakref
 from dataclasses import dataclass
 
@@ -29,6 +30,7 @@ from repro.bvh.flatten import flatten
 from repro.bvh.monolithic import MonolithicBVH
 from repro.bvh.two_level import TwoLevelBVH
 from repro.gaussians import GaussianCloud
+from repro.obs import get_registry, span
 from repro.pool import TileCostModel, WorkerPool, available_workers, scene_key
 from repro.render.effects import SceneObjects
 from repro.render.image import ImageBuffer
@@ -245,6 +247,7 @@ class TileScheduler:
         engine = resolve_engine(engine, structure, config)
         bundle = camera.generate_rays()
 
+        registry = get_registry()
         tiles = split_frame(camera.width, camera.height,
                             self.tile_width, self.tile_height)
         if self.workers <= 1 or len(tiles) <= 1:
@@ -254,39 +257,62 @@ class TileScheduler:
             if renderer is None:
                 renderer = GaussianRayTracer(cloud, structure, config,
                                              engine=engine)
-            parts = []
-            for tile in tiles:
-                ids = tile.pixel_ids(camera.width)
-                parts.append(renderer.trace_rays(
-                    bundle.origins[ids], bundle.directions[ids],
-                    bundle.pixel_ids[ids], objects=objects,
-                    keep_traces=keep_traces))
-            return self._assemble(parts, camera, config, structure)
+            with span("tiles.render", tiles=len(tiles), mode="serial"):
+                parts, costs = [], []
+                for tile in tiles:
+                    ids = tile.pixel_ids(camera.width)
+                    started = time.perf_counter()
+                    parts.append(renderer.trace_rays(
+                        bundle.origins[ids], bundle.directions[ids],
+                        bundle.pixel_ids[ids], objects=objects,
+                        keep_traces=keep_traces))
+                    cost = time.perf_counter() - started
+                    costs.append(cost)
+                    registry.observe("tiles.tile_seconds", cost)
+                if len(tiles) > 1:
+                    # Serial multi-tile renders feed the cost model the
+                    # same measured per-tile seconds pooled renders do,
+                    # so a scheduler warmed serially plans cost-aware
+                    # tiles on its first pooled frame.
+                    key = scene_key(cloud, structure, config, objects,
+                                    engine)
+                    rects = [(t.x0, t.y0, t.width, t.height)
+                             for t in tiles]
+                    self.cost_model.record(key, camera.width,
+                                           camera.height, rects, costs)
+                    self.last_tile_costs = list(zip(tiles, costs))
+                return self._assemble(parts, camera, config, structure)
 
         key = scene_key(cloud, structure, config, objects, engine)
         pool = self._ensure_pool()
         tiles = self._plan_tiles(key, camera.width, camera.height,
                                  pool.n_workers, tiles)
-        # Workers receive the flattened SoA layout, not the original
-        # structure objects; the key stays content-based on the source
-        # structure (flatten is memoized, so warm frames pay a lookup).
-        flat = flatten(structure)
-        futures = []
-        for tile in tiles:
-            ids = tile.pixel_ids(camera.width)
-            futures.append(pool.submit_tile(
-                cloud, flat, config, objects, engine,
-                bundle.origins[ids], bundle.directions[ids],
-                bundle.pixel_ids[ids], keep_traces, key=key))
-        parts, costs = [], []
-        for future in futures:
-            part, cost = future.result()
-            parts.append(part)
-            costs.append(cost)
-        rects = [(t.x0, t.y0, t.width, t.height) for t in tiles]
-        self.cost_model.record(key, camera.width, camera.height, rects, costs)
-        self.last_tile_costs = list(zip(tiles, costs))
-        return self._assemble(parts, camera, config, structure)
+        with span("tiles.render", tiles=len(tiles), mode="pooled"):
+            # Workers receive the flattened SoA layout, not the original
+            # structure objects; the key stays content-based on the
+            # source structure (flatten is memoized, so warm frames pay
+            # a lookup).
+            flat = flatten(structure)
+            with span("tiles.dispatch", tiles=len(tiles)):
+                futures = []
+                for tile in tiles:
+                    ids = tile.pixel_ids(camera.width)
+                    futures.append(pool.submit_tile(
+                        cloud, flat, config, objects, engine,
+                        bundle.origins[ids], bundle.directions[ids],
+                        bundle.pixel_ids[ids], keep_traces, key=key))
+            parts, costs = [], []
+            for future in futures:
+                part, cost = future.result()
+                parts.append(part)
+                costs.append(cost)
+                registry.observe("tiles.tile_seconds", cost)
+            rects = [(t.x0, t.y0, t.width, t.height) for t in tiles]
+            self.cost_model.record(key, camera.width, camera.height, rects,
+                                   costs)
+            self.last_tile_costs = list(zip(tiles, costs))
+            with span("tiles.reassemble", tiles=len(tiles)):
+                return self._assemble(parts, camera, config, structure)
 
     @staticmethod
     def _assemble(parts, camera, config, structure) -> RenderResult:

@@ -311,8 +311,8 @@ class TestFallbackObservability:
                 server.render(request)
             snapshot = server.metrics.snapshot()
             report = server.stats_report()
-        assert snapshot["packet_fallbacks"] >= 1
-        assert report["server"]["packet_fallbacks"] >= 1
+        assert snapshot["gauge.packet_fallbacks"] >= 1
+        assert report["server"]["gauge.packet_fallbacks"] >= 1
 
 
 class warnings_none:

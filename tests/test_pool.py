@@ -474,10 +474,12 @@ class TestBoundedServerSubmit:
                                         width=6, height=5))
             snapshot = server.metrics.snapshot()
             report = server.stats_report()
-        for gauge in ("queue_depth", "max_pending", "dispatchers_busy",
-                      "worker_utilization"):
+        # Gauges are namespaced "gauge.<name>" so a provider key can
+        # never shadow a counter of the same name.
+        for gauge in ("gauge.queue_depth", "gauge.max_pending",
+                      "gauge.dispatchers_busy", "gauge.worker_utilization"):
             assert gauge in snapshot
-        assert snapshot["queue_depth"] == 0
+        assert snapshot["gauge.queue_depth"] == 0
         assert "pool" in report
 
     def test_pooled_server_render_matches_serial(self):
