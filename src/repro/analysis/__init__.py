@@ -1,0 +1,79 @@
+"""Static analysis that mechanizes the repo's parity contract.
+
+Every real bug this reproduction has shipped and fixed was an
+*invariant* violation, not a math error: an ``id()``-keyed cache
+serving stale engines, gauge providers shadowing counters, worker-side
+metrics dropped at the process boundary, engine resolution happening
+after cache-key construction. ``repro.analysis`` turns those
+invariants into AST-checked rules so the next violation fails CI
+instead of shipping:
+
+* ``repro lint`` runs the rule catalog over the source tree
+  (see ``repro lint --list-rules`` for each rule and the shipped bug
+  it descends from);
+* inline waivers use ``# repro: lint-ok[rule-id] reason`` — the reason
+  is mandatory and audited by the reporters;
+* pre-existing findings can be grandfathered into a committed baseline
+  (``repro lint --write-baseline``) and burned down over time;
+* the parity-surface rules scope themselves from the *import graph*
+  (everything the render path transitively imports), never from a
+  hand-maintained module list.
+"""
+
+from repro.analysis.baseline import (
+    BASELINE_SCHEMA,
+    Baseline,
+    empty_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.core import (
+    ADVICE,
+    ERROR,
+    WARNING,
+    FileContext,
+    Finding,
+    LintConfig,
+    RawFinding,
+    Rule,
+    all_rules,
+    get_rule,
+)
+from repro.analysis.report import (
+    REPORT_SCHEMA,
+    render_json,
+    render_text,
+    summarize,
+)
+from repro.analysis.runner import (
+    LintResult,
+    collect_files,
+    default_source_root,
+    run_lint,
+)
+
+__all__ = [
+    "ADVICE",
+    "BASELINE_SCHEMA",
+    "Baseline",
+    "ERROR",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "RawFinding",
+    "REPORT_SCHEMA",
+    "Rule",
+    "WARNING",
+    "all_rules",
+    "collect_files",
+    "default_source_root",
+    "empty_baseline",
+    "get_rule",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "summarize",
+    "write_baseline",
+]

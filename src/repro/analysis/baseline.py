@@ -1,0 +1,79 @@
+"""The committed baseline: grandfathered findings that don't gate CI.
+
+The baseline exists so the linter can land with rules stricter than the
+tree: pre-existing findings are recorded once (``repro lint
+--write-baseline``), committed, and burned down over time, while any
+*new* finding fails the gate immediately. Entries match by
+:func:`repro.analysis.core.fingerprint` — rule + path + enclosing
+symbol + stripped source line — so unrelated edits (line drift,
+neighboring churn) cannot silently re-gate or un-gate a finding.
+
+The file is JSON with a schema tag; unknown schemas are rejected loudly
+rather than half-parsed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+BASELINE_SCHEMA = "repro.lint-baseline/1"
+
+
+@dataclass
+class Baseline:
+    """Fingerprint set plus the readable entries they came from."""
+
+    entries: list[dict]
+
+    @property
+    def fingerprints(self) -> set[str]:
+        return {e["fingerprint"] for e in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def empty_baseline() -> Baseline:
+    return Baseline(entries=[])
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return empty_baseline()
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"baseline {path} has unknown schema {doc.get('schema')!r}; "
+            f"expected {BASELINE_SCHEMA!r}")
+    entries = doc.get("findings", [])
+    for entry in entries:
+        if "fingerprint" not in entry:
+            raise ValueError(f"baseline {path} entry missing fingerprint: {entry}")
+    return Baseline(entries=list(entries))
+
+
+def write_baseline(path: str | Path, findings) -> Baseline:
+    """Write the given findings (the still-active ones) as the new baseline."""
+    entries = [
+        {
+            "rule": f.rule,
+            "path": f.path,
+            "symbol": f.symbol,
+            "line": f.line,  # informational; matching uses the fingerprint
+            "message": f.message,
+            "fingerprint": f.fingerprint,
+        }
+        for f in findings
+        if not f.suppressed
+    ]
+    entries.sort(key=lambda e: (e["path"], e["rule"], e["line"]))
+    doc = {"schema": BASELINE_SCHEMA, "findings": entries}
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return Baseline(entries=entries)

@@ -1,0 +1,364 @@
+"""Rule framework for :mod:`repro.analysis`.
+
+A *rule* is a small AST pass that mechanizes one project invariant —
+each one distilled from a bug this repo actually shipped and fixed, or
+from a forward risk the ROADMAP names (async serving, multi-host
+fan-out). Rules yield :class:`RawFinding`s against a per-file
+:class:`FileContext`; the runner resolves severities from the
+per-subsystem :class:`LintConfig`, applies inline suppressions and the
+committed baseline, and hands :class:`Finding`s to the reporters.
+
+Severity is configured **per subsystem** (the first package level under
+``repro``): the parity-critical layers (``rt``, ``bvh``, ``render``,
+``geometry``, ``math3d``, ``gaussians``) run every rule at full
+severity, while the serving/eval layers (``serve``, ``eval``, ``pool``,
+``obs``, ``hwsim``) relax the rules whose failure modes cannot corrupt
+an image (see :data:`RELAXED_RULES`). Files outside the package (the
+test fixture corpus, seeded CI violations) get the strict defaults.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+#: Severity levels, in increasing order of badness.
+ADVICE = "advice"
+WARNING = "warning"
+ERROR = "error"
+_SEVERITY_ORDER = {ADVICE: 0, WARNING: 1, ERROR: 2}
+
+#: Subsystems (first package level under ``repro``) where every rule
+#: runs at its declared severity.
+STRICT_SUBSYSTEMS = frozenset(
+    {"rt", "bvh", "render", "geometry", "math3d", "gaussians"})
+
+#: Subsystems where :data:`RELAXED_RULES` downgrade error -> warning:
+#: they sit above the parity surface, so these bug classes cost
+#: throughput or duplicate work there, never image bits.
+RELAXED_SUBSYSTEMS = frozenset({"serve", "eval", "pool", "obs", "hwsim"})
+
+#: Rules that relax outside the parity-critical subsystems.
+RELAXED_RULES = frozenset({"cache-key-params", "float-eq", "mutable-default"})
+
+
+@dataclass(frozen=True)
+class RawFinding:
+    """What a rule emits: a line plus a message (severity comes later)."""
+
+    line: int
+    message: str
+
+
+@dataclass
+class Finding:
+    """One resolved finding, ready for reporting and baselining."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    symbol: str
+    message: str
+    fingerprint: str
+    suppressed: bool = False
+    suppress_reason: str | None = None
+    baselined: bool = False
+
+    @property
+    def active(self) -> bool:
+        """Counts against the gate (not suppressed, not grandfathered)."""
+        return not self.suppressed and not self.baselined
+
+    def to_json(self) -> dict:
+        doc = {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+        if self.suppressed:
+            doc["suppressed"] = True
+            doc["suppress_reason"] = self.suppress_reason
+        if self.baselined:
+            doc["baselined"] = True
+        return doc
+
+
+@dataclass
+class LintConfig:
+    """How one lint run resolves severities and scopes.
+
+    ``parity_roots`` seed the import-graph walk that computes the
+    parity surface (every module the render path transitively imports);
+    ``assume_parity`` forces files that are not package modules — the
+    fixture corpus, seeded CI violations — onto the surface so the
+    parity rules apply to them.
+    """
+
+    parity_roots: tuple[str, ...] = ("repro.render.renderer",)
+    assume_parity: bool = False
+    enabled_rules: frozenset[str] | None = None
+    strict_subsystems: frozenset[str] = STRICT_SUBSYSTEMS
+    relaxed_subsystems: frozenset[str] = RELAXED_SUBSYSTEMS
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        return self.enabled_rules is None or rule_id in self.enabled_rules
+
+    def severity_for(self, rule: "Rule", subsystem: str | None) -> str:
+        severity = rule.severity
+        if (severity == ERROR and rule.id in RELAXED_RULES
+                and subsystem in self.relaxed_subsystems):
+            return WARNING
+        return severity
+
+
+class FileContext:
+    """Everything a rule may inspect about one file."""
+
+    def __init__(
+        self,
+        path: Path,
+        source: str,
+        tree: ast.Module,
+        module: str | None,
+        in_parity_surface: bool,
+        config: LintConfig,
+    ) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        #: Dotted module name when the file belongs to the ``repro``
+        #: package (``None`` for loose files such as test fixtures).
+        self.module = module
+        self.in_parity_surface = in_parity_surface
+        self.config = config
+        self._scopes: list[tuple[int, int, str]] | None = None
+
+    @property
+    def subsystem(self) -> str | None:
+        """First package level under ``repro`` (``rt``, ``serve``, ...)."""
+        if not self.module or not self.module.startswith("repro."):
+            return None
+        parts = self.module.split(".")
+        return parts[1] if len(parts) > 1 else None
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def _scope_spans(self) -> list[tuple[int, int, str]]:
+        if self._scopes is None:
+            spans: list[tuple[int, int, str]] = []
+
+            def walk(node: ast.AST, prefix: str) -> None:
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                          ast.ClassDef)):
+                        name = f"{prefix}.{child.name}" if prefix else child.name
+                        spans.append((child.lineno,
+                                      child.end_lineno or child.lineno, name))
+                        walk(child, name)
+                    else:
+                        walk(child, prefix)
+
+            walk(self.tree, "")
+            # Innermost scope last, so reversed lookup finds it first.
+            spans.sort(key=lambda s: (s[0], -s[1]))
+            self._scopes = spans
+        return self._scopes
+
+    def symbol_at(self, line: int) -> str:
+        """Dotted name of the innermost def/class enclosing ``line``
+        (``"<module>"`` at top level)."""
+        best = "<module>"
+        for start, end, name in self._scope_spans():
+            if start <= line <= end:
+                best = name
+        return best
+
+    def scope_start(self, line: int) -> int:
+        """First line of the innermost enclosing def/class (the line a
+        scope-wide suppression comment lives on), or ``line`` itself."""
+        best = line
+        for start, end, _name in self._scope_spans():
+            if start <= line <= end:
+                best = start
+        return best
+
+
+class Rule:
+    """Base class; subclasses define ``id``/``severity``/``check``.
+
+    ``history`` names the shipped bug (or forward risk) the rule
+    descends from — it is what the README's rule catalog renders.
+    """
+
+    id: str = ""
+    severity: str = ERROR
+    description: str = ""
+    history: str = ""
+
+    def check(self, ctx: FileContext) -> Iterable[RawFinding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (by its ``id``) to the registry."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"{rule_cls.__name__} has no rule id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    if rule.severity not in _SEVERITY_ORDER:
+        raise ValueError(f"unknown severity {rule.severity!r} on {rule.id}")
+    _REGISTRY[rule.id] = rule  # repro: lint-ok[lock-discipline] registration runs at import time, serialized by the interpreter's import lock
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by id (importing the rule package
+    on first use so registration is a side effect of import)."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return [_REGISTRY[rid] for rid in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    import repro.analysis.rules  # noqa: F401
+
+    return _REGISTRY[rule_id]
+
+
+def fingerprint(rule_id: str, path: str, symbol: str, line_text: str) -> str:
+    """Stable identity of one finding for the baseline file.
+
+    Deliberately excludes the line *number* (edits above a grandfathered
+    finding must not un-baseline it): the enclosing symbol plus the
+    stripped source line pin it tightly enough in practice.
+    """
+    digest = hashlib.sha256(
+        "\x1f".join([rule_id, path, symbol, line_text.strip()]).encode("utf-8")
+    ).hexdigest()
+    return digest[:16]
+
+
+# ---------------------------------------------------------------------------
+# Small AST helpers shared by the rule modules.
+# ---------------------------------------------------------------------------
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Dotted name of a call's callee, else ``None``."""
+    return dotted_name(node.func)
+
+
+def iter_functions(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda]:
+    """Every function-ish scope in the file, outermost first."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            yield node
+
+
+def function_params(fn: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> set[str]:
+    args = fn.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return set(names)
+
+
+def module_level_assigns(tree: ast.Module) -> Iterator[tuple[str, ast.expr]]:
+    """``(name, value)`` for every simple module-level assignment."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    yield target.id, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                yield node.target.id, node.value
+
+
+def is_container_ctor(node: ast.expr) -> bool:
+    """Whether an expression constructs a mutable container."""
+    if isinstance(node, (ast.Dict, ast.List, ast.Set)):
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        return name in {"dict", "list", "set", "collections.defaultdict",
+                        "defaultdict", "collections.OrderedDict",
+                        "OrderedDict", "collections.deque", "deque"}
+    return False
+
+
+def is_lock_ctor(node: ast.expr) -> bool:
+    """Whether an expression constructs a lock-ish synchronizer."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = call_name(node)
+    return name in {"threading.Lock", "threading.RLock", "threading.Condition",
+                    "Lock", "RLock", "Condition"}
+
+
+#: Container methods that mutate in place (reads are deliberately not
+#: policed: a GIL-atomic get on a shared dict is safe, and the lockset
+#: rule would drown in noise if it flagged them).
+MUTATING_METHODS = frozenset({
+    "pop", "popitem", "clear", "update", "setdefault", "append", "extend",
+    "insert", "remove", "discard", "add", "appendleft", "extendleft",
+})
+
+
+def container_mutations(scope: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+    """Yield ``(node, container_dotted_name)`` for each in-place mutation
+    of a named container inside ``scope`` (subscript stores/deletes,
+    augmented subscript assigns, and mutating method calls)."""
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    name = dotted_name(target.value)
+                    if name:
+                        yield node, name
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Subscript):
+                name = dotted_name(node.target.value)
+                if name:
+                    yield node, name
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    name = dotted_name(target.value)
+                    if name:
+                        yield node, name
+        elif isinstance(node, ast.Call):
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in MUTATING_METHODS):
+                name = dotted_name(node.func.value)
+                if name:
+                    yield node, name

@@ -1,0 +1,75 @@
+"""Reporters: human-readable text and machine-readable JSON.
+
+The JSON document is schema-tagged (:data:`REPORT_SCHEMA`) and is what
+the CI ``lint`` job uploads as a build artifact; the text reporter is
+what a developer reads in the terminal. Both show suppressed and
+baselined findings (dimmed into their own sections) so waivers stay
+auditable rather than invisible.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import ERROR, WARNING, Finding
+
+REPORT_SCHEMA = "repro.lint-report/1"
+
+
+def _sort_key(f: Finding):
+    return (f.path, f.line, f.rule)
+
+
+def summarize(findings: list[Finding]) -> dict:
+    active = [f for f in findings if f.active]
+    return {
+        "files_with_findings": len({f.path for f in active}),
+        "active": len(active),
+        "errors": sum(1 for f in active if f.severity == ERROR),
+        "warnings": sum(1 for f in active if f.severity == WARNING),
+        "suppressed": sum(1 for f in findings if f.suppressed),
+        "baselined": sum(1 for f in findings if f.baselined),
+    }
+
+
+def render_text(findings: list[Finding], files_scanned: int,
+                verbose: bool = False) -> str:
+    """The terminal report: active findings, then the waived sections."""
+    lines: list[str] = []
+    active = sorted((f for f in findings if f.active), key=_sort_key)
+    for f in active:
+        lines.append(f"{f.path}:{f.line}: {f.severity}[{f.rule}] "
+                     f"{f.message} ({f.symbol})")
+    suppressed = sorted((f for f in findings if f.suppressed), key=_sort_key)
+    if suppressed and (verbose or not active):
+        lines.append("")
+        lines.append(f"suppressed ({len(suppressed)}):")
+        for f in suppressed:
+            lines.append(f"  {f.path}:{f.line}: [{f.rule}] "
+                         f"ok: {f.suppress_reason}")
+    baselined = [f for f in findings if f.baselined]
+    counts = summarize(findings)
+    lines.append("")
+    lines.append(
+        f"{files_scanned} files scanned: {counts['errors']} errors, "
+        f"{counts['warnings']} warnings "
+        f"({counts['suppressed']} suppressed, {len(baselined)} baselined)")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding], files_scanned: int,
+                strict: bool, parity_modules: list[str]) -> str:
+    doc = {
+        "schema": REPORT_SCHEMA,
+        "strict": strict,
+        "files_scanned": files_scanned,
+        "counts": summarize(findings),
+        "findings": [f.to_json() for f in sorted(
+            (f for f in findings if f.active), key=_sort_key)],
+        "suppressed": [f.to_json() for f in sorted(
+            (f for f in findings if f.suppressed), key=_sort_key)],
+        "baselined": [f.to_json() for f in sorted(
+            (f for f in findings if f.baselined), key=_sort_key)],
+        "parity_modules": sorted(parity_modules),
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

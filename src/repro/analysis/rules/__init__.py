@@ -1,0 +1,10 @@
+"""Rule catalog: importing this package registers every rule.
+
+Each module groups the rules mechanizing one family of project
+invariants; see the module docstrings for the shipped bug each rule
+descends from.
+"""
+
+from repro.analysis.rules import boundary, caches, hygiene, locks, parity
+
+__all__ = ["boundary", "caches", "hygiene", "locks", "parity"]

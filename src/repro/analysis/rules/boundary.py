@@ -1,0 +1,115 @@
+"""Process-boundary safety for work shipped to the worker pool.
+
+Everything submitted to :mod:`repro.pool` crosses a pickle boundary
+into a long-lived worker process. The safe currency is plain data —
+normalized config dicts, flattened structure arrays, content hashes —
+because those are what the worker-side caches key and rebuild from.
+Closures, lambdas and open OS handles either fail to pickle (at best)
+or smuggle parent-process state that silently diverges from the
+worker's (at worst: PR 6 found worker-side metrics vanishing at this
+boundary). As the ROADMAP's multi-host fan-out replaces the pipe with a
+network, the payload discipline only gets stricter.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    ERROR,
+    FileContext,
+    RawFinding,
+    Rule,
+    call_name,
+    dotted_name,
+    iter_functions,
+    register,
+)
+
+#: Methods that ship their arguments across the process boundary.
+_SHIP_METHODS = frozenset({"submit", "map", "submit_tile", "imap",
+                           "imap_unordered", "apply_async"})
+
+
+def _is_pool_receiver(expr: ast.expr) -> bool:
+    """Whether a call receiver looks like a worker pool."""
+    name = dotted_name(expr)
+    if name is not None:
+        return "pool" in name.lower()
+    if isinstance(expr, ast.Call):
+        callee = call_name(expr)
+        return callee is not None and "pool" in callee.lower()
+    return False
+
+
+@register
+class ProcessBoundaryRule(Rule):
+    """No closures, lambdas or open handles across the pool boundary."""
+
+    id = "process-boundary"
+    severity = ERROR
+    description = ("arguments to pool submit/map must be plain picklable "
+                   "data or module-level functions — no lambdas, closures, "
+                   "generators or open file handles")
+    history = ("PR 6: worker-side state silently diverged at the process "
+               "boundary (metrics dropped); the pool contract is "
+               "normalized configs + flattened tables only")
+
+    def check(self, ctx: FileContext):
+        for fn in iter_functions(ctx.tree):
+            if isinstance(fn, ast.Lambda):
+                continue
+            nested = {
+                n.name for n in ast.walk(fn)
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and n is not fn
+            }
+            lambda_names = {
+                t.id
+                for n in ast.walk(fn) if isinstance(n, ast.Assign)
+                and isinstance(n.value, ast.Lambda)
+                for t in n.targets if isinstance(t, ast.Name)
+            }
+            for node in ast.walk(fn):
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _SHIP_METHODS
+                        and _is_pool_receiver(node.func.value)):
+                    continue
+                args = list(node.args) + [kw.value for kw in node.keywords]
+                for arg in args:
+                    if isinstance(arg, ast.Starred):
+                        arg = arg.value
+                    if isinstance(arg, ast.Lambda):
+                        yield RawFinding(
+                            node.lineno,
+                            "lambda shipped across the process boundary; "
+                            "workers need a module-level function",
+                        )
+                    elif isinstance(arg, ast.GeneratorExp):
+                        yield RawFinding(
+                            node.lineno,
+                            "generator expression shipped to the pool; "
+                            "generators are unpicklable — materialize a "
+                            "list of plain items",
+                        )
+                    elif isinstance(arg, ast.Name) and arg.id in nested:
+                        yield RawFinding(
+                            node.lineno,
+                            f"closure {arg.id!r} (defined in the enclosing "
+                            "function) shipped to the pool; move it to "
+                            "module level so it pickles by reference",
+                        )
+                    elif isinstance(arg, ast.Name) and arg.id in lambda_names:
+                        yield RawFinding(
+                            node.lineno,
+                            f"{arg.id!r} is bound to a lambda and shipped "
+                            "to the pool; workers need a module-level "
+                            "function",
+                        )
+                    elif isinstance(arg, ast.Call) and call_name(arg) == "open":
+                        yield RawFinding(
+                            node.lineno,
+                            "open file handle shipped to the pool; pass "
+                            "the path and open in the worker",
+                        )

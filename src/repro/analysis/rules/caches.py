@@ -1,0 +1,268 @@
+"""Cache-invariant rules: identity keys, key completeness, engine order.
+
+All three descend from shipped bugs:
+
+* PR 2: ``RenderServer._render_now`` reused tracers from a cache keyed
+  by recycled ``id()``s and served engines built over dead scenes.
+* PR 4: frame/tracer/worker cache keys were built before ``auto`` was
+  resolved to a concrete engine, so ``auto`` and the engine it resolved
+  to aliased to different cache entries.
+* The eval campaign's module-level memo dicts must key on everything
+  that varies the result, which statically means: on the function's
+  declared parameters (or constants), never on ambient mutable state.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    ERROR,
+    FileContext,
+    RawFinding,
+    Rule,
+    call_name,
+    dotted_name,
+    function_params,
+    is_container_ctor,
+    iter_functions,
+    module_level_assigns,
+    register,
+)
+
+
+def _id_derived_names(fn: ast.AST) -> set[str]:
+    """Local names assigned (directly) from an ``id(...)`` call."""
+    out: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if call_name(node.value) == "id":
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        out.add(target.id)
+    return out
+
+
+def _is_id_key(expr: ast.expr, id_names: set[str]) -> bool:
+    if isinstance(expr, ast.Call) and call_name(expr) == "id":
+        return True
+    if isinstance(expr, ast.Name) and expr.id in id_names:
+        return True
+    if isinstance(expr, ast.Tuple):
+        return any(_is_id_key(e, id_names) for e in expr.elts)
+    return False
+
+
+@register
+class IdKeyedCacheRule(Rule):
+    """``id()``-keyed mappings must pair with a weakref liveness guard."""
+
+    id = "id-keyed-cache"
+    severity = ERROR
+    description = ("a dict keyed by id(x) must verify liveness with a "
+                   "weakref guard (use repro.util.IdentityMemo)")
+    history = ("PR 2: the tracer-reuse cache keyed by recyclable id() "
+               "served engines built over dead scenes")
+
+    def check(self, ctx: FileContext):
+        for fn in iter_functions(ctx.tree):
+            id_names = _id_derived_names(fn)
+            # Two liveness-guard shapes are accepted: constructing a
+            # weakref alongside the entry, or verifying an entry with an
+            # identity test against a call result (``entry[0]() is obj``,
+            # the IdentityMemo pattern).
+            has_guard = any(
+                (isinstance(n, ast.Call)
+                 and call_name(n) in {"weakref.ref",
+                                      "weakref.WeakValueDictionary",
+                                      "weakref.WeakKeyDictionary", "ref"})
+                or (isinstance(n, ast.Compare)
+                    and any(isinstance(op, (ast.Is, ast.IsNot))
+                            for op in n.ops)
+                    and any(isinstance(o, ast.Call)
+                            for o in [n.left, *n.comparators]))
+                for n in ast.walk(fn))
+            if has_guard:
+                continue
+            for node in ast.walk(fn):
+                key_expr = None
+                if isinstance(node, ast.Subscript):
+                    key_expr = node.slice
+                elif (isinstance(node, ast.Call)
+                      and isinstance(node.func, ast.Attribute)
+                      and node.func.attr in {"get", "setdefault", "pop"}
+                      and node.args):
+                    key_expr = node.args[0]
+                if key_expr is None or not _is_id_key(key_expr, id_names):
+                    continue
+                yield RawFinding(
+                    node.lineno,
+                    "cache access keyed by id() with no weakref liveness "
+                    "guard in scope; a recycled id can serve a stale "
+                    "entry — use repro.util.IdentityMemo",
+                )
+
+
+def _uppercase(name: str) -> bool:
+    return name == name.upper() and any(c.isalpha() for c in name)
+
+
+def _value_names(expr: ast.expr) -> set[str]:
+    """Name loads in ``expr``, excluding call callees (calling a module
+    function is derivation, not a data dependency on ambient state)."""
+    callees: set[ast.AST] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            func = node.func
+            callees.add(func)
+            while isinstance(func, ast.Attribute):
+                func = func.value
+                callees.add(func)
+    return {n.id for n in ast.walk(expr)
+            if isinstance(n, ast.Name) and n not in callees}
+
+
+@register
+class CacheKeyParamsRule(Rule):
+    """Module-level memo keys must derive from declared parameters."""
+
+    id = "cache-key-params"
+    severity = ERROR
+    description = ("keys stored into module-level memo dicts must be "
+                   "derived from the function's parameters (or UPPERCASE "
+                   "constants), never from ambient mutable state")
+    history = ("the eval campaign's _run_cache/_structure_cache contract: "
+               "every axis that varies a result is a declared parameter "
+               "and appears in the key")
+
+    def check(self, ctx: FileContext):
+        memos = {
+            name for name, value in module_level_assigns(ctx.tree)
+            if is_container_ctor(value) and not _uppercase(name)
+        }
+        if not memos:
+            return
+        for fn in iter_functions(ctx.tree):
+            if isinstance(fn, ast.Lambda):
+                continue
+            params = function_params(fn)
+            # Names derived from parameters via simple assignment chains
+            # (key = (scene, scale); scale = BENCH_SCALE is allowed via
+            # the UPPERCASE-constant escape below).
+            derived = set(params)
+            assigns = [n for n in ast.walk(fn) if isinstance(n, ast.Assign)]
+            fors = [n for n in ast.walk(fn)
+                    if isinstance(n, (ast.For, ast.AsyncFor))]
+
+            def _clean(names: set[str]) -> bool:
+                return all(n in derived or _uppercase(n) or n in memos
+                           for n in names)
+
+            changed = True
+            while changed:  # fixed point; chains may appear out of order
+                changed = False
+                for node in assigns:
+                    if _clean(_value_names(node.value)):
+                        for target in node.targets:
+                            if (isinstance(target, ast.Name)
+                                    and target.id not in derived):
+                                derived.add(target.id)
+                                changed = True
+                for node in fors:
+                    # Loop targets over a derived iterable are derived
+                    # (e.g. ``for key, fut in futures.items():``).
+                    if _clean(_value_names(node.iter)):
+                        for t in ast.walk(node.target):
+                            if isinstance(t, ast.Name) and t.id not in derived:
+                                derived.add(t.id)
+                                changed = True
+            for node in ast.walk(fn):
+                key_expr = None
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if (isinstance(target, ast.Subscript)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id in memos):
+                            key_expr = target.slice
+                if key_expr is None:
+                    continue
+                bad = sorted(
+                    n for n in _value_names(key_expr)
+                    if n not in derived and not _uppercase(n))
+                if bad:
+                    yield RawFinding(
+                        node.lineno,
+                        "memo key uses state not derived from the "
+                        f"function's parameters: {', '.join(bad)}; an "
+                        "axis missing from the key serves stale results",
+                    )
+
+
+@register
+class EngineBeforeKeyRule(Rule):
+    """``resolve_engine()`` must precede any cache-key construction."""
+
+    id = "engine-before-key"
+    severity = ERROR
+    description = ("in functions that resolve the tracing engine and build "
+                   "a cache key, resolution must happen first and the key "
+                   "must carry the resolved value, not the raw request")
+    history = ("PR 4: frame/tracer/worker keys built before 'auto' was "
+               "resolved aliased one render to two cache entries")
+
+    def check(self, ctx: FileContext):
+        for fn in iter_functions(ctx.tree):
+            if isinstance(fn, ast.Lambda):
+                continue
+            resolve_line = None
+            raw_arg: str | None = None
+            resolved_name: str | None = None
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call):
+                    name = call_name(node)
+                    if name and name.split(".")[-1] == "resolve_engine":
+                        if resolve_line is None or node.lineno < resolve_line:
+                            resolve_line = node.lineno
+                            raw_arg = (dotted_name(node.args[0])
+                                       if node.args else None)
+            if resolve_line is not None:
+                # Which name holds the resolved engine?
+                for node in ast.walk(fn):
+                    if (isinstance(node, ast.Assign)
+                            and isinstance(node.value, ast.Call)):
+                        name = call_name(node.value)
+                        if name and name.split(".")[-1] == "resolve_engine":
+                            for target in node.targets:
+                                if isinstance(target, ast.Name):
+                                    resolved_name = target.id
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Assign):
+                    continue
+                is_key = any(
+                    isinstance(t, ast.Name) and "key" in t.id.lower()
+                    for t in node.targets)
+                if not is_key:
+                    continue
+                key_names = {dotted_name(n) for n in ast.walk(node.value)
+                             if isinstance(n, (ast.Name, ast.Attribute))}
+                key_names.discard(None)
+                mentions_engine = any(
+                    n and ("engine" in n.lower()) for n in key_names)
+                if resolve_line is None:
+                    continue
+                if node.lineno < resolve_line and mentions_engine:
+                    yield RawFinding(
+                        node.lineno,
+                        "cache key constructed before resolve_engine(); "
+                        "'auto' and its resolution alias to different "
+                        "entries — resolve first, key on the result",
+                    )
+                elif (raw_arg and raw_arg in key_names
+                        and resolved_name is not None
+                        and raw_arg != resolved_name):
+                    yield RawFinding(
+                        node.lineno,
+                        f"cache key uses the unresolved engine {raw_arg!r}; "
+                        f"key on the resolved value {resolved_name!r} "
+                        "instead",
+                    )

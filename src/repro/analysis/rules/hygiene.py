@@ -1,0 +1,201 @@
+"""Hygiene rules: small Python traps with outsized blast radius here.
+
+* ``mutable-default`` — a mutable default argument is shared across
+  calls *and across serving requests*; in a long-lived server that is
+  cross-request state leakage, not a style nit.
+* ``broad-except`` — an ``except Exception`` that swallows silently
+  also swallows :class:`repro.pool.WorkerCrashError`, turning a worker
+  massacre into quiet wrong answers. Handlers that re-raise, log, or
+  use the bound exception are fine.
+* ``shadowed-dict-key`` — writing the same literal key twice into one
+  dict silently drops the first value. This is the shape of PR 6's
+  gauge bug: ``ServerMetrics.snapshot()`` merged gauge providers over
+  counter keys and the gauge shadowed the counter until gauges were
+  namespaced ``gauge.*``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    FileContext,
+    RawFinding,
+    Rule,
+    WARNING,
+    dotted_name,
+    is_container_ctor,
+    iter_functions,
+    register,
+)
+
+
+@register
+class MutableDefaultRule(Rule):
+    """No mutable default arguments."""
+
+    id = "mutable-default"
+    severity = WARNING
+    description = ("mutable default argument (list/dict/set) is shared "
+                   "across calls — and across requests in a long-lived "
+                   "server process")
+    history = ("forward risk for the async serving front end (ROADMAP 1): "
+               "per-request accumulation into a shared default leaks "
+               "state between clients")
+
+    def check(self, ctx: FileContext):
+        for fn in iter_functions(ctx.tree):
+            args = fn.args
+            for default in list(args.defaults) + [
+                    d for d in args.kw_defaults if d is not None]:
+                if is_container_ctor(default):
+                    yield RawFinding(
+                        default.lineno,
+                        "mutable default argument; use None and create "
+                        "the container in the body",
+                    )
+
+
+def _assigns_with_branch(node: ast.AST, path: tuple = ()):
+    """Yield ``(Assign, branch_path)`` under ``node``, staying in scope.
+
+    ``branch_path`` records which arm of each enclosing ``if``/``try``
+    the assignment sits in. Writes in mutually exclusive arms can never
+    execute in the same run, so they must not count as shadowing.
+    """
+    if isinstance(node, ast.Assign):
+        yield node, path
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        return  # nested scope: scanned on its own
+    if isinstance(node, ast.If):
+        for stmt in node.body:
+            yield from _assigns_with_branch(stmt, path + ((id(node), 0),))
+        for stmt in node.orelse:
+            yield from _assigns_with_branch(stmt, path + ((id(node), 1),))
+        return
+    if isinstance(node, ast.Try):
+        arms = [node.body, *[h.body for h in node.handlers], node.orelse]
+        for arm_idx, arm in enumerate(arms):
+            for stmt in arm:
+                yield from _assigns_with_branch(stmt,
+                                                path + ((id(node), arm_idx),))
+        for stmt in node.finalbody:  # finally always runs: same path
+            yield from _assigns_with_branch(stmt, path)
+        return
+    for child in ast.iter_child_nodes(node):
+        yield from _assigns_with_branch(child, path)
+
+
+def _paths_overlap(a: tuple, b: tuple) -> bool:
+    """Whether two branch paths can both execute in one run (one is a
+    prefix of the other)."""
+    short, long = (a, b) if len(a) <= len(b) else (b, a)
+    return long[:len(short)] == short
+
+
+def _handler_swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the handler neither re-raises nor uses the exception."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return False
+        if (handler.name and isinstance(node, ast.Name)
+                and node.id == handler.name and isinstance(node.ctx, ast.Load)):
+            return False
+    return True
+
+
+@register
+class BroadExceptRule(Rule):
+    """``except Exception`` must not swallow silently."""
+
+    id = "broad-except"
+    severity = WARNING
+    description = ("bare/broad except that neither re-raises nor uses the "
+                   "exception; it swallows WorkerCrashError and every "
+                   "other signal with it")
+    history = ("the pool's crash recovery depends on WorkerCrashError "
+               "propagating; a silent broad except upstream turns a "
+               "worker massacre into quiet wrong answers")
+
+    def check(self, ctx: FileContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            typ = node.type
+            names: list[str] = []
+            if typ is None:
+                names = ["<bare>"]
+            elif isinstance(typ, (ast.Name, ast.Attribute)):
+                names = [dotted_name(typ) or ""]
+            elif isinstance(typ, ast.Tuple):
+                names = [dotted_name(e) or "" for e in typ.elts]
+            broad = any(n in {"<bare>", "Exception", "BaseException"}
+                        for n in names)
+            if broad and _handler_swallows(node):
+                yield RawFinding(
+                    node.lineno,
+                    "broad except swallows silently (no raise, exception "
+                    "unused); narrow the type or handle it visibly",
+                )
+
+
+@register
+class ShadowedDictKeyRule(Rule):
+    """One dict, one literal key, one write."""
+
+    id = "shadowed-dict-key"
+    severity = WARNING
+    description = ("the same literal key is written twice into one dict "
+                   "in one scope; the second write silently shadows the "
+                   "first — namespace the keys instead")
+    history = ("PR 6: ServerMetrics gauge providers shadowed same-named "
+               "counters in snapshot() until gauges moved to gauge.*")
+
+    def check(self, ctx: FileContext):
+        # Duplicate keys inside one dict literal.
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Dict):
+                seen: dict[object, int] = {}
+                for key in node.keys:
+                    if (isinstance(key, ast.Constant)
+                            and isinstance(key.value, (str, int))):
+                        if key.value in seen:
+                            yield RawFinding(
+                                key.lineno,
+                                f"duplicate key {key.value!r} in dict "
+                                "literal shadows the earlier entry",
+                            )
+                        seen[key.value] = key.lineno
+
+        # Repeated literal-key stores into the same target, per scope
+        # (nested functions are their own scope and scanned separately;
+        # writes in mutually exclusive if/elif/except arms don't count).
+        scopes: list[ast.AST] = [ctx.tree, *iter_functions(ctx.tree)]
+        for scope in scopes:
+            writes: dict[tuple[str, object], list[tuple[int, tuple]]] = {}
+            assigns = []
+            for child in ast.iter_child_nodes(scope):
+                assigns.extend(_assigns_with_branch(child))
+            for node, path in assigns:
+                for target in node.targets:
+                    if not isinstance(target, ast.Subscript):
+                        continue
+                    base = dotted_name(target.value)
+                    key = target.slice
+                    if (base is None or not isinstance(key, ast.Constant)
+                            or not isinstance(key.value, (str, int))):
+                        continue
+                    ident = (base, key.value)
+                    prior = writes.setdefault(ident, [])
+                    clash = next(
+                        (ln for ln, p in prior
+                         if ln != node.lineno and _paths_overlap(p, path)),
+                        None)
+                    if clash is not None:
+                        yield RawFinding(
+                            node.lineno,
+                            f"{base}[{key.value!r}] written again in the "
+                            f"same scope (first at line {clash}); "
+                            "the earlier value is silently shadowed",
+                        )
+                    prior.append((node.lineno, path))

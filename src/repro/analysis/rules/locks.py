@@ -1,0 +1,207 @@
+"""Lock discipline: shared mutable state is mutated under its lock.
+
+Two shapes, one rule id (``lock-discipline``):
+
+* **module-level**: a module-global mutable container mutated inside a
+  function must be mutated under a ``with <module lock>:`` — and a
+  module that mutates such a global without defining any lock at all is
+  flagged on every mutation. This is exactly the shape of
+  ``rt/tracer.py``'s pre-PR-7 ``_TABLES_CACHE`` (unlocked) next to
+  ``bvh/flatten.py``'s ``_FLAT_CACHE`` (locked): same pattern, one
+  guarded, one not.
+* **class-level lockset**: for classes that own a lock attribute, any
+  ``self.<attr>`` the class ever mutates under ``with self._lock:`` is
+  *protected*; mutating a protected attribute outside a lock block in
+  any other method is a finding. ``__init__`` is exempt (construction
+  happens-before publication). A method whose docstring documents the
+  contract "lock held" (this codebase's existing convention, e.g.
+  ``WorkerPool._ship_failed``) counts as locked throughout; docstrings
+  saying "no lock held" do not.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    ERROR,
+    FileContext,
+    RawFinding,
+    Rule,
+    container_mutations,
+    dotted_name,
+    is_container_ctor,
+    is_lock_ctor,
+    module_level_assigns,
+    register,
+)
+
+
+def _with_lock_spans(scope: ast.AST, lock_names: set[str]) -> list[tuple[int, int]]:
+    """(start, end) line spans of ``with <lock>:`` bodies in ``scope``."""
+    spans = []
+    for node in ast.walk(scope):
+        if isinstance(node, ast.With):
+            for item in node.items:
+                name = dotted_name(item.context_expr)
+                if name in lock_names:
+                    spans.append((node.lineno, node.end_lineno or node.lineno))
+                    break
+    return spans
+
+
+def _inside(line: int, spans: list[tuple[int, int]]) -> bool:
+    return any(start <= line <= end for start, end in spans)
+
+
+def _docstring_declares_lock_held(fn: ast.AST) -> bool:
+    doc = ast.get_docstring(fn, clean=True) if isinstance(
+        fn, (ast.FunctionDef, ast.AsyncFunctionDef)) else None
+    if not doc:
+        return False
+    lowered = doc.lower()
+    return "lock held" in lowered and "no lock" not in lowered
+
+
+@register
+class LockDisciplineRule(Rule):
+    """Shared mutable state must be mutated under its lock."""
+
+    id = "lock-discipline"
+    severity = ERROR
+    description = ("module globals and lock-protected attributes must only "
+                   "be mutated under their lock (or in a method documented "
+                   "'lock held')")
+    history = ("rt/tracer.py's _TABLES_CACHE was mutated with no lock while "
+               "the serving layer called it from dispatcher threads and "
+               "tile workers; bvh/flatten.py's twin cache took _FLAT_LOCK")
+
+    def check(self, ctx: FileContext):
+        yield from self._check_module_globals(ctx)
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(node)
+
+    # -- module-level ---------------------------------------------------
+
+    def _check_module_globals(self, ctx: FileContext):
+        containers: set[str] = set()
+        locks: set[str] = set()
+        for name, value in module_level_assigns(ctx.tree):
+            if is_container_ctor(value):
+                containers.add(name)
+            elif is_lock_ctor(value):
+                locks.add(name)
+        if not containers:
+            return
+        for top in ctx.tree.body:
+            if not isinstance(top, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.ClassDef)):
+                continue
+            spans = _with_lock_spans(top, locks)
+            for node, target in container_mutations(top):
+                if target not in containers:
+                    continue
+                if _inside(node.lineno, spans):
+                    continue
+                if not locks:
+                    yield RawFinding(
+                        node.lineno,
+                        f"module-global {target!r} is mutated but the module "
+                        "defines no lock; shared caches race across serving "
+                        "threads — guard it or use repro.util.IdentityMemo",
+                    )
+                else:
+                    lock_list = ", ".join(sorted(locks))
+                    yield RawFinding(
+                        node.lineno,
+                        f"module-global {target!r} mutated outside "
+                        f"'with {lock_list}:'",
+                    )
+
+    # -- class-level lockset --------------------------------------------
+
+    def _check_class(self, cls: ast.ClassDef):
+        methods = [n for n in cls.body
+                   if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+        lock_attrs: set[str] = set()
+        for method in methods:
+            for node in ast.walk(method):
+                if isinstance(node, ast.Assign) and is_lock_ctor(node.value):
+                    for target in node.targets:
+                        name = dotted_name(target) if isinstance(
+                            target, (ast.Attribute, ast.Name)) else None
+                        if name and name.startswith("self."):
+                            lock_attrs.add(name)
+                # A Condition wrapping an existing lock shares it:
+                # with self._cond: protects the same set.
+                if (isinstance(node, ast.Assign)
+                        and isinstance(node.value, ast.Call)):
+                    callee = dotted_name(node.value.func)
+                    if callee in {"threading.Condition", "Condition"}:
+                        for target in node.targets:
+                            name = dotted_name(target) if isinstance(
+                                target, (ast.Attribute, ast.Name)) else None
+                            if name and name.startswith("self."):
+                                lock_attrs.add(name)
+        if not lock_attrs:
+            return
+
+        # Pass 1: attributes mutated under a lock anywhere in the class.
+        protected: set[str] = set()
+        for method in methods:
+            spans = _with_lock_spans(method, lock_attrs)
+            if not spans and not _docstring_declares_lock_held(method):
+                continue
+            whole = _docstring_declares_lock_held(method)
+            for node, target in container_mutations(method):
+                if not target.startswith("self."):
+                    continue
+                if whole or _inside(node.lineno, spans):
+                    protected.add(target)
+            for node in ast.walk(method):
+                if isinstance(node, ast.Assign):
+                    for tgt in node.targets:
+                        name = dotted_name(tgt) if isinstance(
+                            tgt, ast.Attribute) else None
+                        if (name and name.startswith("self.")
+                                and name not in lock_attrs
+                                and (whole or _inside(node.lineno, spans))):
+                            protected.add(name)
+        if not protected:
+            return
+
+        # Pass 2: mutations of protected attrs outside any lock context.
+        for method in methods:
+            if method.name == "__init__":
+                continue  # construction happens-before publication
+            if _docstring_declares_lock_held(method):
+                continue
+            spans = _with_lock_spans(method, lock_attrs)
+            seen_lines: set[tuple[int, str]] = set()
+            for node, target in container_mutations(method):
+                if target in protected and not _inside(node.lineno, spans):
+                    key = (node.lineno, target)
+                    if key not in seen_lines:
+                        seen_lines.add(key)
+                        yield RawFinding(
+                            node.lineno,
+                            f"{target!r} is lock-protected elsewhere in "
+                            f"{cls.name} but mutated here outside the lock",
+                        )
+            for node in ast.walk(method):
+                if isinstance(node, ast.Assign):
+                    for tgt in node.targets:
+                        name = dotted_name(tgt) if isinstance(
+                            tgt, ast.Attribute) else None
+                        if (name and name in protected
+                                and not _inside(node.lineno, spans)):
+                            key = (node.lineno, name)
+                            if key not in seen_lines:
+                                seen_lines.add(key)
+                                yield RawFinding(
+                                    node.lineno,
+                                    f"{name!r} is lock-protected elsewhere "
+                                    f"in {cls.name} but assigned here "
+                                    "outside the lock",
+                                )

@@ -1,0 +1,152 @@
+"""Parity-surface rules: nothing nondeterministic may touch image bits.
+
+These rules apply only to modules on the *parity surface* — the set of
+modules transitively imported from the render path, computed from the
+import graph by :mod:`repro.analysis.importgraph` (never hand-listed).
+The standing ROADMAP contract is that every optimization produces
+bit-identical images; wall-clock reads, unseeded RNG and set-iteration
+ordering are the three ways Python code silently breaks that without
+failing a single functional test on the machine it was written on.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    ERROR,
+    FileContext,
+    RawFinding,
+    Rule,
+    call_name,
+    register,
+)
+
+#: Wall-clock reads (monotonic/perf counters are fine: the engines use
+#: them for *profiling*, which never feeds the image).
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "datetime.now", "datetime.utcnow",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+})
+
+#: RNG constructors/calls that are nondeterministic unless seeded.
+_GLOBAL_RNG = frozenset({
+    "np.random.rand", "np.random.randn", "np.random.random",
+    "np.random.randint", "np.random.choice", "np.random.shuffle",
+    "np.random.permutation", "np.random.normal", "np.random.uniform",
+    "numpy.random.rand", "numpy.random.randn", "numpy.random.random",
+    "random.random", "random.randint", "random.choice", "random.shuffle",
+    "random.uniform", "random.sample", "random.randrange",
+})
+
+
+def _set_bound_names(fn: ast.AST) -> set[str]:
+    """Local names bound to set-typed values in this scope."""
+    out: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            value = node.value
+            is_set = (isinstance(value, (ast.Set, ast.SetComp))
+                      or (isinstance(value, ast.Call)
+                          and call_name(value) in {"set", "frozenset"}))
+            if is_set:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        out.add(target.id)
+    return out
+
+
+@register
+class ParityNondeterminismRule(Rule):
+    """No wall clocks, unseeded RNG or set-order iteration on the surface."""
+
+    id = "parity-nondeterminism"
+    severity = ERROR
+    description = ("modules reachable from the render path must not read "
+                   "wall clocks, draw from unseeded RNGs, or iterate sets "
+                   "in hash order")
+    history = ("the standing contract: bit-identical images behind every "
+               "optimization — enforced so far only by runtime smoke "
+               "gates, which cannot see a nondeterminism that happens to "
+               "agree on one machine")
+
+    def check(self, ctx: FileContext):
+        if not ctx.in_parity_surface:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if name in _WALL_CLOCK:
+                    yield RawFinding(
+                        node.lineno,
+                        f"{name}() on the parity surface; wall-clock values "
+                        "differ across runs — use a seeded/injected value",
+                    )
+                elif name in _GLOBAL_RNG:
+                    yield RawFinding(
+                        node.lineno,
+                        f"{name}() draws from the unseeded global RNG on "
+                        "the parity surface; thread a seeded Generator in",
+                    )
+                elif (name is not None
+                        and name.split(".")[-1] == "default_rng"
+                        and not node.args and not node.keywords):
+                    yield RawFinding(
+                        node.lineno,
+                        "default_rng() without a seed on the parity "
+                        "surface; renders would differ run to run",
+                    )
+
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            set_names = _set_bound_names(fn)
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.For):
+                    continue
+                it = node.iter
+                is_set_iter = (
+                    isinstance(it, (ast.Set, ast.SetComp))
+                    or (isinstance(it, ast.Call)
+                        and call_name(it) in {"set", "frozenset"})
+                    or (isinstance(it, ast.Name) and it.id in set_names))
+                if is_set_iter:
+                    yield RawFinding(
+                        node.lineno,
+                        "iteration over a set on the parity surface; hash "
+                        "order varies across processes — wrap in sorted()",
+                    )
+
+
+@register
+class FloatEqRule(Rule):
+    """No ``==``/``!=`` against float literals on parity-path code."""
+
+    id = "float-eq"
+    severity = ERROR
+    description = ("equality comparison against a float literal; on the "
+                   "parity surface an epsilon-or-exact decision must be "
+                   "explicit (suppress with a reason when exact-zero is "
+                   "the contract)")
+    history = ("parity gates compare images at <=1e-9/channel; a float == "
+               "that happens to hold under one engine's rounding and not "
+               "the other's is how engines drift")
+
+    def check(self, ctx: FileContext):
+        if not ctx.in_parity_surface:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            has_eq = any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops)
+            if not has_eq:
+                continue
+            if any(isinstance(o, ast.Constant) and isinstance(o.value, float)
+                   for o in operands):
+                yield RawFinding(
+                    node.lineno,
+                    "float-literal equality comparison; use an explicit "
+                    "tolerance, or suppress with the reason the exact "
+                    "comparison is intended",
+                )

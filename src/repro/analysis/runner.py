@@ -1,0 +1,186 @@
+"""The lint driver: collect files, run rules, resolve waivers.
+
+``run_lint`` is the one entry point both the CLI and the test suite
+use. The pipeline per run:
+
+1. collect ``.py`` files from the given paths (default: the installed
+   ``repro`` package source tree);
+2. parse everything once, compute the parity surface from the import
+   graph (package files only; loose files join the surface only under
+   ``assume_parity``);
+3. run every enabled rule over every file, resolving severity from the
+   per-subsystem config;
+4. apply inline suppressions (line- or scope-level), then the committed
+   baseline by fingerprint;
+5. add the meta-findings: malformed ``lint-ok`` markers and suppressions
+   that matched nothing.
+
+Unparseable files are findings (rule ``parse-error``), not crashes: a
+linter that dies on the file it should flag gates nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline, empty_baseline
+from repro.analysis.core import (
+    ERROR,
+    WARNING,
+    FileContext,
+    Finding,
+    LintConfig,
+    all_rules,
+    fingerprint,
+)
+from repro.analysis.importgraph import _module_name, parity_surface
+from repro.analysis.suppress import parse_suppressions
+
+#: Meta-rule ids (not in the registry; they come from the runner).
+RULE_PARSE_ERROR = "parse-error"
+RULE_BAD_SUPPRESSION = "bad-suppression"
+RULE_UNUSED_SUPPRESSION = "unused-suppression"
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    parity_modules: set[str] = field(default_factory=set)
+
+    @property
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if f.active]
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.active if f.severity == ERROR]
+
+    def gate_failed(self, strict: bool) -> bool:
+        """Whether this run fails the gate (errors always; any active
+        finding under ``--strict``)."""
+        return bool(self.active) if strict else bool(self.errors)
+
+
+def default_source_root() -> Path:
+    """Directory that contains the ``repro`` package (``src/``)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent.parent
+
+
+def collect_files(paths: list[Path]) -> list[Path]:
+    out: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            out.extend(sorted(p for p in path.rglob("*.py")
+                              if "__pycache__" not in p.parts))
+        elif path.suffix == ".py":
+            out.append(path)
+    # De-duplicate while keeping order.
+    seen: set[Path] = set()
+    unique = []
+    for p in out:
+        rp = p.resolve()
+        if rp not in seen:
+            seen.add(rp)
+            unique.append(p)
+    return unique
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def run_lint(
+    paths: list[Path] | None = None,
+    config: LintConfig | None = None,
+    baseline: Baseline | None = None,
+) -> LintResult:
+    """Lint the given paths (default: the repro package source tree)."""
+    config = config or LintConfig()
+    baseline = baseline or empty_baseline()
+    src_root = default_source_root()
+    files = collect_files([Path(p) for p in paths] if paths else [src_root / "repro"])
+
+    result = LintResult()
+    parsed: list[tuple[Path, str, str | None, ast.Module, str]] = []
+    package_trees: dict[str, ast.Module] = {}
+    for path in files:
+        display = _display_path(path)
+        try:
+            source = path.read_text()
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            result.findings.append(Finding(
+                rule=RULE_PARSE_ERROR, severity=ERROR, path=display,
+                line=line, symbol="<module>",
+                message=f"cannot lint: {exc}",
+                fingerprint=fingerprint(RULE_PARSE_ERROR, display,
+                                        "<module>", str(exc)),
+            ))
+            continue
+        module = _module_name(path, src_root)
+        parsed.append((path, display, module, tree, source))
+        if module:
+            package_trees[module] = tree
+
+    result.parity_modules = parity_surface(package_trees, config.parity_roots)
+    rules = [r for r in all_rules() if config.rule_enabled(r.id)]
+
+    for path, display, module, tree, source in parsed:
+        in_surface = (module in result.parity_modules if module
+                      else config.assume_parity)
+        ctx = FileContext(path=path, source=source, tree=tree, module=module,
+                          in_parity_surface=in_surface, config=config)
+        suppressions = parse_suppressions(source)
+
+        for line, message in suppressions.malformed:
+            result.findings.append(Finding(
+                rule=RULE_BAD_SUPPRESSION, severity=ERROR, path=display,
+                line=line, symbol=ctx.symbol_at(line), message=message,
+                fingerprint=fingerprint(RULE_BAD_SUPPRESSION, display,
+                                        ctx.symbol_at(line),
+                                        ctx.line_text(line)),
+            ))
+
+        for rule in rules:
+            severity = config.severity_for(rule, ctx.subsystem)
+            for raw in rule.check(ctx):
+                symbol = ctx.symbol_at(raw.line)
+                finding = Finding(
+                    rule=rule.id, severity=severity, path=display,
+                    line=raw.line, symbol=symbol, message=raw.message,
+                    fingerprint=fingerprint(rule.id, display, symbol,
+                                            ctx.line_text(raw.line)),
+                )
+                sup = suppressions.match(rule.id, raw.line,
+                                         ctx.scope_start(raw.line))
+                if sup is not None:
+                    finding.suppressed = True
+                    finding.suppress_reason = sup.reason
+                elif finding.fingerprint in baseline.fingerprints:
+                    finding.baselined = True
+                result.findings.append(finding)
+
+        for sup in suppressions.unused():
+            result.findings.append(Finding(
+                rule=RULE_UNUSED_SUPPRESSION, severity=WARNING, path=display,
+                line=sup.line, symbol=ctx.symbol_at(sup.line),
+                message=(f"lint-ok[{', '.join(sup.rules)}] matched no "
+                         "finding; stale waiver — remove it"),
+                fingerprint=fingerprint(RULE_UNUSED_SUPPRESSION, display,
+                                        ctx.symbol_at(sup.line),
+                                        ctx.line_text(sup.line)),
+            ))
+
+    result.files_scanned = len(files)
+    return result

@@ -1,0 +1,115 @@
+"""Inline suppressions: ``# repro: lint-ok[rule-id] reason``.
+
+A suppression is a contract, not an escape hatch: it must name the rule
+(or a comma list of rules) *and* give a non-empty reason, which the
+reporters echo so reviewers can audit every waived invariant. Placement
+decides scope:
+
+* on the offending line -> suppresses that line only;
+* on the ``def``/``class`` line of a scope -> suppresses the rule(s)
+  anywhere inside that scope (for contracts a line can't express, e.g.
+  "caller holds the lock");
+* malformed markers (missing rule id or reason) are themselves findings
+  (rule ``bad-suppression``), so a typo cannot silently disable a rule.
+
+Suppressions that match no finding are reported by the runner as
+``unused-suppression`` findings — stale waivers rot into falsehoods
+otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_MARKER = re.compile(
+    r"#\s*repro:\s*lint-ok"          # the marker
+    r"(?:\[(?P<rules>[^\]]*)\])?"    # [rule-id, ...]
+    r"[ \t]*(?P<reason>[^#\n]*)"     # the mandatory reason
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``lint-ok`` marker."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+@dataclass
+class SuppressionSet:
+    """All markers of one file, plus the malformed ones."""
+
+    by_line: dict[int, list[Suppression]] = field(default_factory=dict)
+    malformed: list[tuple[int, str]] = field(default_factory=list)
+
+    def match(self, rule_id: str, line: int, scope_start: int) -> Suppression | None:
+        """The suppression covering ``rule_id`` at ``line`` (same line
+        first, then the enclosing scope's header line), if any."""
+        for candidate_line in (line, scope_start):
+            for sup in self.by_line.get(candidate_line, ()):
+                if rule_id in sup.rules:
+                    sup.used = True
+                    return sup
+        return None
+
+    def unused(self) -> list[Suppression]:
+        return [s for sups in self.by_line.values() for s in sups if not s.used]
+
+
+def _comment_tokens(source: str) -> list[tuple[int, str]]:
+    """``(line, text)`` for every real comment token in ``source``.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps markers
+    *mentioned in docstrings* — like the ones documenting this very
+    syntax — from registering as live suppressions.
+    """
+    import io
+    import tokenize
+
+    out = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.string))
+    except tokenize.TokenError:
+        pass  # the AST parse will have reported the real problem
+    return out
+
+
+def parse_suppressions(source: str) -> SuppressionSet:
+    """Scan a file's comments for ``lint-ok`` markers.
+
+    The scan is forgiving about *finding* markers and strict about
+    their shape — ``repro: lint-ok`` without a bracketed rule list or
+    without a reason is recorded as malformed.
+    """
+    out = SuppressionSet()
+    for lineno, text in _comment_tokens(source):
+        if "lint-ok" not in text:
+            continue
+        match = _MARKER.search(text)
+        if match is None:
+            continue
+        rules_raw = match.group("rules")
+        reason = (match.group("reason") or "").strip()
+        if not rules_raw or not rules_raw.strip():
+            out.malformed.append(
+                (lineno, "lint-ok marker is missing its [rule-id] list"))
+            continue
+        rules = tuple(r.strip() for r in rules_raw.split(",") if r.strip())
+        if not rules:
+            out.malformed.append(
+                (lineno, "lint-ok marker has an empty [rule-id] list"))
+            continue
+        if not reason:
+            out.malformed.append(
+                (lineno, f"lint-ok[{', '.join(rules)}] has no reason; "
+                         "every waiver must say why"))
+            continue
+        out.by_line.setdefault(lineno, []).append(
+            Suppression(line=lineno, rules=rules, reason=reason))
+    return out

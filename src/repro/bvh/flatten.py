@@ -36,8 +36,6 @@ the primitive soup.
 
 from __future__ import annotations
 
-import threading
-import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -46,6 +44,7 @@ from repro.bvh.layout import INSTANCE_BYTES, LEAF_HEADER_BYTES
 from repro.bvh.monolithic import MonolithicBVH
 from repro.bvh.node import FlatBVH
 from repro.bvh.two_level import TwoLevelBVH
+from repro.util import IdentityMemo
 
 #: What a root level's leaves reference.
 PRIMS_TRIANGLES = "triangles"
@@ -227,13 +226,20 @@ def flattenable(structure) -> bool:
     return isinstance(structure, (MonolithicBVH, TwoLevelBVH, FlatStructure))
 
 
-# Identity-checked memo: id -> (weakref to structure, flat layout).  The
-# stored weakref is verified against the live object on every hit, and a
-# death callback evicts the entry, so a recycled id can never serve a
-# layout built over different geometry (the failure mode that made the
-# serving layer abandon id()-keyed caches in PR 2).
-_FLAT_CACHE: dict[int, tuple] = {}
-_FLAT_LOCK = threading.Lock()
+# Identity-checked memo (locked + weakref-verified, so a recycled id can
+# never serve a layout built over different geometry — the failure mode
+# that made the serving layer abandon bare id()-keyed caches in PR 2).
+_FLAT_MEMO = IdentityMemo()
+
+
+def _flatten_uncached(structure) -> FlatStructure:
+    if isinstance(structure, MonolithicBVH):
+        return _flatten_monolithic(structure)
+    if isinstance(structure, TwoLevelBVH):
+        return _flatten_two_level(structure)
+    raise TypeError(
+        f"cannot flatten {type(structure).__name__}; expected "
+        "MonolithicBVH, TwoLevelBVH or FlatStructure")
 
 
 def flatten(structure) -> FlatStructure:
@@ -245,23 +251,4 @@ def flatten(structure) -> FlatStructure:
     """
     if isinstance(structure, FlatStructure):
         return structure
-    key = id(structure)
-    with _FLAT_LOCK:
-        entry = _FLAT_CACHE.get(key)
-        if entry is not None and entry[0]() is structure:
-            return entry[1]
-    if isinstance(structure, MonolithicBVH):
-        flat = _flatten_monolithic(structure)
-    elif isinstance(structure, TwoLevelBVH):
-        flat = _flatten_two_level(structure)
-    else:
-        raise TypeError(
-            f"cannot flatten {type(structure).__name__}; expected "
-            "MonolithicBVH, TwoLevelBVH or FlatStructure")
-    try:
-        ref = weakref.ref(structure, lambda _r, k=key: _FLAT_CACHE.pop(k, None))
-    except TypeError:
-        return flat
-    with _FLAT_LOCK:
-        _FLAT_CACHE[key] = (ref, flat)
-    return flat
+    return _FLAT_MEMO.get_or_build(structure, _flatten_uncached)

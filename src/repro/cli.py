@@ -134,6 +134,38 @@ def _build_parser() -> argparse.ArgumentParser:
                             "snapshot this process's (mostly empty) registry")
     stats.add_argument("--json", action="store_true", dest="as_json",
                        help="emit the snapshot as JSON instead of tables")
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically check the project invariants (parity contract, "
+             "cache keys, lock discipline, process boundaries)")
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files or directories to lint (default: the "
+                           "repro package source tree)")
+    lint.add_argument("--strict", action="store_true",
+                      help="fail on warnings too, not only errors (what CI "
+                           "runs)")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the machine-readable report to stdout")
+    lint.add_argument("--json-out", default=None, metavar="FILE",
+                      help="also write the JSON report to FILE (the CI "
+                           "artifact)")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="baseline file of grandfathered findings "
+                           "(default: lint_baseline.json next to the "
+                           "source tree, when present)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline file")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="record the current findings as the new "
+                           "baseline and exit 0")
+    lint.add_argument("--rules", default=None, metavar="ID[,ID...]",
+                      help="run only these rule ids")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog (id, severity, the "
+                           "historical bug it descends from) and exit")
+    lint.add_argument("--verbose", action="store_true",
+                      help="always show the suppressed-findings section")
     return parser
 
 
@@ -384,6 +416,66 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro import analysis
+
+    if args.list_rules:
+        for rule in analysis.all_rules():
+            print(f"{rule.id}  [{rule.severity}]")
+            print(f"    {rule.description}")
+            print(f"    history: {rule.history}")
+        return 0
+
+    enabled = None
+    if args.rules:
+        enabled = frozenset(r.strip() for r in args.rules.split(",") if r.strip())
+        known = {rule.id for rule in analysis.all_rules()}
+        unknown = sorted(enabled - known)
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(unknown)}; "
+                  "see 'repro lint --list-rules'", file=sys.stderr)
+            return 2
+    config = analysis.LintConfig(enabled_rules=enabled)
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        candidate = analysis.default_source_root().parent / "lint_baseline.json"
+        baseline_path = candidate if candidate.exists() else None
+    baseline = None
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            baseline = analysis.load_baseline(baseline_path)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    result = analysis.run_lint(paths, config=config, baseline=baseline)
+
+    if args.write_baseline:
+        target = baseline_path or (
+            analysis.default_source_root().parent / "lint_baseline.json")
+        written = analysis.write_baseline(target, result.active)
+        print(f"baseline: {target} ({len(written)} grandfathered findings)")
+        return 0
+
+    json_doc = analysis.render_json(
+        result.findings, result.files_scanned, args.strict,
+        sorted(result.parity_modules))
+    if args.json_out:
+        Path(args.json_out).write_text(json_doc + "\n")
+    if args.as_json:
+        print(json_doc)
+    else:
+        print(analysis.render_text(result.findings, result.files_scanned,
+                                   verbose=args.verbose))
+        if args.json_out:
+            print(f"report:    {args.json_out}")
+    return 1 if result.gate_failed(args.strict) else 0
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "render": _cmd_render,
@@ -391,6 +483,7 @@ _COMMANDS = {
     "structures": _cmd_structures,
     "serve-bench": _cmd_serve_bench,
     "stats": _cmd_stats,
+    "lint": _cmd_lint,
 }
 
 

@@ -13,6 +13,7 @@ variables for higher-fidelity (slower) runs.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -45,12 +46,18 @@ _cloud_cache: dict = {}
 _structure_cache: dict = {}
 _run_cache: dict = {}
 
+#: Guards every mutation of the three memo dicts above. Builds happen
+#: outside the lock (a duplicate build is benign; holding the lock
+#: through a render would serialize the world), writes inside it.
+_caches_lock = threading.Lock()
+
 
 def clear_caches() -> None:
     """Drop all cached clouds, structures and runs (tests use this)."""
-    _cloud_cache.clear()
-    _structure_cache.clear()
-    _run_cache.clear()
+    with _caches_lock:
+        _cloud_cache.clear()
+        _structure_cache.clear()
+        _run_cache.clear()
 
 
 def get_cloud(scene: str, scale: float | None = None) -> GaussianCloud:
@@ -64,7 +71,9 @@ def get_cloud(scene: str, scale: float | None = None) -> GaussianCloud:
         scale = BENCH_SCALE
     key = (scene, scale)
     if key not in _cloud_cache:
-        _cloud_cache[key] = make_workload(scene, scale=scale)
+        cloud = make_workload(scene, scale=scale)
+        with _caches_lock:
+            _cloud_cache.setdefault(key, cloud)
     return _cloud_cache[key]
 
 
@@ -95,7 +104,9 @@ def get_structure(scene: str, proxy: str, scale: float | None = None, width: int
     key = (scene, proxy, scale, width)
     if key not in _structure_cache:
         cloud = get_cloud(scene, scale)
-        _structure_cache[key] = build_structure_for(cloud, proxy, BuildParams(width=width))
+        structure = build_structure_for(cloud, proxy, BuildParams(width=width))
+        with _caches_lock:
+            _structure_cache.setdefault(key, structure)
     return _structure_cache[key]
 
 
@@ -184,7 +195,8 @@ def run_config(scene: str, **kwargs) -> CachedRun:
     with span("campaign.run", scene=cfg["scene"], proxy=cfg["proxy"],
               mode=cfg["mode"], checkpointing=cfg["checkpointing"]):
         run = _run_config_uncached(cfg)
-    _run_cache[key] = run
+    with _caches_lock:
+        _run_cache[key] = run
     return run
 
 
@@ -268,7 +280,9 @@ def parallel_run_configs(configs: list[dict], pool=None,
                 continue
             futures[key] = pool.submit(run_config, affinity=cfg["scene"], **cfg)
         for key, future in futures.items():
-            _run_cache[key] = future.result()
+            run = future.result()
+            with _caches_lock:
+                _run_cache[key] = run
     finally:
         if owns_pool:
             pool.close()

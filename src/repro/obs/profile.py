@@ -53,11 +53,12 @@ def phase_timer(metric: str, registry: MetricsRegistry | None = None,
     recorded; the span only when tracing is active and ``span_name`` is
     given.
     """
-    start_ns = time.time_ns()
+    start_ns = time.time_ns()  # repro: lint-ok[parity-nondeterminism] span timestamps must share the workers' wall clock for cross-process timelines; observability only, never image bits
     try:
         yield
     finally:
-        end_ns = time.time_ns()
+        end_ns = time.time_ns()  # repro: lint-ok[parity-nondeterminism] same wall-clock span contract as the start stamp above
+
         reg = registry if registry is not None else get_registry()
         reg.observe(metric, (end_ns - start_ns) / 1e9)
         if span_name is not None and tracing_active():

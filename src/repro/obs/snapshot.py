@@ -23,7 +23,7 @@ def write_snapshot(path: str, registry: MetricsRegistry | None = None) -> dict:
     reg = registry if registry is not None else get_registry()
     document = {
         "schema": SNAPSHOT_SCHEMA,
-        "created_unix": time.time(),
+        "created_unix": time.time(),  # repro: lint-ok[parity-nondeterminism] snapshot provenance metadata; compared by no gate, feeds no image
         "snapshot": reg.snapshot(),
     }
     with open(path, "w", encoding="utf-8") as fh:

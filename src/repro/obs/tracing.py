@@ -166,13 +166,13 @@ class span:
     def __enter__(self) -> "span":
         if _sink is not None:
             self._active = True
-            self._start_ns = time.time_ns()
+            self._start_ns = time.time_ns()  # repro: lint-ok[parity-nondeterminism] Chrome-trace spans need wall-clock stamps that align across processes; never feeds the image
         return self
 
     def __exit__(self, *_exc) -> None:
         if self._active:
             self._active = False
-            emit_span(self.name, self._start_ns, time.time_ns(), **self.args)
+            emit_span(self.name, self._start_ns, time.time_ns(), **self.args)  # repro: lint-ok[parity-nondeterminism] same wall-clock span contract as __enter__
 
 
 # ---------------------------------------------------------------------------

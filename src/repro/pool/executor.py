@@ -327,6 +327,8 @@ class WorkerPool:
         return plans
 
     def _plan_one(self, wid: int, task_id: int):
+        """Plan one dispatch of ``task_id`` to idle worker ``wid``
+        (lock held — only ``_plan_dispatches`` calls this)."""
         task = self._tasks.get(task_id)
         if task is None:
             return None

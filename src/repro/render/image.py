@@ -43,7 +43,7 @@ def psnr(a: np.ndarray, b: np.ndarray, peak: float = 1.0) -> float:
     if a.shape != b.shape:
         raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
     mse = float(np.mean((a - b) ** 2))
-    if mse == 0.0:
+    if mse == 0.0:  # repro: lint-ok[float-eq] exact-zero MSE is the infinite-PSNR contract; a tolerance would misreport near-identical images
         return float("inf")
     return 10.0 * np.log10(peak * peak / mse)
 

@@ -710,7 +710,7 @@ class PacketTracer:
         """Batched unit-box test of the sphere BLAS root record —
         the scalar instance path's one box test, vectorized (same
         exact-zero direction guard)."""
-        safe = np.where(d2 == 0.0, 1e-12, d2)
+        safe = np.where(d2 == 0.0, 1e-12, d2)  # repro: lint-ok[float-eq] exact-zero guard mirrors the scalar engine's slab divide bit-for-bit
         t0 = (-1.0 - o2) / safe
         t1 = (1.0 - o2) / safe
         tn = np.minimum(t0, t1).max(axis=1)

@@ -28,7 +28,6 @@ numpy-everywhere code.
 from __future__ import annotations
 
 import time
-import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -50,6 +49,7 @@ from repro.rt.recorder import (
     RayTrace,
 )
 from repro.rt.shading import SceneShading
+from repro.util import IdentityMemo
 
 # Checkpoint entry kinds (what the 20-byte checkpoint record refers to).
 CKPT_NODE = 0
@@ -257,26 +257,19 @@ class FlatTables:
             self.ordered_gids = flat.prim_gid.tolist()
 
 
-# Identity-checked memo mirroring repro.bvh.flatten's registry: keyed
-# by id() (FlatStructure defines __eq__, so it is unhashable), verified
-# against the live object, and evicted when the structure dies. Keeping
-# the tables out of the object itself also keeps them out of the pickle
-# stream when pooled tiles ship flattened structures to workers.
-_TABLES_CACHE: dict[int, tuple] = {}
+# Identity-checked memo mirroring repro.bvh.flatten's registry: keyed by
+# object identity (FlatStructure defines __eq__, so it is unhashable),
+# weakref-verified against the live object, locked (serving dispatchers
+# and tile threads build tables concurrently), and evicted when the
+# structure dies. Keeping the tables out of the object itself also keeps
+# them out of the pickle stream when pooled tiles ship flattened
+# structures to workers.
+_TABLES_MEMO = IdentityMemo()
 
 
 def flat_tables(flat) -> FlatTables:
     """The (memoized) :class:`FlatTables` of one flattened structure."""
-    key = id(flat)
-    hit = _TABLES_CACHE.get(key)
-    if hit is not None:
-        ref, tables = hit
-        if ref() is flat:
-            return tables
-    tables = FlatTables(flat)
-    ref = weakref.ref(flat, lambda _r, k=key: _TABLES_CACHE.pop(k, None))
-    _TABLES_CACHE[key] = (ref, tables)
-    return tables
+    return _TABLES_MEMO.get_or_build(flat, FlatTables)
 
 
 class Tracer:
@@ -838,7 +831,7 @@ class Tracer:
             t_near = -_INF
             t_far = _INF
             for oc, dc in ((ox, dx), (oy, dy), (oz, dz)):
-                if dc == 0.0:
+                if dc == 0.0:  # repro: lint-ok[float-eq] exact-zero slab-divide guard; the batched engines mirror it bit-for-bit
                     dc = 1e-12
                 a = (-1.0 - oc) / dc
                 b = (1.0 - oc) / dc

@@ -336,7 +336,7 @@ class PacketTraceRecorder:
         empty = np.empty(0, dtype=np.int64)
         if rp.size == 0:
             return out, empty, empty, None, None
-        safe = np.where(d2 == 0.0, 1e-12, d2)
+        safe = np.where(d2 == 0.0, 1e-12, d2)  # repro: lint-ok[float-eq] exact-zero guard mirrors the scalar engine's slab divide bit-for-bit
         t0 = (-1.0 - o2) / safe
         t1 = (1.0 - o2) / safe
         tn = np.minimum(t0, t1).max(axis=1)

@@ -94,7 +94,7 @@ def split_frame(width: int, height: int, tile_width: int, tile_height: int) -> l
 def _close_pool_quietly(pool: WorkerPool) -> None:
     try:
         pool.close(wait=False, timeout=2.0)
-    except Exception:
+    except Exception:  # repro: lint-ok[broad-except] best-effort close at finalizer time; the process is going away and there is nobody to tell
         pass
 
 

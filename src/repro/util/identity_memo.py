@@ -1,0 +1,93 @@
+"""The one blessed identity-keyed memo.
+
+Caching per *object* (not per value) keeps hot paths allocation-free,
+but a plain ``dict`` keyed by ``id(obj)`` has two failure modes this
+repo has already shipped and fixed once each:
+
+* **recycled ids** — once the object dies, its id can be reused by a
+  different object, and the cache serves a stale value built over
+  different data (the tracer-reuse bug fixed in PR 2);
+* **unlocked mutation** — the memo is shared process-wide, and the
+  serving layer mutates it from dispatcher threads and tile workers
+  concurrently (the ``_TABLES_CACHE`` race the lint rule ``lock-
+  discipline`` was written to catch).
+
+:class:`IdentityMemo` packages the fix for both: entries pair the value
+with a ``weakref.ref`` that is verified against the live object on every
+hit (a dead or recycled key can never satisfy a lookup), a death
+callback evicts the entry, and every mutation happens under one lock.
+``repro.analysis`` blesses exactly this pattern — new identity-keyed
+caches should use this class instead of hand-rolling a dict.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+V = TypeVar("V")
+
+
+class IdentityMemo:
+    """A locked, weakref-guarded memo keyed by object identity.
+
+    Values are computed once per *live* object: lookups verify the
+    stored weak reference against the argument, so a recycled ``id``
+    can never serve a value built for a dead object. Unweakrefable
+    objects are simply never cached (``get`` misses, ``put`` is a
+    no-op) — correct, just unmemoized.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[int, tuple[weakref.ref, object]] = {}
+        self._lock = threading.Lock()
+
+    def get(self, obj: object) -> object | None:
+        """The memoized value for ``obj``, or ``None`` on a miss."""
+        key = id(obj)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0]() is obj:
+                return entry[1]
+        return None
+
+    def put(self, obj: T, value: V) -> V:
+        """Memoize ``value`` for ``obj``; returns ``value`` either way."""
+        key = id(obj)
+        try:
+            ref = weakref.ref(obj, lambda _r, k=key: self._evict(k))
+        except TypeError:
+            return value  # unweakrefable: never cached
+        with self._lock:
+            self._entries[key] = (ref, value)
+        return value
+
+    def get_or_build(self, obj: T, build: Callable[[T], V]) -> V:
+        """Return the memoized value, building (outside the lock) on a miss.
+
+        ``build`` runs without the lock held, so two threads racing on
+        the same new object may both build; the duplicate is benign
+        (both values are equal by construction) and the lock is never
+        held across potentially-heavy work.
+        """
+        hit = self.get(obj)
+        if hit is not None:
+            return hit
+        return self.put(obj, build(obj))
+
+    def _evict(self, key: int) -> None:
+        # Weakref death callbacks can fire at arbitrary allocation
+        # points — including while this thread already holds the lock —
+        # so the eviction must not re-acquire it. A bare dict.pop is
+        # GIL-atomic, which is all the callback needs.
+        self._entries.pop(key, None)  # repro: lint-ok[lock-discipline] GIL-atomic pop in a weakref death callback; taking the non-reentrant lock here could deadlock mid-gc
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,25 @@
+"""Fixture: cache-key-params.
+
+The memo key folds in ``_ambient_scale`` — ambient module state, not a
+declared parameter — so flipping the ambient value serves stale
+results. The eval campaign's cache contract: every axis that varies a
+result is a parameter and appears in the key.
+"""
+
+import threading
+
+_memo: dict = {}
+_memo_lock = threading.Lock()
+_ambient_scale = 1.0
+
+
+def expensive(scene, mode):
+    return (scene, mode)
+
+
+def lookup(scene, mode):
+    key = (scene, mode, _ambient_scale)
+    with _memo_lock:
+        if key not in _memo:
+            _memo[key] = expensive(scene, mode)
+        return _memo[key]

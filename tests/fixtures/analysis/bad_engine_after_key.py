@@ -1,0 +1,20 @@
+"""Fixture: engine-before-key (PR 4's cache-aliasing bug).
+
+Cache keys built before ``resolve_engine()`` runs — or built from the
+raw requested engine instead of the resolved one — alias ``"auto"``
+and the engine it resolves to into different cache entries.
+"""
+
+from repro.render.path import resolve_engine
+
+
+def render_cached(scene, engine, cache):
+    key = (scene, engine)
+    resolved = resolve_engine(engine, scene)
+    return cache.get(key), resolved
+
+
+def render_resolved_late(scene, engine, cache):
+    resolved = resolve_engine(engine, scene)
+    key = (scene, engine)
+    return cache.get(key), resolved

@@ -1,0 +1,9 @@
+"""Fixture: float-eq (lint with ``assume_parity=True``).
+
+A float-literal equality on parity-path code: holds under one engine's
+rounding and not the other's.
+"""
+
+
+def weight_is_saturated(weight):
+    return weight == 1.0

@@ -1,0 +1,18 @@
+"""Fixture: shadowed-dict-key (PR 6's gauge-over-counter bug).
+
+``snapshot`` writes the same literal key twice into one dict: the
+gauge provider silently shadows the counter, exactly how
+``ServerMetrics.snapshot()`` lost counters until gauges were
+namespaced ``gauge.*``.
+"""
+
+
+def snapshot(metrics):
+    out = {}
+    out["renders"] = metrics.counter("renders")
+    out["renders"] = metrics.gauge("renders")
+    return out
+
+
+def merged_literal():
+    return {"tiles": 1, "tiles": 2}

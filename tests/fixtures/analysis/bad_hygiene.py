@@ -1,0 +1,13 @@
+"""Fixture: mutable-default + broad-except.
+
+A shared mutable default (cross-request state in a long-lived server)
+and a broad except that would swallow WorkerCrashError silently.
+"""
+
+
+def accumulate(sample, sink=[]):
+    try:
+        sink.append(sample)
+    except Exception:
+        pass
+    return sink

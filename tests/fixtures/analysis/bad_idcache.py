@@ -1,0 +1,20 @@
+"""Fixture: id-keyed-cache (PR 2's tracer-reuse bug, reconstructed).
+
+A cache keyed by ``id(scene)`` with no liveness guard: once the scene
+is garbage collected its id can be recycled by a brand-new scene, and
+the cache serves a tracer built over the dead one.
+"""
+
+
+class TracerServer:
+    def __init__(self):
+        self._tracers = {}
+
+    def get_tracer(self, scene, build):
+        key = id(scene)
+        hit = self._tracers.get(key)
+        if hit is not None:
+            return hit
+        tracer = build(scene)
+        self._tracers[key] = tracer
+        return tracer

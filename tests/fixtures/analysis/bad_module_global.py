@@ -1,0 +1,18 @@
+"""Fixture: lock-discipline, module form.
+
+A module-global container with a module lock that one writer ignores.
+"""
+
+import threading
+
+_CACHE: dict = {}
+_LOCK = threading.Lock()
+
+
+def put(key, value):
+    _CACHE[key] = value
+
+
+def get(key):
+    with _LOCK:
+        return _CACHE.get(key)

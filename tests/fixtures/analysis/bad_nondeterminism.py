@@ -1,0 +1,20 @@
+"""Fixture: parity-nondeterminism (lint with ``assume_parity=True``).
+
+Wall-clock reads, unseeded RNG draws and set-order iteration: the
+three ways Python silently breaks the bit-identical-image contract
+while agreeing with itself on the machine it was written on.
+"""
+
+import time
+
+import numpy as np
+
+
+def jitter_samples(rays):
+    seed = time.time()
+    noise = np.random.rand(len(rays))
+    rng = np.random.default_rng()
+    order = set(rays)
+    for ray in order:
+        noise = noise + rng.standard_normal(1)
+    return seed, noise

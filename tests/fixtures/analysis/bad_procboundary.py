@@ -1,0 +1,22 @@
+"""Fixture: process-boundary.
+
+Lambdas, closures, generator expressions and open handles shipped to
+the worker pool: each either fails to pickle or smuggles parent-process
+state across the boundary (PR 6's metrics vanished exactly there).
+"""
+
+
+def fan_out(pool, tiles, scene):
+    futures = [pool.submit(lambda t: t.render(scene), t) for t in tiles]
+
+    def per_tile(tile):
+        return tile.render(scene)
+
+    futures.append(pool.submit(per_tile, tiles[0]))
+    pool.map(per_tile, (t for t in tiles))
+    pool.submit(read_trace, open("trace.bin", "rb"))
+    return futures
+
+
+def read_trace(handle):
+    return handle.read()

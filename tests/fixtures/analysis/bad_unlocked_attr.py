@@ -1,0 +1,21 @@
+"""Fixture: lock-discipline, class form.
+
+``add`` establishes that ``self._counts`` is lock-protected; ``reset``
+then mutates it without the lock — the shape of the unlocked
+``_TABLES_CACHE`` access the tracer shipped with.
+"""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = {}
+
+    def add(self, name, value):
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + value
+
+    def reset(self, name):
+        self._counts[name] = 0

@@ -1,0 +1,36 @@
+"""Fixture: the blessed patterns — must lint clean (assume_parity).
+
+Identity memo with a weakref liveness guard, branch-exclusive dict
+writes, key derived from parameters, mutations under the module lock.
+"""
+
+import threading
+import weakref
+
+_memo: dict = {}
+_memo_lock = threading.Lock()
+
+
+def remember(obj, value):
+    key = id(obj)
+    ref = weakref.ref(obj)
+    with _memo_lock:
+        _memo[key] = (ref, value)
+
+
+def recall(obj):
+    key = id(obj)
+    with _memo_lock:
+        entry = _memo.get(key)
+    if entry is not None and entry[0]() is obj:
+        return entry[1]
+    return None
+
+
+def describe(structure):
+    out = {"kind": "structure"}
+    if structure is None:
+        out["nodes"] = 0
+    else:
+        out["nodes"] = len(structure)
+    return out
