@@ -25,7 +25,6 @@ machine-readable ``BENCH_packet_tlas.json`` (two-level runs) /
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -34,8 +33,12 @@ from pathlib import Path
 _SRC = Path(__file__).resolve().parent.parent / "src"
 if _SRC.is_dir() and str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+if str(Path(__file__).resolve().parent) not in sys.path:
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import numpy as np
+
+from bench_schema import write_bench_json
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -141,17 +144,12 @@ def main(argv: list[str] | None = None) -> int:
     # Per-family filenames so CI's back-to-back monolithic and tlas runs
     # don't clobber each other's reports.
     (RESULTS_DIR / f"packet_vs_scalar_{family}.txt").write_text(report + "\n")
-    payload = {
-        "scene": args.scene,
-        "size": args.size,
-        "scale": args.scale,
-        "structure": args.structure,
-        "k": args.k,
-        "n_gaussians": len(cloud),
-        "measurements": measurements,
-    }
-    (RESULTS_DIR / f"BENCH_packet_{family}.json").write_text(
-        json.dumps(payload, indent=2) + "\n")
+    write_bench_json(
+        RESULTS_DIR / f"BENCH_packet_{family}.json", f"packet_{family}",
+        config={"scene": args.scene, "size": args.size,
+                "scale": args.scale, "structure": args.structure,
+                "k": args.k, "n_gaussians": len(cloud)},
+        sections={"measurements": measurements})
 
     failures = []
     for m in measurements:

@@ -31,7 +31,6 @@ are printed as a table and written machine-readable to
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -40,8 +39,12 @@ from pathlib import Path
 _SRC = Path(__file__).resolve().parent.parent / "src"
 if _SRC.is_dir() and str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+if str(Path(__file__).resolve().parent) not in sys.path:
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import numpy as np
+
+from bench_schema import write_bench_json
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -266,16 +269,17 @@ def main(argv: list[str] | None = None) -> int:
     report = "\n\n".join(sections)
     print(report)
 
-    payload = {
-        "benchmark": "pool",
-        "scene": args.scene,
-        "pool_reuse": reuse,
-        "work_stealing": stealing,
-        "adaptive_tiles": adaptive,
-    }
-    out = Path(args.out)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    out = write_bench_json(
+        args.out, "pool",
+        config={"scene": args.scene, "size": args.size,
+                "scale": args.scale, "proxy": args.proxy,
+                "tile": args.tile, "frames": args.frames,
+                "start_method": args.start_method,
+                "workers": resolved_workers,
+                "steal_tasks": args.steal_tasks,
+                "steal_sleep": args.steal_sleep},
+        sections={"pool_reuse": reuse, "work_stealing": stealing,
+                  "adaptive_tiles": adaptive})
     print(f"\nwrote {out}")
 
     if args.check:

@@ -35,7 +35,6 @@ Three sections, written to ``benchmarks/results/BENCH_replay.json``:
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -44,6 +43,10 @@ from pathlib import Path
 _SRC = Path(__file__).resolve().parent.parent / "src"
 if _SRC.is_dir() and str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+if str(Path(__file__).resolve().parent) not in sys.path:
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_schema import write_bench_json
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -201,19 +204,16 @@ def main(argv: list[str] | None = None) -> int:
     print(report)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "replay_pipeline.txt").write_text(report + "\n")
-    payload = {
-        "scene": args.scene,
-        "size": args.size,
-        "scale": args.scale,
-        "k": args.k,
-        "n_gaussians": len(cloud),
-        "configs": measurements,
-        "campaign_old_total_s": old_total,
-        "campaign_new_total_s": new_total,
-        "campaign_e2e_speedup": total_e2e,
-    }
-    (RESULTS_DIR / "BENCH_replay.json").write_text(
-        json.dumps(payload, indent=2) + "\n")
+    write_bench_json(
+        RESULTS_DIR / "BENCH_replay.json", "replay",
+        config={"scene": args.scene, "size": args.size,
+                "scale": args.scale, "k": args.k,
+                "replay_reps": args.replay_reps,
+                "n_gaussians": len(cloud)},
+        sections={"configs": measurements,
+                  "campaign": {"old_total_s": old_total,
+                               "new_total_s": new_total,
+                               "e2e_speedup": total_e2e}})
 
     failures = []
     for name, m in measurements.items():

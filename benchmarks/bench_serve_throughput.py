@@ -15,15 +15,17 @@ merged observability snapshot) to ``benchmarks/results/BENCH_serve.json``.
 
 from __future__ import annotations
 
-import json
 import sys
-import time
 from pathlib import Path
 
 # Allow running straight from a checkout without installing the package.
 _SRC = Path(__file__).resolve().parent.parent / "src"
 if _SRC.is_dir() and str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+if str(Path(__file__).resolve().parent) not in sys.path:
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_schema import write_bench_json
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -48,20 +50,14 @@ def main(argv: list[str] | None = None) -> int:
     print(report)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "serve_throughput.txt").write_text(report.report + "\n")
-    document = {
-        "benchmark": "serve_throughput",
-        "created_unix": time.time(),
-        "config": {
-            "scene": args.scene, "size": args.size,
-            "request_size": args.request_size, "scale": args.scale,
-            "tile": args.tile, "workers": args.workers,
-            "requests": args.requests, "unique": args.unique,
-            "engine": args.engine,
-        },
-        "metrics": report.metrics,
-    }
-    (RESULTS_DIR / "BENCH_serve.json").write_text(
-        json.dumps(document, indent=2, sort_keys=True) + "\n")
+    write_bench_json(
+        RESULTS_DIR / "BENCH_serve.json", "serve_throughput",
+        config={"scene": args.scene, "size": args.size,
+                "request_size": args.request_size, "scale": args.scale,
+                "tile": args.tile, "workers": args.workers,
+                "requests": args.requests, "unique": args.unique,
+                "engine": args.engine},
+        sections={"metrics": report.metrics})
     return 0
 
 

@@ -30,6 +30,15 @@ from repro.analysis.core import (
 _SHIP_METHODS = frozenset({"submit", "map", "submit_tile", "imap",
                            "imap_unordered", "apply_async"})
 
+#: Flight-recorder emission entry points: everything passed here lands
+#: verbatim inside JSON checkpoint/bundle documents.
+_FLIGHT_METHODS = frozenset({"record", "record_span", "dump_incident"})
+
+#: Constructors whose values json.dumps cannot encode (the bundle
+#: writer falls back to repr(), which destroys the data for doctor).
+_NON_JSON_CTORS = frozenset({"set", "frozenset", "bytes", "bytearray",
+                             "complex", "object"})
+
 
 def _is_pool_receiver(expr: ast.expr) -> bool:
     """Whether a call receiver looks like a worker pool."""
@@ -113,3 +122,78 @@ class ProcessBoundaryRule(Rule):
                             "open file handle shipped to the pool; pass "
                             "the path and open in the worker",
                         )
+
+
+def _is_flight_receiver(expr: ast.expr) -> bool:
+    """Whether a call receiver is the flight recorder (module or
+    instance — ``flight.record``, ``self._flight.dump_incident``)."""
+    name = dotted_name(expr)
+    return name is not None and "flight" in name.lower()
+
+
+@register
+class FlightSerializableRule(Rule):
+    """Flight-event payloads must be JSON-serializable plain data."""
+
+    id = "flight-serializable"
+    severity = ERROR
+    description = ("payloads passed to flight.record/record_span/"
+                   "dump_incident must be JSON-serializable scalars and "
+                   "containers — no lambdas, generators, sets, bytes or "
+                   "open handles; they land verbatim in incident bundles")
+    history = ("the bundle writer's repr() fallback quietly turns a "
+               "non-JSON payload into an opaque string, so the doctor's "
+               "heuristics (which read data fields like 'task' and "
+               "'worker') stop matching exactly when forensics matter")
+
+    def check(self, ctx: FileContext):
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _FLIGHT_METHODS
+                    and _is_flight_receiver(node.func.value)):
+                continue
+            payload = list(node.args) + [kw.value for kw in node.keywords]
+            for arg in payload:
+                if isinstance(arg, ast.Starred):
+                    arg = arg.value
+                if isinstance(arg, ast.Lambda):
+                    yield RawFinding(
+                        node.lineno,
+                        "lambda in a flight-event payload; bundles are "
+                        "JSON — record plain data (a name, a repr)",
+                    )
+                elif isinstance(arg, (ast.GeneratorExp, ast.SetComp)):
+                    yield RawFinding(
+                        node.lineno,
+                        "generator/set comprehension in a flight-event "
+                        "payload; JSON has no such value — materialize "
+                        "a list",
+                    )
+                elif isinstance(arg, ast.Set):
+                    yield RawFinding(
+                        node.lineno,
+                        "set literal in a flight-event payload; JSON has "
+                        "no sets — use a sorted list",
+                    )
+                elif isinstance(arg, ast.Constant) \
+                        and isinstance(arg.value, bytes):
+                    yield RawFinding(
+                        node.lineno,
+                        "bytes in a flight-event payload; JSON is text — "
+                        "decode or hex-encode it",
+                    )
+                elif isinstance(arg, ast.Call) \
+                        and call_name(arg) in _NON_JSON_CTORS:
+                    yield RawFinding(
+                        node.lineno,
+                        f"{call_name(arg)}() value in a flight-event "
+                        "payload is not JSON-serializable; convert to a "
+                        "list/str first",
+                    )
+                elif isinstance(arg, ast.Call) and call_name(arg) == "open":
+                    yield RawFinding(
+                        node.lineno,
+                        "open file handle in a flight-event payload; "
+                        "record the path instead",
+                    )

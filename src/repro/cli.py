@@ -18,6 +18,10 @@ Five commands cover the workflows a user reaches for first:
   rates.
 * ``stats`` — pretty-print (or re-emit as JSON) an observability
   snapshot written by ``--stats-out``.
+* ``doctor`` — triage an incident bundle dumped by the always-on
+  flight recorder (worker crashes, saturation shedding, unhandled
+  CLI exceptions): timeline, last-event-per-process, counter
+  anomalies, probable causes.
 
 ``render`` and ``serve-bench`` accept ``--trace-out FILE`` (stream
 Chrome ``about:tracing``-compatible span events as JSON lines; open the
@@ -126,6 +130,18 @@ def _build_parser() -> argparse.ArgumentParser:
                                   "path is what gets measured, on the "
                                   "paper's tlas+sphere structure")
     _add_obs_flags(serve_bench)
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="triage an incident bundle written by the flight recorder")
+    doctor.add_argument("path", nargs="?", default=None,
+                        help="incident bundle JSON (default: the newest "
+                             "bundle in the flight directory)")
+    doctor.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the triage analysis as JSON instead of "
+                             "the human report")
+    doctor.add_argument("--tail", type=int, default=40,
+                        help="timeline events shown in the report")
 
     stats = sub.add_parser(
         "stats", help="pretty-print an observability snapshot")
@@ -390,6 +406,38 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import doctor, flight
+
+    path = args.path
+    if path is None:
+        import glob
+        import os
+
+        candidates = sorted(
+            glob.glob(os.path.join(flight.flight_dir(), "incident-*.json")),
+            key=os.path.getmtime)
+        if not candidates:
+            print(f"no incident bundles in {flight.flight_dir()!r}; "
+                  "pass a bundle path", file=sys.stderr)
+            return 2
+        path = candidates[-1]
+        print(f"bundle:    {path} (newest)\n")
+    try:
+        bundle = doctor.load_bundle(path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read bundle {path!r}: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(doctor.triage(bundle), indent=2, sort_keys=True,
+                         default=repr))
+    else:
+        print(doctor.render_report(bundle, tail=args.tail))
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     import json
 
@@ -482,16 +530,34 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "structures": _cmd_structures,
     "serve-bench": _cmd_serve_bench,
+    "doctor": _cmd_doctor,
     "stats": _cmd_stats,
     "lint": _cmd_lint,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Any unhandled exception dumps a flight-recorder incident bundle
+    before propagating: the traceback tells you where it died, the
+    bundle tells you what the stack was doing on the way there
+    (``repro doctor`` reads it). KeyboardInterrupt/SystemExit pass
+    through untouched — a Ctrl-C is not an incident.
+    """
     args = _build_parser().parse_args(argv)
-    with _obs_session(args):
-        return _COMMANDS[args.command](args)
+    try:
+        with _obs_session(args):
+            return _COMMANDS[args.command](args)
+    except Exception as exc:
+        from repro.obs import flight
+
+        bundle = flight.dump_incident("cli-unhandled-exception",
+                                      command=args.command, error=repr(exc))
+        if bundle:
+            print(f"incident bundle: {bundle} "
+                  "(inspect with 'repro doctor')", file=sys.stderr)
+        raise
 
 
 if __name__ == "__main__":

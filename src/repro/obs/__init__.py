@@ -13,6 +13,10 @@ One subsystem gives the whole stack its measurement substrate:
 * :class:`PhaseAccumulator` / :func:`phase_timer` — per-phase engine
   and replay timing feeding the histograms (and, through the tile
   scheduler, the :class:`~repro.pool.TileCostModel`).
+* :mod:`repro.obs.flight` / :mod:`repro.obs.doctor` — the always-on
+  flight recorder (bounded ring of :mod:`repro.obs.events` structured
+  events, worker spool checkpoints, incident bundles) and the
+  ``repro doctor`` triage report over a bundle.
 
 Metric naming: dotted ``subsystem.metric`` (``serve.latency``,
 ``pool.tasks_completed``, ``rt.phase.traversal``). Span naming mirrors
@@ -21,6 +25,8 @@ it (``serve.request``, ``tiles.tile``, ``worker.tile``,
 ``gauge.<name>`` so they can never shadow a counter.
 """
 
+from repro.obs import doctor, events, flight
+from repro.obs.flight import CHECKPOINT_SCHEMA, FLIGHT_SCHEMA
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Histogram,
@@ -72,8 +78,10 @@ def absorb_worker_delta(delta) -> None:
 
 
 __all__ = [
+    "CHECKPOINT_SCHEMA",
     "DEFAULT_BUCKETS",
     "DEFAULT_SNAPSHOT_PATH",
+    "FLIGHT_SCHEMA",
     "SNAPSHOT_SCHEMA",
     "TRACE_EVENT_SCHEMA",
     "BufferTraceSink",
@@ -84,8 +92,11 @@ __all__ = [
     "absorb_events",
     "absorb_worker_delta",
     "current_sink",
+    "doctor",
     "emit_event",
     "emit_span",
+    "events",
+    "flight",
     "format_snapshot",
     "get_registry",
     "install_sink",

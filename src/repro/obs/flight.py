@@ -1,0 +1,448 @@
+"""The flight recorder: always-on ring-buffer telemetry + crash bundles.
+
+Production systems keep a black box so the *first* occurrence of a
+fault is diagnosable. This module is that box for the whole stack:
+
+* :class:`FlightRecorder` — a fixed-size per-process ring of structured
+  events (:mod:`repro.obs.events`). Recording is one ``deque.append``
+  of a small tuple (GIL-atomic, O(ns), bounded memory); the ring is on
+  by default and cheap enough to stay on in every run.
+* **Worker checkpoints** — pool workers spool their ring + metrics
+  snapshot to ``<flight dir>/spool/`` at each task start
+  (:func:`checkpoint_worker`), so a SIGKILL'd worker still leaves its
+  last checkpoint instead of losing all telemetry with the process.
+* **Incident bundles** — on any incident (worker crash reap, remote
+  task error, saturated-server shedding, an unhandled CLI exception)
+  :func:`dump_incident` writes one self-contained JSON bundle: the
+  parent ring, every worker's last checkpoint, the task payload
+  summary, pool topology, a registry snapshot, and the environment.
+  ``repro doctor <bundle>`` (:mod:`repro.obs.doctor`) turns it into a
+  triage report.
+
+Knobs (environment):
+
+* ``REPRO_FLIGHT=0`` — disable the recorder entirely (no ring, no
+  checkpoints, no bundles).
+* ``REPRO_FLIGHT_DIR`` — where bundles and worker spools go (default:
+  ``<tmp>/repro-flight-<uid>``).
+* ``REPRO_FLIGHT_CAPACITY`` — ring size in events (default 512).
+* ``REPRO_FLIGHT_INTERVAL`` — minimum seconds between two bundles for
+  the *same* reason (default 10; rate-limits incident storms).
+
+Dump paths never raise: forensics must not turn an incident into a
+second failure. All wall-clock reads here feed bundles and event
+timestamps only — never the image.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from collections import deque
+
+from repro.obs import events as ev
+from repro.obs.metrics import get_registry
+
+#: Bundle document schema tag.
+FLIGHT_SCHEMA = "repro.flight/v1"
+#: Worker spool checkpoint schema tag.
+CHECKPOINT_SCHEMA = "repro.flight-checkpoint/v1"
+#: Default ring capacity (events). Small enough that a worker
+#: checkpoint is one modest JSON write per task.
+DEFAULT_CAPACITY = 512
+#: Default minimum seconds between bundles sharing a reason.
+DEFAULT_MIN_INTERVAL = 10.0
+#: Bundles kept on disk before the oldest are pruned.
+MAX_BUNDLES = 32
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw:
+        try:
+            value = int(raw)
+            if value >= 1:
+                return value
+        except ValueError:
+            pass
+    return default
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw:
+        try:
+            value = float(raw)
+            if value >= 0:
+                return value
+        except ValueError:
+            pass
+    return default
+
+
+class FlightRecorder:
+    """A fixed-size ring of event tuples.
+
+    ``deque(maxlen=n).append`` is GIL-atomic, so the hot
+    :meth:`record` path takes no lock and never allocates beyond the
+    ring's bound — old events simply fall off the far end.
+    """
+
+    __slots__ = ("_ring",)
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("flight ring capacity must be >= 1")
+        self._ring = deque(maxlen=capacity)
+
+    @property
+    def capacity(self) -> int:
+        return self._ring.maxlen
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def record(self, kind: str, name: str, data: dict | None = None,
+               ts_ns: int | None = None) -> None:
+        """Append one event; ``ts_ns`` lets span mirrors backdate to
+        their start time."""
+        if ts_ns is None:
+            ts_ns = time.time_ns()  # repro: lint-ok[parity-nondeterminism] event timestamps line up with tracer spans across processes; never feeds the image
+        self._ring.append(ev.as_tuple(
+            ts_ns, os.getpid(), threading.get_ident() & 0x7FFFFFFF,
+            kind, name, data))
+
+    def events(self) -> list[tuple]:
+        """A snapshot copy of the ring, oldest first."""
+        return list(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+
+# ---------------------------------------------------------------------------
+# Process-global recorder + configuration. The module lock guards the
+# slow paths (configure, rate limiting, dump bookkeeping); the record
+# hot path deliberately reads the two globals without it — both are
+# replaced atomically, and a racing reader only ever sees a whole
+# recorder or a whole bool.
+
+_lock = threading.Lock()
+_enabled: bool = os.environ.get("REPRO_FLIGHT", "1") != "0"
+
+
+def _reinit_after_fork() -> None:
+    """Replace the module lock in forked children.
+
+    The pool respawns workers by forking from its collector thread
+    while other threads run; a child forked while some parent thread
+    holds ``_lock`` inherits it locked forever, and the first thing a
+    worker does is ``configure()`` — which takes it. A fresh lock (plus
+    cleared dump bookkeeping, which belongs to the parent) makes the
+    child immune to whatever the parent's threads were doing.
+    """
+    global _lock
+    _lock = threading.Lock()
+    with _lock:
+        _last_dump.clear()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reinit_after_fork)
+_recorder = FlightRecorder(_env_int("REPRO_FLIGHT_CAPACITY",
+                                    DEFAULT_CAPACITY))
+_dir_override: str | None = None
+_min_interval: float = _env_float("REPRO_FLIGHT_INTERVAL",
+                                  DEFAULT_MIN_INTERVAL)
+_last_dump: dict = {}  # reason -> monotonic seconds of last bundle
+_last_error: str | None = None  # last swallowed dump failure (debugging)
+
+
+def enabled() -> bool:
+    """Whether the recorder is on (``REPRO_FLIGHT=0`` turns it off)."""
+    return _enabled
+
+
+def record(kind: str, name: str, **data) -> None:
+    """Record one event into this process's ring (no-op when off).
+
+    Payload values must be JSON-serializable plain data — the ring ends
+    up verbatim inside bundles and checkpoints (the
+    ``flight-serializable`` lint rule enforces this statically).
+    """
+    if not _enabled:
+        return
+    _recorder.record(kind, name, data or None)
+
+
+def record_span(name: str, start_ns: int, end_ns: int,
+                args: dict | None = None) -> None:
+    """Mirror one finished tracer span into the ring, stamped at its
+    start so the doctor's timeline interleaves correctly."""
+    if not _enabled:
+        return
+    data = {"dur_us": max(0, end_ns - start_ns) // 1000}
+    if args:
+        data.update(args)
+    _recorder.record(ev.SPAN, name, data, ts_ns=start_ns)
+
+
+def events() -> list[tuple]:
+    """Snapshot of this process's ring (oldest first)."""
+    return _recorder.events()
+
+
+def clear() -> None:
+    """Empty the ring (workers call this at startup: a forked child
+    inherits the parent's ring and must not re-report its events)."""
+    _recorder.clear()
+
+
+def configure(directory: str | None = None, capacity: int | None = None,
+              enabled: bool | None = None,
+              min_interval: float | None = None) -> None:
+    """Reconfigure the process-global recorder (tests, worker startup).
+
+    ``capacity`` replaces the ring (events are kept up to the new
+    bound); ``directory`` overrides ``REPRO_FLIGHT_DIR``.
+    """
+    global _recorder, _dir_override, _enabled, _min_interval
+    with _lock:
+        if directory is not None:
+            _dir_override = str(directory)
+        if capacity is not None:
+            fresh = FlightRecorder(capacity)
+            for event in _recorder.events()[-capacity:]:
+                fresh._ring.append(event)
+            _recorder = fresh
+        if enabled is not None:
+            _enabled = bool(enabled)
+        if min_interval is not None:
+            _min_interval = float(min_interval)
+
+
+def reset() -> None:
+    """Clear the ring and all rate-limit/dump bookkeeping (tests)."""
+    global _last_error
+    with _lock:
+        _recorder.clear()
+        _last_dump.clear()
+        _last_error = None
+
+
+def flight_dir() -> str:
+    """Where bundles and worker spools live (not created until used)."""
+    if _dir_override is not None:
+        return _dir_override
+    env = os.environ.get("REPRO_FLIGHT_DIR")
+    if env:
+        return env
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return os.path.join(tempfile.gettempdir(), f"repro-flight-{uid}")
+
+
+def spool_dir() -> str:
+    """Where workers checkpoint their rings."""
+    return os.path.join(flight_dir(), "spool")
+
+
+def last_error() -> str | None:
+    """The last swallowed dump/checkpoint failure, if any (debugging)."""
+    return _last_error
+
+
+def _note_failure(exc: BaseException) -> None:
+    global _last_error
+    with _lock:
+        _last_error = repr(exc)
+
+
+def _uname() -> tuple:
+    """system/release/machine without subprocesses (``os.uname`` is a
+    plain syscall; ``platform.platform()`` may fork ``uname -p``)."""
+    try:
+        info = os.uname()
+        return (info.sysname, info.release, info.machine)
+    except (AttributeError, OSError):
+        return (sys.platform,)
+
+
+def _json_default(obj):
+    """Make bundles survive numpy scalars and arbitrary objects."""
+    item = getattr(obj, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    return repr(obj)
+
+
+def _write_atomic(path: str, document: dict) -> None:
+    """tmp + rename so a SIGKILL mid-write never leaves a torn file."""
+    body = json.dumps(document, default=_json_default,
+                      separators=(",", ":"), sort_keys=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(body)
+    os.replace(tmp, path)
+
+
+# ---------------------------------------------------------------------------
+# Worker spool checkpoints.
+
+
+def _spool_path(worker_id: int) -> str:
+    return os.path.join(spool_dir(), f"worker-{int(worker_id)}.json")
+
+
+def checkpoint_worker(worker_id: int) -> str | None:
+    """Spool this process's ring + metrics snapshot for ``worker_id``.
+
+    Called by ``pool.worker`` at each task start, so the spool always
+    holds the in-flight task's ``task_start`` event when the process is
+    killed mid-task. Returns the spool path, or None when disabled or
+    the write failed (checkpoints must never kill a worker).
+    """
+    if not _enabled:
+        return None
+    path = _spool_path(worker_id)
+    try:
+        os.makedirs(spool_dir(), exist_ok=True)
+        _write_atomic(path, {
+            "schema": CHECKPOINT_SCHEMA,
+            "worker_id": int(worker_id),
+            "pid": os.getpid(),
+            "written_unix": time.time(),  # repro: lint-ok[parity-nondeterminism] checkpoint bookkeeping timestamp; never feeds the image
+            "events": [ev.as_dict(event) for event in _recorder.events()],
+            "metrics": get_registry().snapshot(),
+        })
+    except Exception as exc:  # forensics must never become a second failure
+        _note_failure(exc)
+        return None
+    return path
+
+
+def clear_worker_checkpoint(worker_id: int) -> None:
+    """Remove a worker's spool file (clean shutdown — nothing to
+    autopsy)."""
+    try:
+        os.remove(_spool_path(worker_id))
+    except OSError:
+        pass
+
+
+def load_worker_checkpoints() -> list[dict]:
+    """Every parseable worker checkpoint in the spool, by worker id."""
+    spool = spool_dir()
+    checkpoints = []
+    try:
+        names = sorted(os.listdir(spool))
+    except OSError:
+        return []
+    for name in names:
+        if not (name.startswith("worker-") and name.endswith(".json")):
+            continue
+        try:
+            with open(os.path.join(spool, name), "r", encoding="utf-8") as fh:
+                document = json.load(fh)
+        except (OSError, ValueError):
+            continue  # torn/garbage spool: skip, don't fail the dump
+        if isinstance(document, dict) \
+                and document.get("schema") == CHECKPOINT_SCHEMA:
+            checkpoints.append(document)
+    return checkpoints
+
+
+# ---------------------------------------------------------------------------
+# Incident bundles.
+
+
+def _rate_limited(reason: str) -> bool:
+    """True when a bundle for ``reason`` was dumped too recently
+    (and otherwise stamps now as the last dump)."""
+    now = time.monotonic()
+    with _lock:
+        last = _last_dump.get(reason)
+        if last is not None and now - last < _min_interval:
+            return True
+        _last_dump[reason] = now
+    return False
+
+
+def _prune_bundles(directory: str) -> None:
+    """Keep only the newest :data:`MAX_BUNDLES` bundles."""
+    bundles = []
+    for name in os.listdir(directory):
+        if name.startswith("incident-") and name.endswith(".json"):
+            path = os.path.join(directory, name)
+            try:
+                bundles.append((os.path.getmtime(path), path))
+            except OSError:
+                continue
+    bundles.sort(reverse=True)
+    for _, path in bundles[MAX_BUNDLES:]:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+
+def _environment() -> dict:
+    """The knobs that shape a run (REPRO_*/GRTX_* only — no secrets)."""
+    return {key: value for key, value in os.environ.items()
+            if key.startswith(("REPRO_", "GRTX_"))}
+
+
+def dump_incident(reason: str, **context) -> str | None:
+    """Write one incident bundle; returns its path.
+
+    Returns None when the recorder is off, the reason is rate-limited,
+    or the write failed — dumping is forensics, never control flow, so
+    this function never raises.
+    """
+    if not _enabled or _rate_limited(reason):
+        return None
+    try:
+        directory = flight_dir()
+        os.makedirs(directory, exist_ok=True)
+        created = time.time()  # repro: lint-ok[parity-nondeterminism] bundle bookkeeping timestamp; never feeds the image
+        slug = "".join(c if c.isalnum() else "-" for c in reason)[:48]
+        path = os.path.join(
+            directory,
+            f"incident-{slug}-{os.getpid()}-{time.time_ns()}.json")  # repro: lint-ok[parity-nondeterminism] unique bundle filename; never feeds the image
+        bundle = {
+            "schema": FLIGHT_SCHEMA,
+            "created_unix": created,
+            "reason": reason,
+            "context": context,
+            "process": {
+                "pid": os.getpid(),
+                "argv": list(sys.argv),
+                "python": sys.version.split()[0],
+                # os.uname(), NOT platform.platform(): the latter lazily
+                # shells out (uname -p) on first use, and forking a
+                # subprocess from a dump racing the pool's own worker
+                # respawn fork leaks the subprocess's error pipe into
+                # the new worker — the dump then blocks forever waiting
+                # for an EOF that can no longer arrive.
+                "platform": " ".join(_uname()),
+                "cwd": os.getcwd(),
+            },
+            "environment": _environment(),
+            "events": [ev.as_dict(event) for event in _recorder.events()],
+            "workers": load_worker_checkpoints(),
+            "metrics": get_registry().snapshot(),
+        }
+        _write_atomic(path, bundle)
+        _prune_bundles(directory)
+    except Exception as exc:  # forensics must never become a second failure
+        _note_failure(exc)
+        return None
+    record(ev.INCIDENT, "flight.incident", reason=reason,
+           bundle=os.path.basename(path))
+    return path

@@ -27,6 +27,8 @@ import os
 import threading
 import time
 
+from repro.obs import flight
+
 _sink = None  # the process-global sink; None = tracing off
 _sink_lock = threading.Lock()
 
@@ -114,7 +116,13 @@ def emit_event(event: dict) -> None:
 
 
 def emit_span(name: str, start_ns: int, end_ns: int, **args) -> None:
-    """Emit one complete-span event from explicit timestamps."""
+    """Emit one complete-span event from explicit timestamps.
+
+    Finished spans also mirror into the flight recorder's ring (when
+    enabled), so an incident bundle reconstructs the request timeline
+    even when no trace sink was ever installed.
+    """
+    flight.record_span(name, start_ns, end_ns, args or None)
     sink = _sink
     if sink is None:
         return
@@ -150,9 +158,11 @@ class span:
     """Context manager timing one named region.
 
     ``with span("tiles.tile", index=3):`` emits a complete event on
-    exit. When tracing is off the overhead is one global load on enter
-    and one None check on exit — cheap enough to leave instrumentation
-    in hot-ish paths permanently (per-tile, per-request; not per-ray).
+    exit. When both tracing and the flight recorder are off the
+    overhead is one global load on enter and one None check on exit;
+    with only the (default-on) flight recorder, exit adds one bounded
+    ring append — cheap enough to leave instrumentation in hot-ish
+    paths permanently (per-tile, per-request; not per-ray).
     """
 
     __slots__ = ("name", "args", "_start_ns", "_active")
@@ -164,7 +174,7 @@ class span:
         self._active = False
 
     def __enter__(self) -> "span":
-        if _sink is not None:
+        if _sink is not None or flight.enabled():
             self._active = True
             self._start_ns = time.time_ns()  # repro: lint-ok[parity-nondeterminism] Chrome-trace spans need wall-clock stamps that align across processes; never feeds the image
         return self

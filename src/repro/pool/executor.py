@@ -19,6 +19,17 @@ Crash handling: a dead worker's in-flight task is requeued elsewhere (up
 to ``max_task_retries`` times, then its future fails with
 :class:`WorkerCrashError`), its queued tasks are re-placed, and a fresh
 worker is spawned into the vacant slot with an empty cache mirror.
+
+Results come back over one pipe *per worker*, not a shared queue. A
+shared ``multiprocessing.Queue`` serializes writers through one
+cross-process lock — and a worker SIGKILLed inside that critical
+section (its feeder thread gets preempted between ``send_bytes`` and
+the lock release, a wide window on loaded single-core hosts) leaves the
+lock held forever, wedging every surviving worker's results. With one
+single-writer pipe per worker there is no shared lock to poison; the
+parent reassembles length-prefixed frames itself, so even a frame torn
+by a mid-write kill only stalls that dead worker's (discarded) pipe,
+never the collector.
 """
 
 from __future__ import annotations
@@ -26,7 +37,9 @@ from __future__ import annotations
 import atexit
 import multiprocessing as mp
 import os
-import queue as queue_mod
+import pickle
+import select
+import struct
 import threading
 import time
 from concurrent.futures import Future
@@ -34,6 +47,8 @@ from concurrent.futures import as_completed as as_completed  # re-export
 from typing import Callable, Hashable, Iterable
 
 from repro.obs import absorb_worker_delta, get_registry
+from repro.obs import events as obs_events
+from repro.obs import flight
 from repro.pool import worker as _w
 from repro.pool.stealing import StealingScheduler
 from repro.pool.worker import SceneCacheMirror, scene_key
@@ -90,6 +105,41 @@ class _Task:
         self.started = False
 
 
+def _json_safe(value):
+    """A scalar as-is, anything else by repr (bundle-safe)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def _task_summary(task: _Task | None) -> dict | None:
+    """A plain-data summary of a task for incident bundles — enough to
+    identify the work without shipping megabytes of rays or scenes."""
+    if task is None:
+        return None
+    summary = {
+        "task_id": task.task_id,
+        "kind": task.kind,
+        "retries": task.retries,
+        "affinity": _json_safe(task.affinity),
+    }
+    try:
+        if task.kind == _w.TASK_TILE:
+            _origins, _directions, pixel_ids, keep = task.payload
+            summary["rays"] = int(len(pixel_ids))
+            summary["keep_traces"] = bool(keep)
+            if task.scene is not None:
+                summary["scene_key"] = repr(task.scene[0])[:200]
+        else:
+            fn, args, kwargs = task.payload
+            summary["fn"] = getattr(fn, "__qualname__", None) or repr(fn)
+            summary["n_args"] = len(args)
+            summary["n_kwargs"] = len(kwargs or {})
+    except (TypeError, ValueError, IndexError):
+        summary["payload"] = "<unsummarizable>"
+    return summary
+
+
 class WorkerPool:
     """A persistent, work-stealing process pool.
 
@@ -138,7 +188,13 @@ class WorkerPool:
                          for _ in range(workers)]
         self._next_id = 0
         self._ctx = None
-        self._result_queue = None
+        # Per-worker result pipes (single writer each — see module
+        # docstring) plus this process's frame-reassembly buffers,
+        # keyed by the receiving Connection so a respawn's fresh pipe
+        # can never inherit a dead worker's torn bytes.
+        self._result_rx: list = [None] * workers
+        self._rx_bufs: dict = {}
+        self._retired_rx: list = []
         self._collector: threading.Thread | None = None
         self._started = False
         self._closed = False
@@ -151,6 +207,9 @@ class WorkerPool:
         self._requeues = 0
         self._scene_ships = 0
         self._scene_hits = 0
+        # Incident bundles queued under the lock, dumped in _ship()
+        # (file I/O never runs while holding the pool lock).
+        self._pending_incidents: list[tuple] = []
 
     # -- lifecycle ------------------------------------------------------
 
@@ -166,7 +225,6 @@ class WorkerPool:
             if self._started:
                 return
             self._ctx = mp.get_context(self._resolve_start_method())
-            self._result_queue = self._ctx.Queue()
             for wid in range(self.n_workers):
                 self._spawn(wid)
             self._collector = threading.Thread(
@@ -177,15 +235,34 @@ class WorkerPool:
     def _spawn(self, wid: int) -> None:
         self._task_queues[wid] = self._ctx.SimpleQueue()
         self._mirrors[wid].clear()
+        # A fresh result pipe per (re)spawn: the old one may hold a
+        # frame torn by the crash. Retired pipes stay open (a sibling
+        # forked later can hold an inherited copy of the write end, so
+        # EOF is not guaranteed) but are never selected on again; they
+        # are closed with the pool.
+        with self._lock:
+            old_rx = self._result_rx[wid]
+            if old_rx is not None:
+                self._retired_rx.append(old_rx)
+                self._rx_bufs.pop(old_rx, None)
+            rx, tx = self._ctx.Pipe(duplex=False)
+            self._result_rx[wid] = rx
+        # The flight dir travels as an explicit argument: spawn-started
+        # workers have fresh module state, so env/override knobs set in
+        # this process would not reach them otherwise.
+        worker_flight_dir = flight.flight_dir() if flight.enabled() else None
         proc = self._ctx.Process(
             target=_w.worker_main,
-            args=(wid, self._task_queues[wid], self._result_queue,
-                  self.scene_cache_size),
+            args=(wid, self._task_queues[wid], tx,
+                  self.scene_cache_size, worker_flight_dir),
             name=f"repro-pool-{wid}",
             daemon=True,
         )
         proc.start()
+        tx.close()  # the worker holds it now; keep EOF meaningful here
         self._procs[wid] = proc
+        flight.record(obs_events.STATE, "pool.spawn", worker=wid,
+                      worker_pid=proc.pid)
 
     @property
     def started(self) -> bool:
@@ -238,6 +315,16 @@ class WorkerPool:
                         proc.join(timeout=1.0)
             if self._collector is not None:
                 self._collector.join(timeout=2.0)
+            with self._lock:
+                for rx in self._result_rx + self._retired_rx:
+                    if rx is not None:
+                        try:
+                            rx.close()
+                        except OSError:
+                            pass
+                self._result_rx = [None] * self.n_workers
+                self._retired_rx = []
+                self._rx_bufs.clear()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -356,6 +443,11 @@ class WorkerPool:
 
     def _ship(self, plans: list[tuple]) -> None:
         """Write planned wires to worker pipes (no lock held)."""
+        # Dump-first: a crash incident must capture the dead worker's
+        # spool checkpoint *before* the requeued task reaches the
+        # respawned worker in the same slot — its first task_start
+        # checkpoint would overwrite the evidence.
+        self._flush_incidents()
         pending = list(plans)
         while pending:
             wid, task_id, wire, scene_note = pending.pop(0)
@@ -365,6 +457,8 @@ class WorkerPool:
                 with self._lock:
                     pending.extend(self._ship_failed(wid, task_id, exc))
                 continue
+            flight.record(obs_events.DISPATCH, "pool.dispatch",
+                          worker=wid, task=task_id, task_kind=wire[0])
             if scene_note is not None:
                 with self._lock:
                     # Commit the mirror only while the dispatch is still
@@ -379,6 +473,17 @@ class WorkerPool:
                         else:
                             self._scene_hits += 1
                             get_registry().add("pool.scene_cache_hits")
+        self._flush_incidents()
+
+    def _flush_incidents(self) -> None:
+        """Dump incident bundles queued by crash/error paths (no lock
+        held during the file writes)."""
+        with self._lock:
+            if not self._pending_incidents:
+                return
+            pending, self._pending_incidents = self._pending_incidents, []
+        for reason, context in pending:
+            flight.dump_incident(reason, **context)
 
     def _ship_failed(self, wid: int, task_id: int, exc) -> list[tuple]:
         """Recover from a failed pipe write (lock held); returns
@@ -404,16 +509,66 @@ class WorkerPool:
 
     def _collect(self) -> None:
         while True:
+            with self._lock:
+                pairs = [(wid, rx)
+                         for wid, rx in enumerate(self._result_rx)
+                         if rx is not None]
             try:
-                message = self._result_queue.get(timeout=0.1)
-            except queue_mod.Empty:
+                ready, _, _ = select.select(
+                    [rx for _, rx in pairs], [], [], 0.1)
+            except (OSError, ValueError):
+                # A pipe was retired/closed under us; resnapshot.
                 if self._shutdown.is_set():
                     return
-                self._reap_crashes()
                 continue
-            except (OSError, ValueError):
+            if self._shutdown.is_set():
                 return
-            self._handle(message)
+            for wid, rx in pairs:
+                if rx in ready:
+                    for message in self._drain_rx(rx):
+                        self._handle(message)
+            self._reap_crashes()
+
+    def _drain_rx(self, rx) -> list:
+        """Read whatever is available on one result pipe (never blocks)
+        and peel off complete length-prefixed frames.
+
+        A partial frame — a worker killed mid-write — simply stays
+        buffered: its pipe is retired by the respawn, so torn bytes can
+        stall nothing but themselves.
+        """
+        with self._lock:
+            buf = self._rx_bufs.setdefault(rx, bytearray())
+        try:
+            # select() said readable, so one read returns immediately:
+            # data if there is any, b"" on EOF (worker gone — the crash
+            # reaper owns that diagnosis).
+            chunk = os.read(rx.fileno(), 1 << 20)
+        except (OSError, ValueError):
+            return []
+        if not chunk:
+            return []
+        buf += chunk
+        messages = []
+        while True:
+            if len(buf) < 4:
+                break
+            (size,) = struct.unpack_from("!i", buf, 0)
+            offset = 4
+            if size == -1:  # Connection's large-payload framing
+                if len(buf) < 12:
+                    break
+                (size,) = struct.unpack_from("!Q", buf, 4)
+                offset = 12
+            if len(buf) < offset + size:
+                break
+            payload = bytes(buf[offset:offset + size])
+            del buf[:offset + size]
+            try:
+                messages.append(pickle.loads(payload))
+            except Exception:  # repro: lint-ok[broad-except] a corrupt frame from a dying worker must not kill the collector; the crash reaper requeues its task
+                continue
+        return messages
 
     def _handle(self, message) -> None:
         tag, wid, task_id = message[0], message[1], message[2]
@@ -433,6 +588,8 @@ class WorkerPool:
                     _, _, _, value, cost = message[:5]
                     self._completed += 1
                     registry.add("pool.tasks_completed")
+                    flight.record(obs_events.COMPLETE, "pool.complete",
+                                  worker=wid, task=task_id)
                     result = (value, cost) if task.kind == _w.TASK_TILE else value
                     if not task.future.done():
                         task.future.set_result(result)
@@ -440,6 +597,13 @@ class WorkerPool:
                     _, _, _, error_repr, tb = message[:5]
                     self._failed += 1
                     registry.add("pool.tasks_failed")
+                    flight.record(obs_events.ERROR, "pool.task_error",
+                                  worker=wid, task=task_id, error=error_repr)
+                    self._pending_incidents.append((
+                        "remote-task-error",
+                        {"worker": wid, "task": task_id,
+                         "error": error_repr,
+                         "task_summary": _task_summary(task)}))
                     if not task.future.done():
                         task.future.set_exception(RemoteTaskError(
                             f"task raised in worker {wid}: {error_repr}", tb))
@@ -460,19 +624,46 @@ class WorkerPool:
 
     def _on_crash(self, wid: int) -> list[tuple]:
         """Recover from a dead worker (lock held): requeue its work and
-        respawn a fresh process into the slot. Returns ship plans."""
+        respawn a fresh process into the slot. Returns ship plans.
+
+        Forensics ride along: the crash (and any requeue) is recorded
+        into the flight ring, and an incident-bundle descriptor is
+        queued for :meth:`_flush_incidents` — the dump itself happens
+        unlocked in ``_ship``, after recovery has already completed.
+        """
         self._crashes += 1
-        get_registry().add("pool.worker_crashes")
+        # Mirrored into the obs registry so `repro stats` snapshots and
+        # serve-bench reports see crash/requeue counts, not only callers
+        # holding a pool reference (they used to live in executor-local
+        # fields alone).
+        get_registry().add("pool.crashes")
+        proc = self._procs[wid]
+        exitcode = proc.exitcode if proc is not None else None
         displaced = self._sched.drain_worker(wid)
         task_id = self._inflight[wid]
         self._inflight[wid] = None
+        flight.record(obs_events.CRASH, "pool.worker_crash", worker=wid,
+                      exitcode=exitcode, task=task_id)
+        incident = {
+            "worker": wid,
+            "exitcode": exitcode,
+            "task": task_id,
+            "pool": {"workers": self.n_workers,
+                     "pending": self._sched.total_pending(),
+                     "crashes": self._crashes,
+                     "requeues": self._requeues},
+        }
         if task_id is not None:
             task = self._tasks.get(task_id)
+            incident["task_summary"] = _task_summary(task)
             if task is not None:
                 task.retries += 1
+                incident["retries"] = task.retries
                 if task.retries > self.max_task_retries:
                     self._tasks.pop(task_id, None)
                     self._failed += 1
+                    self._pending_incidents.append((
+                        "task-retries-exhausted", dict(incident)))
                     if not task.future.done():
                         task.future.set_exception(WorkerCrashError(
                             f"worker died {task.retries} times while "
@@ -481,8 +672,12 @@ class WorkerPool:
                         self._drained.notify_all()
                 else:
                     self._requeues += 1
-                    get_registry().add("pool.task_requeues")
+                    get_registry().add("pool.requeues")
+                    flight.record(obs_events.REQUEUE, "pool.requeue",
+                                  worker=wid, task=task_id,
+                                  retries=task.retries)
                     displaced.insert(0, task_id)
+        self._pending_incidents.append(("worker-crash", incident))
         self._spawn(wid)
         for tid in displaced:
             task = self._tasks.get(tid)

@@ -43,7 +43,14 @@ import time
 import traceback
 from collections import OrderedDict
 
-from repro.obs import BufferTraceSink, emit_span, get_registry, install_sink
+from repro.obs import (
+    BufferTraceSink,
+    emit_span,
+    events as obs_events,
+    flight,
+    get_registry,
+    install_sink,
+)
 
 #: Default number of scenes a worker keeps resident.
 DEFAULT_SCENE_CACHE = 4
@@ -143,7 +150,10 @@ def _resolve_tracer(scene_field, cache: SceneCacheMirror):
     _, key, (cloud, structure, config, objects, engine) = scene_field
     tracer = GaussianRayTracer(cloud, structure, config, engine=engine)
     entry = (tracer, objects)
-    cache.touch(key, entry)
+    evicted = cache.touch(key, entry)
+    if evicted is not None:
+        flight.record(obs_events.EVICTION, "worker.scene_evict",
+                      cache_size=len(cache))
     return entry
 
 
@@ -197,9 +207,19 @@ def _collect_obs_delta(trace_sink: BufferTraceSink) -> dict | None:
     return delta
 
 
-def worker_main(worker_id: int, task_queue, result_queue,
-                scene_cache_size: int = DEFAULT_SCENE_CACHE) -> None:
-    """Process entry point: serve tasks until the shutdown sentinel."""
+def worker_main(worker_id: int, task_queue, result_conn,
+                scene_cache_size: int = DEFAULT_SCENE_CACHE,
+                flight_dir: str | None = None) -> None:
+    """Process entry point: serve tasks until the shutdown sentinel.
+
+    ``result_conn`` is this worker's *private* result pipe — one writer,
+    no cross-process lock, so this worker dying mid-send can never wedge
+    its siblings' results (see the executor module docstring).
+    ``flight_dir`` is the parent's flight directory, passed explicitly
+    so spawn-started workers (fresh module state) spool checkpoints
+    where the parent will look for them; None means the recorder is off
+    in the parent and stays off here.
+    """
     cache = SceneCacheMirror(scene_cache_size)
     # Workers always buffer spans (a handful of dict appends per task);
     # the parent decides at fold-in time whether tracing is active and
@@ -208,19 +228,46 @@ def worker_main(worker_id: int, task_queue, result_queue,
     trace_sink = BufferTraceSink()
     install_sink(trace_sink)
     # Anything recorded at import/startup time belongs to no task; drop
-    # it so the first result's delta covers only its own task.
+    # it so the first result's delta covers only its own task. The
+    # flight ring gets the same treatment: a forked child inherits the
+    # parent's ring verbatim and must not re-report the parent's events.
     get_registry().collect(reset=True)
+    if flight_dir is None:
+        flight.configure(enabled=False)
+    else:
+        flight.configure(directory=flight_dir, enabled=True)
+        flight.clear()
+        flight.record(obs_events.STATE, "worker.start", worker=worker_id)
     while True:
         task = task_queue.get()
         if task is None:
+            flight.record(obs_events.STATE, "worker.stop", worker=worker_id)
+            # Clean shutdown leaves nothing to autopsy.
+            flight.clear_worker_checkpoint(worker_id)
             return
         task_id = task[1]
+        flight.record(obs_events.STATE, "worker.task_start",
+                      worker=worker_id, task=task_id, task_kind=task[0])
+        # Spool ring + metrics *before* executing: if this task SIGKILLs
+        # the process, the checkpoint's last event is its task_start —
+        # exactly what the doctor needs to name the killer.
+        flight.checkpoint_worker(worker_id)
         try:
             value, cost = execute_task(task, cache)
         except BaseException as exc:  # ship, don't die: workers are shared
-            result_queue.put((RESULT_ERROR, worker_id, task_id,
-                              repr(exc), traceback.format_exc(),
-                              _collect_obs_delta(trace_sink)))
+            flight.record(obs_events.ERROR, "worker.task_error",
+                          worker=worker_id, task=task_id, error=repr(exc))
+            try:
+                result_conn.send((RESULT_ERROR, worker_id, task_id,
+                                  repr(exc), traceback.format_exc(),
+                                  _collect_obs_delta(trace_sink)))
+            except OSError:
+                return  # parent is gone; nothing left to report to
             continue
-        result_queue.put((RESULT_OK, worker_id, task_id, value, cost,
-                          _collect_obs_delta(trace_sink)))
+        flight.record(obs_events.COMPLETE, "worker.task_done",
+                      worker=worker_id, task=task_id)
+        try:
+            result_conn.send((RESULT_OK, worker_id, task_id, value, cost,
+                              _collect_obs_delta(trace_sink)))
+        except OSError:
+            return

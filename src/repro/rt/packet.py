@@ -61,6 +61,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.obs import get_registry, span
+from repro.obs import events as obs_events
+from repro.obs import flight
 
 from repro.bvh.flatten import (
     BLAS_SPHERE,
@@ -145,6 +147,9 @@ def note_packet_fallback(reason: str) -> None:
     # back to the parent with the task result (satellite fix — worker
     # fallbacks used to be silently lost).
     get_registry().add("rt.packet_fallbacks")
+    # And into the flight ring with the *reason* — a counter says how
+    # often, the black box says why and when relative to the incident.
+    flight.record(obs_events.FALLBACK, "rt.packet_fallback", reason=reason)
     if first:
         warnings.warn(
             f"packet engine unavailable ({reason}); falling back to the "

@@ -14,6 +14,9 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable
 
+from repro.obs import events as obs_events
+from repro.obs import flight
+
 
 @dataclass(frozen=True)
 class CacheStats:
@@ -37,12 +40,17 @@ class LRUCache:
     ``get`` refreshes recency; ``put`` evicts the least recently used
     entry once ``capacity`` is exceeded. All operations take an internal
     lock so the server can share one instance across request threads.
+
+    ``name`` opts the cache into flight-recorder eviction events
+    (``kind=eviction, name=<name>.evict``): capacity churn on the serve
+    caches is a classic probable cause, so it belongs in the black box.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, name: str | None = None) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
+        self.name = name
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
@@ -72,6 +80,7 @@ class LRUCache:
             return self._entries.get(key, default)
 
     def put(self, key: Hashable, value: Any) -> None:
+        evicted = 0
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -79,6 +88,10 @@ class LRUCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+                evicted += 1
+        if evicted and self.name is not None:
+            flight.record(obs_events.EVICTION, f"{self.name}.evict",
+                          evicted=evicted, capacity=self.capacity)
 
     def pop(self, key: Hashable, default: Any = None) -> Any:
         with self._lock:

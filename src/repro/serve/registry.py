@@ -48,8 +48,8 @@ class SceneRegistry:
         structure_capacity: int = 16,
         cache_dir: str | os.PathLike | None = None,
     ) -> None:
-        self._scenes = LRUCache(scene_capacity)
-        self._structures = LRUCache(structure_capacity)
+        self._scenes = LRUCache(scene_capacity, name="registry.scenes")
+        self._structures = LRUCache(structure_capacity, name="registry.structures")
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)

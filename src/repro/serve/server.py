@@ -31,6 +31,8 @@ from typing import Callable
 
 from repro.bvh import BuildParams
 from repro.obs import MetricsRegistry, get_registry, span
+from repro.obs import events as obs_events
+from repro.obs import flight
 from repro.render.renderer import RenderResult
 from repro.serve.cache import LRUCache
 from repro.serve.registry import SceneRegistry, params_key
@@ -165,11 +167,11 @@ class RenderServer:
         self.scheduler = TileScheduler(tile_size=tile_size, workers=workers,
                                        pool=pool)
         self.build_params = build_params or BuildParams()
-        self._frames = LRUCache(frame_cache_size)
+        self._frames = LRUCache(frame_cache_size, name="serve.frames")
         # Constructed tracers (shading setup is O(scene)) reused across
         # frames of the same (scene hash, proxy, params, engine, config)
         # in serial mode.
-        self._tracers = LRUCache(16)
+        self._tracers = LRUCache(16, name="serve.tracers")
         self._inflight: dict[tuple, _InFlight] = {}
         self._inflight_lock = threading.Lock()
         self.metrics = ServerMetrics()
@@ -310,6 +312,17 @@ class RenderServer:
                 self._queue.put_nowait(job)
         except queue_mod.Full:
             self.metrics.count("rejected")
+            flight.record(obs_events.SHED, "serve.shed",
+                          scene=request.scene_ref.name,
+                          max_pending=self.max_pending)
+            # Shedding is by design, but *that* it happened is incident-
+            # worthy: dump a (rate-limited) bundle so a saturation storm
+            # leaves evidence of what the server was doing when it hit
+            # the wall. Dumping is I/O, but we hold no server lock here
+            # and the submitter was getting an exception anyway.
+            flight.dump_incident("server-saturated",
+                                 scene=request.scene_ref.name,
+                                 max_pending=self.max_pending)
             raise ServerSaturated(
                 f"submit queue is full ({self.max_pending} pending); "
                 "retry later or raise max_pending") from None

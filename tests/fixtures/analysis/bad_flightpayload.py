@@ -1,0 +1,37 @@
+"""Fixture: non-JSON payloads recorded into the flight ring.
+
+Every value recorded through ``flight.record``/``dump_incident`` lands
+verbatim inside JSON checkpoint and incident-bundle documents; the
+writer's repr() fallback silently destroys anything json.dumps cannot
+encode. Each emission below smuggles one unencodable shape.
+"""
+
+from repro.obs import flight
+
+
+def record_lambda(task_id):
+    flight.record("state", "task.start", callback=lambda: task_id)
+
+
+def record_generator(results):
+    flight.record("complete", "task.done", values=(r.id for r in results))
+
+
+def record_set_comp(workers):
+    flight.record("crash", "pool.crash", workers={w.pid for w in workers})
+
+
+def record_set_literal():
+    flight.record("crash", "pool.crash", flags={"requeued", "respawned"})
+
+
+def record_bytes():
+    flight.record("error", "task.error", payload=b"\x00\x01")
+
+
+def record_set_ctor(keys):
+    flight.dump_incident("cache-storm", evicted=set(keys))
+
+
+def record_open_handle(path):
+    flight.record("state", "spool.open", handle=open(path))

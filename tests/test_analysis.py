@@ -70,6 +70,7 @@ CORPUS = [
     ("bad_module_global.py", {"lock-discipline"}, False),
     ("bad_cache_key.py", {"cache-key-params"}, False),
     ("bad_procboundary.py", {"process-boundary"}, False),
+    ("bad_flightpayload.py", {"flight-serializable"}, False),
     ("bad_nondeterminism.py", {"parity-nondeterminism"}, True),
     ("bad_float_eq.py", {"float-eq"}, True),
     ("bad_hygiene.py", {"mutable-default", "broad-except"}, False),
@@ -94,6 +95,14 @@ def test_procboundary_fixture_flags_every_payload_shape():
     messages = " ".join(f.message for f in result.active)
     for shape in ("lambda", "generator", "closure", "open file handle"):
         assert shape in messages
+
+
+def test_flightpayload_fixture_flags_every_shape():
+    result = lint_fixture("bad_flightpayload.py")
+    messages = " ".join(f.message for f in result.active)
+    for shape in ("lambda", "comprehension", "set literal", "bytes",
+                  "set()", "open file handle"):
+        assert shape in messages, f"missing {shape!r} finding"
 
 
 def test_engine_fixture_flags_both_orderings():

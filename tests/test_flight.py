@@ -1,0 +1,268 @@
+"""The flight recorder: ring semantics, checkpoints, bundles, doctor.
+
+The recorder is always on, so these tests pin the properties that make
+that safe (bounded memory, O(µs) recording, no-op when disabled) as
+well as the forensic contract: checkpoints and bundles round-trip
+through their schemas, dumps are rate-limited and pruned, and the
+doctor's triage names the right culprits. Pool-integration crash
+scenarios live in ``test_pool.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import doctor, flight
+from repro.obs import events as ev
+from repro.obs.flight import FlightRecorder
+
+
+@pytest.fixture
+def flight_tmp(tmp_path, monkeypatch):
+    """Point the recorder at a private directory, no rate limiting."""
+    fdir = tmp_path / "flight"
+    monkeypatch.setenv("REPRO_FLIGHT_DIR", str(fdir))
+    flight.configure(min_interval=0.0, enabled=True)
+    flight.reset()
+    yield fdir
+    flight.reset()
+    flight.configure(min_interval=flight.DEFAULT_MIN_INTERVAL)
+
+
+# ---------------------------------------------------------------------------
+# Ring semantics.
+
+
+class TestRing:
+    def test_wraparound_keeps_newest(self):
+        ring = FlightRecorder(capacity=8)
+        for index in range(20):
+            ring.record(ev.STATE, "tick", {"i": index})
+        assert len(ring) == 8
+        kept = [event[5]["i"] for event in ring.events()]
+        assert kept == list(range(12, 20))
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_events_are_a_snapshot(self):
+        ring = FlightRecorder(capacity=4)
+        ring.record(ev.STATE, "a")
+        snapshot = ring.events()
+        ring.record(ev.STATE, "b")
+        assert len(snapshot) == 1
+
+    def test_record_overhead_bounded(self):
+        """Recording must stay far below anything a per-tile path would
+        notice (the CI gate budgets 3% on a whole render)."""
+        ring = FlightRecorder(capacity=512)
+        n = 20_000
+        started = time.perf_counter()
+        for index in range(n):
+            ring.record(ev.SPAN, "bench.tick", {"i": index})
+        per_event = (time.perf_counter() - started) / n
+        assert per_event < 50e-6  # generous: observed ~1µs
+
+    def test_disabled_recorder_is_a_noop(self, flight_tmp):
+        flight.configure(enabled=False)
+        try:
+            flight.record(ev.STATE, "ghost")
+            assert flight.events() == []
+            assert flight.dump_incident("worker-crash") is None
+            assert flight.checkpoint_worker(0) is None
+        finally:
+            flight.configure(enabled=True)
+
+    def test_span_mirrors_into_ring_without_sink(self, flight_tmp):
+        from repro.obs import span, tracing_active
+
+        assert not tracing_active()
+        with span("test.region", rays=5):
+            pass
+        spans = [event for event in flight.events() if event[3] == ev.SPAN]
+        assert spans and spans[-1][4] == "test.region"
+        assert spans[-1][5]["rays"] == 5
+        assert "dur_us" in spans[-1][5]
+
+    def test_event_dict_roundtrip(self):
+        ring = FlightRecorder(capacity=2)
+        ring.record(ev.CRASH, "pool.worker_crash", {"worker": 3})
+        event = ev.as_dict(ring.events()[0])
+        assert ev.validate_flight_event(event) == []
+        assert event["kind"] == ev.CRASH
+        assert event["data"] == {"worker": 3}
+
+    def test_validate_rejects_malformed_events(self):
+        assert ev.validate_flight_event([]) == ["event is not an object"]
+        problems = ev.validate_flight_event(
+            {"ts": -1, "pid": True, "kind": "nope", "name": ""})
+        joined = " ".join(problems)
+        assert "tid" in joined  # missing required field
+        assert "non-negative" in joined
+        assert "unknown event kind" in joined
+        assert "non-empty" in joined
+
+
+# ---------------------------------------------------------------------------
+# Worker checkpoints.
+
+
+class TestCheckpoints:
+    def test_checkpoint_roundtrip(self, flight_tmp):
+        flight.record(ev.STATE, "worker.task_start", worker=7, task=42)
+        path = flight.checkpoint_worker(7)
+        assert path is not None
+        checkpoints = flight.load_worker_checkpoints()
+        assert [c["worker_id"] for c in checkpoints] == [7]
+        events = checkpoints[0]["events"]
+        assert events[-1]["name"] == "worker.task_start"
+        assert events[-1]["data"] == {"worker": 7, "task": 42}
+        assert "metrics" in checkpoints[0]
+
+    def test_clear_checkpoint(self, flight_tmp):
+        flight.checkpoint_worker(1)
+        assert flight.load_worker_checkpoints()
+        flight.clear_worker_checkpoint(1)
+        assert flight.load_worker_checkpoints() == []
+
+    def test_garbage_spool_files_skipped(self, flight_tmp):
+        flight.checkpoint_worker(0)
+        spool = flight_tmp / "spool"
+        (spool / "worker-torn.json").write_text("{not json")
+        (spool / "worker-alien.json").write_text('{"schema": "other/v1"}')
+        checkpoints = flight.load_worker_checkpoints()
+        assert [c["worker_id"] for c in checkpoints] == [0]
+
+
+# ---------------------------------------------------------------------------
+# Incident bundles.
+
+
+class TestBundles:
+    def test_bundle_schema_and_contents(self, flight_tmp):
+        flight.record(ev.SHED, "serve.shed", scene="train")
+        flight.checkpoint_worker(2)
+        path = flight.dump_incident("server-saturated",
+                                    scene="train", max_pending=4)
+        assert path is not None
+        bundle = doctor.load_bundle(path)
+        assert doctor.validate_bundle(bundle) == []
+        assert bundle["reason"] == "server-saturated"
+        assert bundle["context"] == {"scene": "train", "max_pending": 4}
+        assert [c["worker_id"] for c in bundle["workers"]] == [2]
+        assert any(event["name"] == "serve.shed"
+                   for event in bundle["events"])
+        assert all(key.startswith(("REPRO_", "GRTX_"))
+                   for key in bundle["environment"])
+
+    def test_numpy_payloads_survive_json(self, flight_tmp):
+        flight.record(ev.COMPLETE, "pool.complete",
+                      rays=np.int64(640), cost=np.float32(0.25))
+        path = flight.dump_incident("worker-crash", worker=np.int32(1))
+        with open(path, "r", encoding="utf-8") as fh:
+            bundle = json.load(fh)
+        assert bundle["context"]["worker"] == 1
+        event = [e for e in bundle["events"]
+                 if e["name"] == "pool.complete"][0]
+        assert event["data"]["rays"] == 640
+
+    def test_rate_limit_per_reason(self, flight_tmp):
+        flight.configure(min_interval=60.0)
+        assert flight.dump_incident("worker-crash") is not None
+        assert flight.dump_incident("worker-crash") is None
+        # A different reason is not limited by the first.
+        assert flight.dump_incident("server-saturated") is not None
+        flight.reset()  # re-arms
+        assert flight.dump_incident("worker-crash") is not None
+
+    def test_old_bundles_pruned(self, flight_tmp):
+        for index in range(flight.MAX_BUNDLES + 4):
+            assert flight.dump_incident(f"reason-{index}") is not None
+        bundles = list(flight_tmp.glob("incident-*.json"))
+        assert len(bundles) == flight.MAX_BUNDLES
+
+    def test_dump_never_raises_on_bad_directory(self, flight_tmp,
+                                                monkeypatch):
+        flight_tmp.mkdir(parents=True, exist_ok=True)
+        target = flight_tmp / "blocked"
+        target.write_text("a file where the directory should go")
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(target))
+        assert flight.dump_incident("worker-crash") is None
+        assert flight.last_error() is not None
+
+    def test_load_bundle_rejects_non_bundles(self, tmp_path):
+        path = tmp_path / "not-a-bundle.json"
+        path.write_text('{"schema": "something/else"}')
+        with pytest.raises(ValueError, match="not an incident bundle"):
+            doctor.load_bundle(str(path))
+
+
+# ---------------------------------------------------------------------------
+# Doctor triage.
+
+
+def _synthetic_bundle(reason, context, events_list=(), workers=()):
+    return {
+        "schema": flight.FLIGHT_SCHEMA,
+        "created_unix": 0.0,
+        "reason": reason,
+        "context": context,
+        "process": {"pid": 1, "argv": ["repro"]},
+        "environment": {},
+        "events": list(events_list),
+        "workers": list(workers),
+        "metrics": {"counters": {"pool.crashes": 2, "pool.requeues": 1},
+                    "histograms": {}},
+    }
+
+
+class TestDoctor:
+    def test_triage_merges_and_sorts_timeline(self):
+        parent = [{"ts": 30, "pid": 1, "tid": 1, "kind": ev.CRASH,
+                   "name": "pool.worker_crash"}]
+        worker = {"schema": flight.CHECKPOINT_SCHEMA, "worker_id": 0,
+                  "pid": 2, "written_unix": 0.0, "metrics": {},
+                  "events": [{"ts": 10, "pid": 2, "tid": 1,
+                              "kind": ev.STATE, "name": "worker.start"},
+                             {"ts": 20, "pid": 2, "tid": 1,
+                              "kind": ev.STATE, "name": "worker.task_start",
+                              "data": {"task": 5}}]}
+        analysis = doctor.triage(_synthetic_bundle(
+            "worker-crash", {"worker": 0, "exitcode": -9},
+            parent, [worker]))
+        assert [event["ts"] for event in analysis["timeline"]] == [10, 20, 30]
+        assert analysis["last_events"]["worker 0"]["name"] == \
+            "worker.task_start"
+        assert dict(analysis["anomalies"])["pool.crashes"] == 2
+        causes = " ".join(analysis["probable_causes"])
+        assert "SIGKILL" in causes
+        assert "died mid-task" in causes
+
+    def test_retries_exhausted_blames_the_task(self):
+        analysis = doctor.triage(_synthetic_bundle(
+            "task-retries-exhausted",
+            {"worker": 1, "exitcode": 1, "task": 9, "retries": 3}))
+        causes = " ".join(analysis["probable_causes"])
+        assert "poison payload" in causes
+
+    def test_saturation_heuristic(self):
+        analysis = doctor.triage(_synthetic_bundle(
+            "server-saturated", {"max_pending": 4}))
+        assert "offered load" in " ".join(analysis["probable_causes"])
+
+    def test_unknown_reason_still_reports(self):
+        analysis = doctor.triage(_synthetic_bundle("meteor-strike", {}))
+        assert "no heuristic" in " ".join(analysis["probable_causes"])
+
+    def test_report_renders_sections(self, flight_tmp):
+        flight.record(ev.CRASH, "pool.worker_crash", worker=0, exitcode=-9)
+        path = flight.dump_incident("worker-crash", worker=0, exitcode=-9)
+        report = doctor.render_report(doctor.load_bundle(path))
+        for section in ("probable cause", "last event per process",
+                        "timeline"):
+            assert section in report

@@ -275,6 +275,104 @@ class TestWorkerPool:
             assert sorted(f.result(timeout=120) for f in futures) == [0, 1, 2, 3]
             assert pool.stats()["crashes"] >= 1
 
+
+@pytest.fixture
+def flight_tmp(tmp_path, monkeypatch):
+    """Route the flight recorder at a per-test directory, no rate limit."""
+    from repro.obs import flight
+
+    fdir = tmp_path / "flight"
+    monkeypatch.setenv("REPRO_FLIGHT_DIR", str(fdir))
+    flight.configure(min_interval=0.0, enabled=True)
+    flight.reset()
+    yield fdir
+    flight.reset()
+    flight.configure(min_interval=flight.DEFAULT_MIN_INTERVAL)
+
+
+class TestCrashForensics:
+    """The flight recorder's crash-path contract: a killed worker leaves
+    an incident bundle holding its own checkpointed events, and
+    ``repro doctor`` can name the culprit from it."""
+
+    def test_sigkill_leaves_bundle_with_dead_workers_checkpoint(
+            self, flight_tmp):
+        from repro.obs import doctor
+
+        with WorkerPool(workers=2, start_method="fork") as pool:
+            futures = [pool.submit(_sleep_return, i, seconds=0.3)
+                       for i in range(4)]
+            time.sleep(0.1)  # let both workers checkpoint a task start
+            victim = next(p for p in pool.processes if p.is_alive())
+            victim_pid = victim.pid
+            os.kill(victim_pid, signal.SIGKILL)
+            assert sorted(f.result(timeout=120)
+                          for f in futures) == [0, 1, 2, 3]
+
+        bundles = sorted(flight_tmp.glob("incident-worker-crash-*.json"))
+        assert bundles, "worker crash reap did not dump a bundle"
+        bundle = doctor.load_bundle(str(bundles[-1]))
+        assert doctor.validate_bundle(bundle) == []
+        assert bundle["reason"] == "worker-crash"
+        assert bundle["context"]["exitcode"] == -signal.SIGKILL
+        wid = bundle["context"]["worker"]
+
+        # The bundle holds the *dead* process's checkpoint — pid-matched
+        # to the one we killed, not its replacement — and the last
+        # checkpointed event is the start of the in-flight task.
+        checkpoints = [c for c in bundle["workers"]
+                       if c["worker_id"] == wid and c["pid"] == victim_pid]
+        assert checkpoints, "dead worker's spooled checkpoint missing"
+        last = checkpoints[0]["events"][-1]
+        assert last["name"] == "worker.task_start"
+        assert last["data"]["task"] == bundle["context"]["task"]
+
+        # Doctor names the crashed worker, the signal, and the recovery.
+        report = doctor.render_report(bundle)
+        assert f"worker {wid}" in report
+        assert "SIGKILL" in report
+        assert "requeued" in report
+        assert "pool.crashes" in report  # counter anomaly surfaced
+
+    def test_crash_counters_mirrored_into_registry(self, flight_tmp,
+                                                   tmp_path):
+        from repro.obs import get_registry
+
+        registry = get_registry()
+        crashes_before = registry.counter_value("pool.crashes")
+        requeues_before = registry.counter_value("pool.requeues")
+        with WorkerPool(workers=2, start_method="fork") as pool:
+            flag = tmp_path / "crashed-once"
+            assert pool.submit(_crash_once, str(flag), 7).result(
+                timeout=120) == 7
+        assert registry.counter_value("pool.crashes") >= crashes_before + 1
+        assert registry.counter_value("pool.requeues") >= requeues_before + 1
+
+    def test_doctor_cli_parses_crash_bundle(self, flight_tmp, tmp_path,
+                                            capsys):
+        from repro.cli import main
+
+        with WorkerPool(workers=2, start_method="fork") as pool:
+            flag = tmp_path / "crashed-once"
+            assert pool.submit(_crash_once, str(flag), 9).result(
+                timeout=120) == 9
+        bundles = sorted(flight_tmp.glob("incident-worker-crash-*.json"))
+        assert bundles
+        assert main(["doctor", str(bundles[-1])]) == 0
+        out = capsys.readouterr().out
+        assert "probable cause" in out
+        assert "worker" in out
+
+    def test_retries_exhausted_dumps_its_own_bundle(self, flight_tmp):
+        with WorkerPool(workers=2, start_method="fork",
+                        max_task_retries=1) as pool:
+            with pytest.raises(WorkerCrashError):
+                pool.submit(_always_die).result(timeout=120)
+            # Keep the pool draining so the incident queue flushes.
+            assert pool.submit(_square, 5).result(timeout=60) == 25
+        assert sorted(
+            flight_tmp.glob("incident-task-retries-exhausted-*.json"))
+
     def test_closed_pool_rejects_submissions(self):
         pool = WorkerPool(workers=1, start_method="fork")
         pool.close()
