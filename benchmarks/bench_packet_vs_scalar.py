@@ -149,7 +149,21 @@ def main(argv: list[str] | None = None) -> int:
         config={"scene": args.scene, "size": args.size,
                 "scale": args.scale, "structure": args.structure,
                 "k": args.k, "n_gaussians": len(cloud)},
-        sections={"measurements": measurements})
+        sections={
+            "measurements": measurements,
+            # Mode-keyed mirror of the headline numbers: positional
+            # paths like measurements.0.speedup silently point at the
+            # wrong mode when --modes reorders the list, so headline
+            # resolution goes through this section instead.
+            "summary": {
+                m["mode"]: {
+                    "speedup": m["speedup"],
+                    "max_diff": m["max_diff"],
+                    "counters_ok": m["counters_ok"],
+                }
+                for m in measurements
+            },
+        })
 
     failures = []
     for m in measurements:

@@ -39,10 +39,14 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 HEADLINES: dict[str, tuple[str, str, str]] = {
     "obs": ("tracing overhead", "overhead.overhead_pct", "{:+.2f}%"),
     "pool": ("persistent-pool speedup", "pool_reuse.speedup", "{:.2f}x"),
+    # Mode-keyed paths: measurements.0.* depends on --modes order, so
+    # the headlines resolve through the summary section instead.
     "packet_mono": ("packet speedup (mono)",
-                    "measurements.0.speedup", "{:.2f}x"),
+                    "summary.multiround.speedup", "{:.2f}x"),
     "packet_tlas": ("packet speedup (tlas)",
-                    "measurements.0.speedup", "{:.2f}x"),
+                    "summary.multiround.speedup", "{:.2f}x"),
+    "wavefront": ("wavefront speedup vs packet",
+                  "summary.multiround.speedup_vs_packet", "{:.2f}x"),
     "replay": ("campaign e2e speedup",
                "campaign.e2e_speedup", "{:.2f}x"),
     "serve_throughput": ("serve throughput",

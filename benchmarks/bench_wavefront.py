@@ -1,0 +1,239 @@
+"""Wavefront-engine benchmark: parity vs scalar, speed vs packet.
+
+Renders the same frame with all three engines and checks the wavefront
+engine's standing contract on every run:
+
+* images match the scalar golden within ``--tolerance`` (default 1e-9)
+  per channel, and the parity-matched functional counters (``n_rays``,
+  ``blended_total``, ``rays_terminated_early``) agree exactly —
+  violations exit non-zero whether or not ``--check`` is given;
+* the per-phase ``rt.phase.{bin,traversal,intersect,blend}`` histograms
+  all received samples (the phase breakdown is part of the engine's
+  observability surface, so a refactor that silently drops a span fails
+  the benchmark);
+* with ``--check``, the wavefront engine must beat the packet engine by
+  ``--min-speedup`` (default 2x) — the CI gate.
+
+Like ``bench_packet_vs_scalar`` this is a plain script::
+
+    python benchmarks/bench_wavefront.py [--size 64] [--check]
+
+``--structure`` accepts both structure families.  Results go to
+``benchmarks/results/wavefront_vs_packet.txt`` plus a machine-readable
+``BENCH_wavefront.json`` (``repro.bench/v1``, headline
+``summary.multiround.speedup_vs_packet``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+# Allow running straight from a checkout without installing the package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+if str(Path(__file__).resolve().parent) not in sys.path:
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np
+
+from bench_schema import write_bench_json
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Functional counters the wavefront engine must reproduce exactly.
+PARITY_COUNTERS = ("n_rays", "blended_total", "rays_terminated_early")
+
+#: Per-phase histograms the engine must populate while tracing.
+PHASE_METRICS = ("rt.phase.bin", "rt.phase.traversal",
+                 "rt.phase.intersect", "rt.phase.blend")
+
+
+def _parse(argv: list[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="wavefront engine: parity vs scalar, speed vs packet")
+    parser.add_argument("--scene", default="train")
+    parser.add_argument("--size", type=int, default=64,
+                        help="image width=height (default 64)")
+    parser.add_argument("--scale", type=float, default=1 / 2000.0)
+    parser.add_argument("--structure", "--proxy", dest="structure",
+                        default="tlas+sphere",
+                        choices=["20-tri", "80-tri", "custom",
+                                 "tlas+sphere", "tlas+20-tri", "tlas+80-tri"],
+                        help="acceleration structure (--proxy is a "
+                             "backward-compatible alias)")
+    parser.add_argument("--k", type=int, default=8)
+    parser.add_argument("--modes", default="multiround,singleround",
+                        help="comma-separated trace modes to compare")
+    parser.add_argument("--tolerance", type=float, default=1e-9,
+                        help="max per-channel image difference vs scalar")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="wavefront-over-packet speedup required by "
+                             "--check")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="interleaved packet/wavefront repetitions; the "
+                             "per-engine minimum is reported (default 3 — "
+                             "single measurements are hostage to scheduler "
+                             "noise)")
+    parser.add_argument("--check", action="store_true",
+                        help="also gate on speed: exit non-zero when the "
+                             "wavefront engine is below --min-speedup over "
+                             "packet (parity failures exit non-zero "
+                             "regardless)")
+    return parser.parse_args(argv)
+
+
+def run_mode(cloud, structure, camera, mode: str, k: int,
+             reps: int = 3) -> dict:
+    """Render one mode with all three engines and measure them.
+
+    The scalar golden renders once (it is only the parity reference);
+    packet and wavefront render ``reps`` times *interleaved* and the
+    per-engine minimum counts, so a scheduler hiccup hurts one
+    repetition instead of one engine.
+    """
+    from repro.render import GaussianRayTracer
+    from repro.rt import TraceConfig
+
+    config = TraceConfig(k=k, mode=mode)
+    n_rays = camera.width * camera.height
+    renderers = {
+        engine: GaussianRayTracer(cloud, structure, config, engine=engine)
+        for engine in ("scalar", "packet", "wavefront")
+    }
+    for engine, renderer in renderers.items():
+        assert renderer.engine_active == engine
+    results = {}
+    timings = {}
+    t0 = time.perf_counter()
+    results["scalar"] = renderers["scalar"].render(camera, keep_traces=False)
+    timings["scalar"] = time.perf_counter() - t0
+    best = {"packet": float("inf"), "wavefront": float("inf")}
+    for _ in range(max(1, reps)):
+        for engine in ("packet", "wavefront"):
+            t0 = time.perf_counter()
+            results[engine] = renderers[engine].render(camera,
+                                                       keep_traces=False)
+            best[engine] = min(best[engine], time.perf_counter() - t0)
+    timings.update(best)
+    scalar, wavefront = results["scalar"], results["wavefront"]
+    counters_ok = all(
+        getattr(scalar.stats, name) == getattr(wavefront.stats, name)
+        for name in PARITY_COUNTERS
+    )
+    return {
+        "mode": mode,
+        "scalar_s": timings["scalar"],
+        "packet_s": timings["packet"],
+        "wavefront_s": timings["wavefront"],
+        "scalar_rps": n_rays / timings["scalar"],
+        "packet_rps": n_rays / timings["packet"],
+        "wavefront_rps": n_rays / timings["wavefront"],
+        "speedup_vs_scalar": timings["scalar"] / timings["wavefront"],
+        "speedup_vs_packet": timings["packet"] / timings["wavefront"],
+        "max_diff": float(np.abs(scalar.image - wavefront.image).max()),
+        "counters_ok": counters_ok,
+    }
+
+
+def missing_phase_metrics() -> list[str]:
+    """Phase histograms that received no samples during the run."""
+    from repro.obs import get_registry
+
+    registry = get_registry()
+    missing = []
+    for name in PHASE_METRICS:
+        histogram = registry.histogram(name)
+        if histogram is None or histogram.count == 0:
+            missing.append(name)
+    return missing
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parse(argv)
+    from repro.eval.harness import build_structure_for
+    from repro.eval.report import format_table
+    from repro.gaussians import make_workload
+    from repro.render import default_camera_for
+
+    cloud = make_workload(args.scene, scale=args.scale)
+    structure = build_structure_for(cloud, args.structure)
+    camera = default_camera_for(cloud, args.size, args.size)
+
+    rows = []
+    measurements = []
+    for mode in args.modes.split(","):
+        m = run_mode(cloud, structure, camera, mode.strip(), args.k,
+                     reps=args.reps)
+        measurements.append(m)
+        rows.append([
+            m["mode"],
+            f"{m['scalar_rps']:.0f}",
+            f"{m['packet_rps']:.0f}",
+            f"{m['wavefront_rps']:.0f}",
+            f"{m['speedup_vs_packet']:.2f}x",
+            f"{m['max_diff']:.2e}",
+            "exact" if m["counters_ok"] else "MISMATCH",
+        ])
+
+    report = format_table(
+        f"wavefront vs packet vs scalar: {args.scene} "
+        f"{args.size}x{args.size} {args.structure} k={args.k} "
+        f"({len(cloud)} gaussians)",
+        ["mode", "scalar rays/s", "packet rays/s", "wavefront rays/s",
+         "wf/packet", "max |diff|", "counters"],
+        rows,
+    )
+    print(report)
+    missing = missing_phase_metrics()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "wavefront_vs_packet.txt").write_text(report + "\n")
+    write_bench_json(
+        RESULTS_DIR / "BENCH_wavefront.json", "wavefront",
+        config={"scene": args.scene, "size": args.size,
+                "scale": args.scale, "structure": args.structure,
+                "k": args.k, "n_gaussians": len(cloud)},
+        sections={
+            "measurements": measurements,
+            "phases_observed": {name: name not in missing
+                                for name in PHASE_METRICS},
+            # Mode-keyed headline numbers (see bench_packet_vs_scalar:
+            # positional measurement paths break when --modes reorders).
+            "summary": {
+                m["mode"]: {
+                    "speedup_vs_packet": m["speedup_vs_packet"],
+                    "speedup_vs_scalar": m["speedup_vs_scalar"],
+                    "max_diff": m["max_diff"],
+                    "counters_ok": m["counters_ok"],
+                }
+                for m in measurements
+            },
+        })
+
+    failures = []
+    for m in measurements:
+        if m["max_diff"] > args.tolerance:
+            failures.append(
+                f"{m['mode']}: image diff {m['max_diff']:.3e} exceeds "
+                f"{args.tolerance:.0e}")
+        if not m["counters_ok"]:
+            failures.append(f"{m['mode']}: functional counters diverge")
+        if args.check and m["speedup_vs_packet"] < args.min_speedup:
+            failures.append(
+                f"{m['mode']}: wavefront speedup over packet "
+                f"{m['speedup_vs_packet']:.2f}x below "
+                f"{args.min_speedup:.1f}x")
+    for name in missing:
+        failures.append(f"phase histogram {name} received no samples")
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,7 +41,13 @@ from repro.bvh.multi_object import (
     MultiObjectScene,
     ObjectPose,
 )
-from repro.bvh.two_level import SharedBlas, TwoLevelBVH, build_two_level
+from repro.bvh.two_level import (
+    HeteroTwoLevelBVH,
+    SharedBlas,
+    TwoLevelBVH,
+    build_two_level,
+    build_two_level_hetero,
+)
 from repro.bvh.stats import BVHStats, structure_stats
 
 __all__ = [
@@ -54,6 +60,7 @@ __all__ = [
     "FlatMesh",
     "FlatStructure",
     "GaussianObject",
+    "HeteroTwoLevelBVH",
     "INSTANCE_BYTES",
     "KIND_EMPTY",
     "KIND_INTERNAL",
@@ -72,6 +79,7 @@ __all__ = [
     "build_bvh",
     "build_monolithic",
     "build_two_level",
+    "build_two_level_hetero",
     "flatten",
     "flattenable",
     "internal_node_bytes",

@@ -43,7 +43,7 @@ import numpy as np
 from repro.bvh.layout import INSTANCE_BYTES, LEAF_HEADER_BYTES
 from repro.bvh.monolithic import MonolithicBVH
 from repro.bvh.node import FlatBVH
-from repro.bvh.two_level import TwoLevelBVH
+from repro.bvh.two_level import HeteroTwoLevelBVH, TwoLevelBVH
 from repro.util import IdentityMemo
 
 #: What a root level's leaves reference.
@@ -181,29 +181,31 @@ def _flatten_monolithic(structure: MonolithicBVH) -> FlatStructure:
     )
 
 
-def _flatten_two_level(structure: TwoLevelBVH) -> FlatStructure:
-    order = structure.tlas.prim_order
-    blas = structure.blas
+def _flatten_blas(blas) -> FlatBlas:
+    """Lower one :class:`~repro.bvh.two_level.SharedBlas` template."""
     if blas.kind == "sphere":
-        flat_blas = FlatBlas(
+        return FlatBlas(
             kind=BLAS_SPHERE,
             base_address=blas.base_address,
             root_address=blas.root_address,
             total_bytes=blas.total_bytes,
             height=1,
         )
-    else:
-        blas_order = blas.bvh.prim_order
-        flat_blas = FlatBlas(
-            kind=BLAS_MESH,
-            base_address=blas.base_address,
-            root_address=blas.root_address,
-            total_bytes=blas.total_bytes,
-            height=blas.bvh.height,
-            bvh=blas.bvh,
-            mesh=_leaf_ordered_mesh(blas.tri_v0, blas.tri_v1, blas.tri_v2,
-                                    blas_order),
-        )
+    blas_order = blas.bvh.prim_order
+    return FlatBlas(
+        kind=BLAS_MESH,
+        base_address=blas.base_address,
+        root_address=blas.root_address,
+        total_bytes=blas.total_bytes,
+        height=blas.bvh.height,
+        bvh=blas.bvh,
+        mesh=_leaf_ordered_mesh(blas.tri_v0, blas.tri_v1, blas.tri_v2,
+                                blas_order),
+    )
+
+
+def _flatten_two_level(structure: TwoLevelBVH) -> FlatStructure:
+    order = structure.tlas.prim_order
     return FlatStructure(
         proxy=structure.proxy,
         n_gaussians=structure.n_gaussians,
@@ -216,14 +218,39 @@ def _flatten_two_level(structure: TwoLevelBVH) -> FlatStructure:
             structure.world_to_obj_linear[order]),
         inst_w2o_offset=np.ascontiguousarray(
             structure.world_to_obj_offset[order]),
-        blas=(flat_blas,),
+        blas=(_flatten_blas(structure.blas),),
+    )
+
+
+def _flatten_hetero(structure: HeteroTwoLevelBVH) -> FlatStructure:
+    """Lower a heterogeneous TLAS: same layout as the homogeneous case,
+    but ``inst_blas`` carries real per-instance slots and ``blas`` one
+    entry per template."""
+    order = structure.tlas.prim_order
+    return FlatStructure(
+        proxy=structure.proxy,
+        n_gaussians=structure.n_gaussians,
+        two_level=True,
+        root=structure.tlas,
+        root_prims=PRIMS_INSTANCES,
+        prim_gid=np.ascontiguousarray(order.astype(np.int64)),
+        inst_blas=np.ascontiguousarray(
+            structure.gaussian_blas[order].astype(np.int64)),
+        inst_w2o_linear=np.ascontiguousarray(
+            structure.world_to_obj_linear[order]),
+        inst_w2o_offset=np.ascontiguousarray(
+            structure.world_to_obj_offset[order]),
+        blas=tuple(_flatten_blas(b) for b in structure.blas),
     )
 
 
 def flattenable(structure) -> bool:
     """Whether :func:`flatten` understands this structure — the single
     structural support predicate both tracing engines share."""
-    return isinstance(structure, (MonolithicBVH, TwoLevelBVH, FlatStructure))
+    return isinstance(
+        structure,
+        (MonolithicBVH, TwoLevelBVH, HeteroTwoLevelBVH, FlatStructure),
+    )
 
 
 # Identity-checked memo (locked + weakref-verified, so a recycled id can
@@ -237,9 +264,11 @@ def _flatten_uncached(structure) -> FlatStructure:
         return _flatten_monolithic(structure)
     if isinstance(structure, TwoLevelBVH):
         return _flatten_two_level(structure)
+    if isinstance(structure, HeteroTwoLevelBVH):
+        return _flatten_hetero(structure)
     raise TypeError(
         f"cannot flatten {type(structure).__name__}; expected "
-        "MonolithicBVH, TwoLevelBVH or FlatStructure")
+        "MonolithicBVH, TwoLevelBVH, HeteroTwoLevelBVH or FlatStructure")
 
 
 def flatten(structure) -> FlatStructure:

@@ -31,7 +31,12 @@ import numpy as np
 from repro.bvh.builder import BuildParams, build_bvh
 from repro.bvh.layout import INSTANCE_BYTES
 from repro.bvh.node import KIND_EMPTY, FlatBVH
-from repro.bvh.two_level import TwoLevelBVH, build_two_level
+from repro.bvh.two_level import (
+    HeteroTwoLevelBVH,
+    TwoLevelBVH,
+    build_two_level,
+    build_two_level_hetero,
+)
 from repro.gaussians import GaussianCloud
 from repro.math3d import (
     AffineTransform,
@@ -294,28 +299,51 @@ class MultiObjectScene:
 
     # -- rendering bridge -------------------------------------------------
 
-    def flatten(self) -> tuple[GaussianCloud, TwoLevelBVH]:
+    def flatten(self) -> tuple[GaussianCloud, TwoLevelBVH | HeteroTwoLevelBVH]:
         """Flatten the scene into one cloud + GRTX-SW structure.
 
         Renders treat the flattened scene exactly like a static one. The
         flattening composes each instance pose with its Gaussians'
-        transforms; the shared BLAS property is preserved (all Gaussians
-        of all instances still reference one template BLAS).
+        transforms; the shared BLAS property is preserved (every
+        Gaussian references one of the scene's template BLASes).  When
+        all instanced objects use the same template, the result is the
+        homogeneous single-BLAS structure; objects with differing proxy
+        choices produce a :class:`HeteroTwoLevelBVH` whose per-instance
+        slots keep each object's fidelity instead of forcing the first
+        object's template onto everyone.
         """
         if not self._instances:
             raise ValueError("cannot flatten an empty scene")
         clouds = []
+        specs: list[tuple[str, int]] = []
+        spec_slot: dict[tuple[str, int], int] = {}
+        slot_parts = []
         for iid in sorted(self._instances):
             inst = self._instances[iid]
-            clouds.append(self._objects[inst.object_index].posed_cloud(inst.pose))
+            obj = self._objects[inst.object_index]
+            clouds.append(obj.posed_cloud(inst.pose))
+            spec = (obj.structure.blas.kind, obj.structure.blas.subdivisions)
+            if spec not in spec_slot:
+                spec_slot[spec] = len(specs)
+                specs.append(spec)
+            slot_parts.append(
+                np.full(len(clouds[-1]), spec_slot[spec], dtype=np.int64))
         merged = clouds[0]
         for extra in clouds[1:]:
             merged = merged.concatenate(extra)
-        blas0 = self._objects[self._instances[sorted(self._instances)[0]].object_index]
-        structure = build_two_level(
+        if len(specs) == 1:
+            kind, subdivisions = specs[0]
+            structure = build_two_level(
+                merged,
+                blas_kind=kind,
+                subdivisions=subdivisions,
+                params=self._params,
+            )
+            return merged, structure
+        structure = build_two_level_hetero(
             merged,
-            blas_kind=blas0.structure.blas.kind,
-            subdivisions=blas0.structure.blas.subdivisions,
+            blas_specs=specs,
+            gaussian_blas=np.concatenate(slot_parts),
             params=self._params,
         )
         return merged, structure

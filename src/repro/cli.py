@@ -59,14 +59,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         choices=["baseline", "grtx-sw", "grtx-hw", "grtx"],
                         help="optimization mode (grtx-hw/grtx enable checkpointing)")
     render.add_argument("--engine", default="auto",
-                        choices=["scalar", "packet", "auto"],
+                        choices=["scalar", "packet", "wavefront", "auto"],
                         help="tracing engine: per-ray scalar (full feature set, "
                              "fetch traces for the timing model), vectorized "
-                             "ray packets (both structure families, no "
-                             "checkpointing; unsupported combinations fall "
-                             "back to scalar with a warning), or auto "
-                             "(default: packet whenever it covers the "
-                             "structure/mode pair, scalar otherwise)")
+                             "ray packets, frame-wide breadth-first wavefront "
+                             "(both batch engines cover both structure "
+                             "families, no checkpointing; unsupported "
+                             "combinations fall back to scalar with a "
+                             "warning), or auto (default: wavefront for "
+                             "frame-sized batches, packet for smaller ones, "
+                             "scalar otherwise)")
     render.add_argument("--size", type=int, default=32, help="image width=height")
     render.add_argument("--k", type=int, default=8, help="k-buffer capacity")
     render.add_argument("--scale", type=float, default=1 / 400.0,
@@ -123,8 +125,8 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--unique", type=int, default=5,
                              help="distinct request configs in the workload")
     serve_bench.add_argument("--engine", default="auto",
-                             choices=["scalar", "packet", "auto"],
-                             help="tracing engine to benchmark; packet/auto "
+                             choices=["scalar", "packet", "wavefront", "auto"],
+                             help="tracing engine to benchmark; batch engines/auto "
                                   "switch the workload to baseline mode "
                                   "(no checkpointing) so the vectorized "
                                   "path is what gets measured, on the "
@@ -292,7 +294,8 @@ def _cmd_render(args: argparse.Namespace) -> int:
 
     # Resolve auto (and count/warn an explicit packet degrade) once,
     # then pass the concrete engine down so nothing re-resolves.
-    engine_active = resolve_engine(args.engine, structure, config)
+    engine_active = resolve_engine(args.engine, structure, config,
+                                   n_rays=args.size * args.size)
     if tiles:
         from repro.serve import TileScheduler
 

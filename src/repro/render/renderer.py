@@ -139,10 +139,14 @@ class RenderResult:
 #: Python tracer (full feature set, per-ray fetch traces); ``"packet"``
 #: is the numpy-vectorized ray-packet engine (both structure families,
 #: multiround/singleround, no fetch traces), parity-matched to the
-#: scalar images within 1e-9 per channel; ``"auto"`` picks the packet
-#: engine whenever it covers the (structure, config) pair and the
-#: scalar tracer otherwise.
-ENGINES = ("scalar", "packet", "auto")
+#: scalar images within 1e-9 per channel; ``"wavefront"`` batches the
+#: whole ray set breadth-first through the same kernels (same parity
+#: contract, built for frame-sized batches); ``"auto"`` picks a batch
+#: engine whenever one covers the (structure, config) pair — the
+#: wavefront engine when the batch is frame-sized (``n_rays`` hint
+#: reaches :func:`repro.rt.packet.resolve_engine`), the packet engine
+#: otherwise — and the scalar tracer when neither applies.
+ENGINES = ("scalar", "packet", "wavefront", "auto")
 
 
 class GaussianRayTracer:
@@ -157,17 +161,23 @@ class GaussianRayTracer:
     config:
         Tracing configuration (k, multi/single round, checkpointing, ...).
     engine:
-        ``"scalar"`` (default), ``"packet"`` or ``"auto"``.  The packet
-        engine covers both structure families without checkpointing or
-        ``record_blended``; an explicit ``"packet"`` on an unsupported
-        combination falls back to the scalar tracer — counted by
-        :func:`repro.rt.packet.packet_fallback_count` and warned about
-        once per reason — while ``"auto"`` silently picks whichever
-        engine covers the pair (``engine_active`` reports the choice).
+        ``"scalar"`` (default), ``"packet"``, ``"wavefront"`` or
+        ``"auto"``.  The batch engines cover both structure families
+        without checkpointing; an explicit ``"packet"``/``"wavefront"``
+        on an unsupported combination falls back to the scalar tracer —
+        counted by :func:`repro.rt.packet.packet_fallback_count` and
+        warned about once per reason — while ``"auto"`` silently picks
+        whichever engine covers the pair: the wavefront engine when
+        ``n_rays`` says the batch is frame-sized, the packet engine
+        otherwise (``engine_active`` reports the choice).
+    n_rays:
+        Optional batch-size hint for ``"auto"`` (callers that know the
+        frame resolution pass ``width * height``); without it ``"auto"``
+        resolves to the packet engine as before.
 
     ``structure`` may also be an already-flattened
     :class:`~repro.bvh.flatten.FlatStructure` (what pool workers
-    receive); both engines consume the flattened layout natively.
+    receive); all engines consume the flattened layout natively.
     """
 
     def __init__(
@@ -176,6 +186,7 @@ class GaussianRayTracer:
         structure: MonolithicBVH | TwoLevelBVH,
         config: TraceConfig | None = None,
         engine: str = "scalar",
+        n_rays: int | None = None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
@@ -187,8 +198,19 @@ class GaussianRayTracer:
         self.packet = None
         self._scalar_tracer: Tracer | None = None
         from repro.rt.packet import PacketTracer, resolve_engine
+        from repro.rt.wavefront import WavefrontTracer
 
-        if resolve_engine(engine, structure, self.config) == "packet":
+        resolved = resolve_engine(engine, structure, self.config,
+                                  n_rays=n_rays)
+        self._engine_active = resolved
+        if resolved == "wavefront":
+            #: The batch tracer keeps the historical ``packet`` name —
+            #: both batch engines share the PacketTracer API and every
+            #: consumer (tile scheduler, tests, pool workers) holds it
+            #: through this attribute.
+            self.packet = WavefrontTracer(structure, self.shading,
+                                          self.config)
+        elif resolved == "packet":
             self.packet = PacketTracer(structure, self.shading, self.config)
         else:
             self._scalar_tracer = Tracer(structure, self.shading, self.config)
@@ -205,7 +227,7 @@ class GaussianRayTracer:
     @property
     def engine_active(self) -> str:
         """The engine actually tracing (after unsupported-combo fallback)."""
-        return "packet" if self.packet is not None else "scalar"
+        return self._engine_active
 
     def render(
         self,

@@ -33,6 +33,7 @@ from repro.rt.packet import (
     MONOLITHIC_PROXIES,
     PACKET_PROXIES,
     TWO_LEVEL_PROXIES,
+    WAVEFRONT_MIN_RAYS,
     PacketResult,
     PacketTracer,
     fallback_reason,
@@ -41,6 +42,11 @@ from repro.rt.packet import (
     packet_supported,
     reset_packet_fallbacks,
     resolve_engine,
+)
+from repro.rt.wavefront import (
+    WAVEFRONT_RAY_CHUNK,
+    WavefrontTracer,
+    wavefront_supported,
 )
 from repro.rt.predictor import PredictorReport, RayPredictor, analyze_predictor
 from repro.rt.shading import SceneShading
@@ -74,9 +80,12 @@ __all__ = [
     "TERMINATE",
     "TraceConfig",
     "Tracer",
+    "WavefrontTracer",
     "MONOLITHIC_PROXIES",
     "PACKET_PROXIES",
     "TWO_LEVEL_PROXIES",
+    "WAVEFRONT_MIN_RAYS",
+    "WAVEFRONT_RAY_CHUNK",
     "analyze_predictor",
     "depth_pipeline",
     "fallback_reason",
@@ -86,4 +95,5 @@ __all__ = [
     "reset_packet_fallbacks",
     "resolve_engine",
     "shadow_pipeline",
+    "wavefront_supported",
 ]

@@ -56,8 +56,6 @@ from __future__ import annotations
 import threading
 import time
 import warnings
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.obs import get_registry, span
@@ -68,19 +66,33 @@ from repro.bvh.flatten import (
     BLAS_SPHERE,
     PRIMS_GAUSSIANS,
     PRIMS_TRIANGLES,
-    FlatBVH,
     flatten,
     flattenable,
 )
 from repro.bvh.node import KIND_INTERNAL
-from repro.gaussians.sh import sh_basis
-from repro.rt.shading import ALPHA_MAX, ALPHA_MIN, SceneShading
+from repro.rt.kernels import (
+    Level,
+    PacketResult,
+    blend_range_end,
+    empty_result,
+    entering_hits,
+    shade_and_blend,
+    sphere_blas_hits,
+    to_object_space,
+)
+from repro.rt.shading import SceneShading
 from repro.rt.tracer import TraceConfig
 
 #: Rays per internal traversal chunk; bounds the (rays, width, 3)
 #: broadcast temporaries and the dense per-ray blend matrix to tens of
 #: MB even for hit-heavy scenes.
 _MAX_PACKET = 8192
+
+#: Frame sizes from which ``engine="auto"`` prefers the wavefront
+#: engine: breadth-first frontier batching needs enough rays per level
+#: step to amortize its compaction passes; below this the packet
+#: engine's per-tile DFS is the better schedule.
+WAVEFRONT_MIN_RAYS = 4096
 
 _INF = float("inf")
 
@@ -170,96 +182,44 @@ def reset_packet_fallbacks() -> None:
         _warned_reasons.clear()
 
 
-def resolve_engine(engine: str, structure, config: TraceConfig) -> str:
-    """The concrete engine a (structure, config) pair will trace with.
+def resolve_engine(engine: str, structure, config: TraceConfig,
+                   n_rays: int | None = None) -> str:
+    """The concrete engine a (structure, config, batch) will trace with.
 
-    ``"auto"`` picks the packet engine whenever it covers the pair and
-    the scalar tracer otherwise, silently — that is its contract.  An
-    explicit ``"packet"`` that cannot be honored *degrades* to scalar:
-    the degrade is counted (:func:`packet_fallback_count`) and warned
-    about once per reason, because the caller asked for something they
-    are not getting.
+    ``"auto"`` silently picks the best supported engine — that is its
+    contract: the wavefront engine for frame-sized batches (``n_rays``
+    at least :data:`WAVEFRONT_MIN_RAYS`; callers that know the batch
+    size pass it), the packet engine otherwise, and the scalar tracer
+    when the batched engines cannot cover the pair.  An explicit
+    ``"packet"`` or ``"wavefront"`` that cannot be honored *degrades* to
+    scalar: the degrade is counted (:func:`packet_fallback_count`) and
+    warned about once per reason, because the caller asked for
+    something they are not getting.  Unknown engine names are a
+    fail-fast ``ValueError`` (a typo must not silently render with the
+    wrong engine).
     """
     if engine == "scalar":
         return "scalar"
-    if engine not in ("packet", "auto"):
+    if engine not in ("packet", "wavefront", "auto"):
         raise ValueError(
-            f"unknown engine {engine!r}; expected scalar, packet or auto")
+            f"unknown engine {engine!r}; valid engines are: "
+            "scalar, packet, wavefront, auto")
     reason = fallback_reason(structure, config)
-    if reason is None:
+    if reason is not None:
+        if engine in ("packet", "wavefront"):
+            note_packet_fallback(reason)
+        return "scalar"
+    if engine == "auto":
+        if n_rays is not None and n_rays >= WAVEFRONT_MIN_RAYS:
+            return "wavefront"
         return "packet"
-    if engine == "packet":
-        note_packet_fallback(reason)
-    return "scalar"
+    return engine
 
 
-@dataclass
-class PacketResult:
-    """Per-ray outcome arrays for one traced packet.
-
-    ``colors`` is aligned with the input ray order.  ``rounds`` is the
-    number of k-sized blend chunks the scalar multiround algorithm
-    would need for the blended hits (1 for singleround) — an equivalent
-    work measure, not a claim of per-round parity.
-    """
-
-    colors: np.ndarray
-    transmittance: np.ndarray
-    blended: np.ndarray
-    terminated: np.ndarray
-    rounds: np.ndarray
-    #: Candidate (ray, gaussian) pairs that passed the canonical
-    #: any-hit evaluation (each pair evaluated exactly once).
-    anyhit_calls: int = 0
-    #: Candidate pairs rejected by the canonical evaluation (proxy
-    #: false positives, negligible alpha, entry behind the origin).
-    false_positives: int = 0
-    #: Per-ray ``(gaussian_id, alpha, t)`` blend lists in blend order,
-    #: populated when ``TraceConfig.record_blended`` is set — the same
-    #: lists the scalar tracer's ``RayOutcome.blend_records`` carries
-    #: (the training substrate's backward pass consumes them).
-    blend_records: list[list[tuple[int, float, float]]] | None = None
-
-    @property
-    def n_rays(self) -> int:
-        return self.colors.shape[0]
-
-    @classmethod
-    def concatenate(cls, parts: list["PacketResult"],
-                    record_blended: bool) -> "PacketResult":
-        """Merge chunked results back into one, in chunk order (shared
-        by the plain and recorded tracing paths, so a new field cannot
-        be merged in one and dropped in the other)."""
-        records = None
-        if record_blended:
-            records = []
-            for p in parts:
-                records.extend(p.blend_records or [])
-        return cls(
-            colors=np.concatenate([p.colors for p in parts]),
-            transmittance=np.concatenate([p.transmittance for p in parts]),
-            blended=np.concatenate([p.blended for p in parts]),
-            terminated=np.concatenate([p.terminated for p in parts]),
-            rounds=np.concatenate([p.rounds for p in parts]),
-            anyhit_calls=sum(p.anyhit_calls for p in parts),
-            false_positives=sum(p.false_positives for p in parts),
-            blend_records=records,
-        )
-
-
-class _Level:
-    """Contiguous traversal arrays for one flattened BVH level."""
-
-    __slots__ = ("child_lo", "child_hi", "child_kind", "child_ref",
-                 "leaf_start", "leaf_count")
-
-    def __init__(self, bvh: FlatBVH) -> None:
-        self.child_lo = np.ascontiguousarray(bvh.child_lo)
-        self.child_hi = np.ascontiguousarray(bvh.child_hi)
-        self.child_kind = bvh.child_kind
-        self.child_ref = bvh.child_ref
-        self.leaf_start = bvh.leaf_start
-        self.leaf_count = bvh.leaf_count
+# PacketResult and the shared computational kernels moved to
+# repro.rt.kernels when the wavefront engine landed; re-exported here
+# (see the module imports) so existing callers keep their import paths.
+_Level = Level
 
 
 class PacketTracer:
@@ -360,15 +320,7 @@ class PacketTracer:
     # ------------------------------------------------------------------
 
     def _empty_result(self, n: int) -> PacketResult:
-        return PacketResult(
-            colors=np.zeros((n, 3)),
-            transmittance=np.ones(n),
-            blended=np.zeros(n, dtype=np.int64),
-            terminated=np.zeros(n, dtype=bool),
-            rounds=np.ones(n, dtype=np.int64),
-            blend_records=([[] for _ in range(n)]
-                           if self.config.record_blended else None),
-        )
+        return empty_result(n, self.config.record_blended)
 
     def _trace_chunk(self, o, d, t_clip) -> PacketResult:
         # Same degenerate-direction guard as the scalar tracer, so slab
@@ -542,45 +494,9 @@ class PacketTracer:
             return empty, empty
         return np.concatenate(ray_parts), np.concatenate(prim_parts)
 
-    @staticmethod
-    def _entering_hits(
-        op: np.ndarray,
-        dp: np.ndarray,
-        tp: np.ndarray,
-        v0_arr: np.ndarray,
-        e1_arr: np.ndarray,
-        e2_arr: np.ndarray,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Masked Möller–Trumbore over (ray, triangle) candidate pairs.
-
-        ``op``/``dp`` are the per-pair ray origins and directions (world
-        space for monolithic leaves, object space for a shared-BLAS
-        bundle); ``tp`` indexes the leaf-ordered triangle tables.
-        Returns ``(sel, t)``: indices into the input pair arrays with a
-        backface-culled entering hit in front of the origin, and their
-        hit distances — expression-for-expression the scalar loops'
-        arithmetic.
-        """
-        e2 = e2_arr[tp]
-        pv = np.cross(dp, e2)
-        e1 = e1_arr[tp]
-        det = e1[:, 0] * pv[:, 0] + e1[:, 1] * pv[:, 1] + e1[:, 2] * pv[:, 2]
-        # Entering (backface-culled) hits only, as in the scalar loop.
-        front = np.nonzero(det <= -1e-12)[0]
-        dp, e2, pv, det = dp[front], e2[front], pv[front], det[front]
-        e1 = e1[front]
-
-        inv_det = 1.0 / det
-        tv = op[front] - v0_arr[tp[front]]
-        u = (tv[:, 0] * pv[:, 0] + tv[:, 1] * pv[:, 1]
-             + tv[:, 2] * pv[:, 2]) * inv_det
-        qv = np.cross(tv, e1)
-        v = (dp[:, 0] * qv[:, 0] + dp[:, 1] * qv[:, 1]
-             + dp[:, 2] * qv[:, 2]) * inv_det
-        t = (e2[:, 0] * qv[:, 0] + e2[:, 1] * qv[:, 1]
-             + e2[:, 2] * qv[:, 2]) * inv_det
-        keep = (u >= 0.0) & (u <= 1.0) & (v >= 0.0) & (u + v <= 1.0) & (t > 0.0)
-        return front[keep], t[keep]
+    #: Masked Möller–Trumbore (see :func:`repro.rt.kernels.entering_hits`);
+    #: kept as a method because the trace recorder calls it on the tracer.
+    _entering_hits = staticmethod(entering_hits)
 
     def _leaf_triangles(
         self,
@@ -630,20 +546,10 @@ class PacketTracer:
 
     # -- two-level -----------------------------------------------------
 
-    @staticmethod
-    def _to_object_space(lin, off, oc, dc):
-        """Per-pair world->object ray transform (row-expanded 3x3
-        matvec, same accumulation order as the scalar ``linear @ vec``)."""
-        o2 = np.empty_like(oc)
-        d2 = np.empty_like(dc)
-        for axis in range(3):
-            o2[:, axis] = (lin[:, axis, 0] * oc[:, 0]
-                           + lin[:, axis, 1] * oc[:, 1]
-                           + lin[:, axis, 2] * oc[:, 2]) + off[:, axis]
-            d2[:, axis] = (lin[:, axis, 0] * dc[:, 0]
-                           + lin[:, axis, 1] * dc[:, 1]
-                           + lin[:, axis, 2] * dc[:, 2])
-        return o2, d2
+    #: World->object ray transform (see
+    #: :func:`repro.rt.kernels.to_object_space`); the trace recorder
+    #: calls it via the class.
+    _to_object_space = staticmethod(to_object_space)
 
     def _leaf_instances(
         self,
@@ -710,17 +616,9 @@ class PacketTracer:
         t_proxy = np.concatenate(t_parts) if mesh_hit else None
         return rp[sub], gid[sub], t_proxy, o2[sub], d2[sub]
 
-    @staticmethod
-    def _sphere_blas_hits(o2, d2, clip) -> np.ndarray:
-        """Batched unit-box test of the sphere BLAS root record —
-        the scalar instance path's one box test, vectorized (same
-        exact-zero direction guard)."""
-        safe = np.where(d2 == 0.0, 1e-12, d2)  # repro: lint-ok[float-eq] exact-zero guard mirrors the scalar engine's slab divide bit-for-bit
-        t0 = (-1.0 - o2) / safe
-        t1 = (1.0 - o2) / safe
-        tn = np.minimum(t0, t1).max(axis=1)
-        tf = np.maximum(t0, t1).min(axis=1)
-        return (tn <= tf) & (tf >= 0.0) & (tn <= clip)
+    #: Batched sphere-BLAS root-box test (see
+    #: :func:`repro.rt.kernels.sphere_blas_hits`).
+    _sphere_blas_hits = staticmethod(sphere_blas_hits)
 
     def _mesh_blas_hits(
         self, slot: int, blas, o2, d2, clip
@@ -779,174 +677,11 @@ class PacketTracer:
         o2: np.ndarray | None = None,
         d2: np.ndarray | None = None,
     ) -> PacketResult:
-        """Canonical any-hit evaluation + front-to-back blend, batched.
+        """Canonical any-hit evaluation + front-to-back blend, batched
+        (see :func:`repro.rt.kernels.shade_and_blend`; kept as a method
+        because the trace recorder and the wavefront engine call it on
+        the tracer)."""
+        return shade_and_blend(self.shading, self.config, o, d, t_clip,
+                               ray_c, gid_c, t_proxy, o2=o2, d2=d2)
 
-        Mirrors :meth:`SceneShading.evaluate_hit` and the scalar blend
-        loop expression-for-expression so the per-ray arithmetic (and
-        therefore the early-termination decision) matches the scalar
-        engine.  ``t_proxy`` holds proxy-geometry depths (the blend sort
-        key for triangle proxies); ``None`` or NaN entries sort by the
-        exact ellipsoid entry depth instead.  ``o2``/``d2`` are the
-        candidates' object-space rays when the caller already computed
-        them (the two-level instance path); otherwise they are derived
-        here from the shading tables.
-        """
-        n = o.shape[0]
-        config = self.config
-        result = self._empty_result(n)
-        if ray_c.size == 0:
-            return result
-        shading = self.shading
-
-        if o2 is None:
-            o2, d2 = self._to_object_space(
-                shading.w2o_linear[gid_c], shading.w2o_offset[gid_c],
-                o[ray_c], d[ray_c])
-        dd = d2[:, 0] * d2[:, 0] + d2[:, 1] * d2[:, 1] + d2[:, 2] * d2[:, 2]
-        od = o2[:, 0] * d2[:, 0] + o2[:, 1] * d2[:, 1] + o2[:, 2] * d2[:, 2]
-        oo = o2[:, 0] * o2[:, 0] + o2[:, 1] * o2[:, 1] + o2[:, 2] * o2[:, 2]
-        valid = dd >= 1e-30
-        dd_safe = np.where(valid, dd, 1.0)
-        min_sq = oo - od * od / dd_safe
-        valid &= min_sq <= 1.0
-        t_entry = (-od / dd_safe) - np.sqrt(
-            np.maximum((1.0 - min_sq) / dd_safe, 0.0))
-        valid &= t_entry > 0.0
-        alpha = shading.opacities[gid_c] * np.exp(
-            (-0.5 * shading.kappa_sq) * min_sq)
-        valid &= alpha >= ALPHA_MIN
-        false_positives = int(ray_c.size - np.count_nonzero(valid))
-
-        if t_proxy is None:
-            t_hit = t_entry
-        else:
-            t_hit = np.where(np.isnan(t_proxy), t_entry, t_proxy)
-        valid &= t_hit <= t_clip[ray_c]
-        rays = ray_c[valid]
-        if rays.size == 0:
-            result.false_positives = false_positives
-            return result
-        gids = gid_c[valid]
-        ts = t_hit[valid]
-        alphas = np.minimum(alpha[valid], ALPHA_MAX)
-
-        # Global per-ray (t, gid) order — the multiround blend sequence
-        # (each round's k-buffer is exactly the k closest remaining
-        # hits), and literally the singleround sort.
-        order = np.lexsort((gids, ts, rays))
-        rays, gids, alphas, ts = (
-            rays[order], gids[order], alphas[order], ts[order])
-        result.anyhit_calls = int(rays.size)
-        result.false_positives = false_positives
-        counts = np.bincount(rays, minlength=n)
-        starts = np.zeros(n, dtype=np.int64)
-        np.cumsum(counts[:-1], out=starts[1:])
-        col = np.arange(rays.size, dtype=np.int64) - starts[rays]
-        if config.mode == "multiround":
-            # The scalar loop runs at most max_rounds rounds of k blends.
-            cap = config.max_rounds * config.k
-            within = col < cap
-            rays, gids, alphas, ts, col = (
-                rays[within], gids[within], alphas[within], ts[within],
-                col[within])
-            counts = np.minimum(counts, cap)
-            if rays.size == 0:
-                return result
-
-        # Pair-slice boundaries per ray (pairs are sorted by ray, so
-        # each contiguous ray range maps to one contiguous pair slice).
-        pair_starts = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(counts, out=pair_starts[1:])
-
-        colors = np.zeros((n, 3))
-        transmittance = np.ones(n)
-        blended = np.zeros(n, dtype=np.int64)
-        records = result.blend_records  # per-ray lists when recording
-        basis = sh_basis(d, shading._sh_degree)
-        # The blend works on dense (rays, max hits) matrices; process
-        # contiguous ray ranges whose matrix stays under the element
-        # budget so a hit-heavy (especially uncapped singleround) scene
-        # cannot balloon the allocation.
-        r0 = 0
-        while r0 < n:
-            r1 = self._blend_range_end(counts, r0)
-            p0, p1 = int(pair_starts[r0]), int(pair_starts[r1])
-            if p0 == p1:
-                r0 = r1
-                continue
-            rr = rays[p0:p1] - r0
-            cc = col[p0:p1]
-            aa = alphas[p0:p1]
-            rows = r1 - r0
-            width = int(counts[r0:r1].max())
-            one_minus = np.ones((rows, width))
-            one_minus[rr, cc] = 1.0 - aa
-            # Row-wise cumprod = the scalar loop's sequential
-            # `transmittance *= 1 - alpha`, bit for bit.
-            t_cum = np.cumprod(one_minus, axis=1)
-            prev_t = np.empty_like(t_cum)
-            prev_t[:, 0] = 1.0
-            prev_t[:, 1:] = t_cum[:, :-1]
-            prev_pair = prev_t[rr, cc]
-            # Entry i blends iff no earlier entry dropped transmittance
-            # below the threshold; the running product is monotone
-            # decreasing, so the blended prefix is a simple cutoff.
-            blend = prev_pair >= config.transmittance_min
-            rr_b = rr[blend]
-            aa_b, prev_b = aa[blend], prev_pair[blend]
-            if records is not None:
-                # Pairs are sorted by (ray, t, gid): appends land in the
-                # scalar tracer's exact blend order.
-                slice_rays = rays[p0:p1][blend]
-                slice_gids = gids[p0:p1][blend]
-                slice_ts = ts[p0:p1][blend]
-                for ray_i, gid_i, a_i, t_i in zip(
-                        slice_rays.tolist(), slice_gids.tolist(),
-                        aa_b.tolist(), slice_ts.tolist()):
-                    records[ray_i].append((gid_i, a_i, t_i))
-
-            color = np.einsum("pc,pcd->pd", basis[rays[p0:p1][blend]],
-                              shading.sh[gids[p0:p1][blend]]) + 0.5
-            np.clip(color, 0.0, None, out=color)
-            contrib = (prev_b * aa_b)[:, None] * color
-            # np.add.at accumulates in pair order (sorted by ray, then
-            # t): the same sequential color accumulation as the scalar
-            # loop.
-            np.add.at(colors[r0:r1], rr_b, contrib)
-
-            n_blend = np.bincount(rr_b, minlength=rows)
-            blended[r0:r1] = n_blend
-            idx = np.nonzero(n_blend)[0]
-            transmittance[r0 + idx] = t_cum[idx, n_blend[idx] - 1]
-            r0 = r1
-
-        result.colors = colors
-        result.transmittance = transmittance
-        result.blended = blended
-        result.terminated = transmittance < config.transmittance_min
-        if config.mode == "multiround":
-            result.rounds = np.maximum(-(-blended // config.k), 1)
-        else:
-            result.rounds = np.ones(n, dtype=np.int64)
-        return result
-
-    @staticmethod
-    def _blend_range_end(counts: np.ndarray, r0: int,
-                         budget: int = 2_000_000) -> int:
-        """End (exclusive) of the largest contiguous ray range starting
-        at ``r0`` whose dense blend matrix — rows x the range's max hit
-        count — stays within ``budget`` elements (16 MB of float64).
-        Always includes at least one ray so progress is guaranteed."""
-        n = counts.shape[0]
-        width = 0
-        r = r0
-        while r < n:
-            w = int(counts[r])
-            if w > width:
-                if r > r0 and (r - r0 + 1) * w > budget:
-                    break
-                width = w
-            elif width and (r - r0 + 1) * width > budget:
-                break
-            r += 1
-        return r
+    _blend_range_end = staticmethod(blend_range_end)

@@ -196,6 +196,7 @@ class FlatTables:
         "node_addr", "leaf_addr", "leaf_bytes", "leaf_start", "leaf_count",
         "child_addr", "child_bytes", "child_is_leaf", "node_bytes",
         "ordered_gids", "v0", "e1", "e2", "owner", "blas_tables",
+        "gid_blas",
     )
 
     def __init__(self, flat) -> None:
@@ -239,10 +240,22 @@ class FlatTables:
         self.ordered_gids = None
         self.v0 = self.e1 = self.e2 = self.owner = None
         self.blas_tables = None
+        self.gid_blas = None
         if flat.two_level:
             self.ordered_gids = flat.prim_gid.tolist()
-            if flat.blas[0].kind == "mesh":
-                self.blas_tables = _BlasTables(flat.blas[0])
+            # One entry per shared-BLAS slot (None for sphere slots, which
+            # need no tree tables). Homogeneous structures have one slot.
+            self.blas_tables = tuple(
+                _BlasTables(b) if b.kind == "mesh" else None
+                for b in flat.blas
+            )
+            if len(flat.blas) > 1:
+                # Per-Gaussian slot lookup for heterogeneous scenes: the
+                # instance table is leaf-ordered, the hot loop indexes by
+                # Gaussian id.
+                gid_blas = np.zeros(flat.n_gaussians, dtype=np.int64)
+                gid_blas[flat.prim_gid] = flat.inst_blas
+                self.gid_blas = gid_blas.tolist()
         elif flat.is_triangle_proxy:
             # Plain-list copies of the flattened (already leaf-ordered)
             # triangle soup: leaves hold <= a handful of triangles, and
@@ -299,6 +312,7 @@ class Tracer:
         self.two_level = flat.two_level
         self._bvh = flat.root
         self._blas = flat.blas[0] if flat.two_level else None
+        self._blas_list = flat.blas if flat.two_level else ()
         self._node_bytes = internal_node_bytes(self._bvh.width)
         self._sphere_blas_bytes = LEAF_HEADER_BYTES + 24 + SPHERE_PRIM_BYTES
         self._prepare_tables()
@@ -332,8 +346,10 @@ class Tracer:
 
         if self.two_level:
             self._ordered_gids = tables.ordered_gids
+            self._blas_tables_all = tables.blas_tables
+            self._gid_blas = tables.gid_blas
             if self._blas.kind == "mesh":
-                self._blas_tables = tables.blas_tables
+                self._blas_tables = tables.blas_tables[0]
         elif self.flat.is_triangle_proxy:
             self._v0l = tables.v0
             self._e1l = tables.e1
@@ -585,8 +601,10 @@ class Tracer:
                 o2 = linear @ self._o + self.shading.w2o_offset[gid]
                 d2 = linear @ self._d
                 start_kind = KIND_INTERNAL if kind == CKPT_BLAS_NODE else KIND_LEAF
+                tables = (self._blas_tables_all[self._gid_blas[gid]]
+                          if self._gid_blas is not None else None)
                 hit_t = self._traverse_blas(o2, d2, gid, inst_addr, state, ray_trace,
-                                            start=(start_kind, ref, t))
+                                            start=(start_kind, ref, t), tables=tables)
                 if hit_t is not None:
                     code, t_hit = self._anyhit(gid, state, hit_t)
                     if code == _HIT_BEYOND:
@@ -817,7 +835,14 @@ class Tracer:
         """Transform the ray into the instance's object space and test the
         shared BLAS (one box + one sphere test for the sphere BLAS)."""
         shading = self.shading
-        blas = self._blas
+        if self._gid_blas is None:
+            blas = self._blas
+            blas_tables = None
+        else:
+            # Heterogeneous scene: each Gaussian selects its template.
+            slot = self._gid_blas[gid]
+            blas = self._blas_list[slot]
+            blas_tables = self._blas_tables_all[slot]
         rt = state.round_trace
         linear = shading.w2o_linear[gid]
         o2 = linear @ self._o + shading.w2o_offset[gid]
@@ -855,7 +880,7 @@ class Tracer:
             return
 
         # Icosphere BLAS: traverse the small template triangle BVH.
-        tables = self._blas_tables
+        tables = blas_tables if blas_tables is not None else self._blas_tables
         root_lo, root_hi = tables.root_lo, tables.root_hi
         safe = np.where(np.abs(d2) < 1e-12, 1e-12, d2)
         inv_d2 = 1.0 / safe
@@ -869,7 +894,8 @@ class Tracer:
             state.checkpoint(CKPT_INSTANCE, gid, gid, inst_addr, t_near)
             return
         hit_t = self._traverse_blas(o2, d2, gid, inst_addr, state, ray_trace,
-                                    start=(KIND_INTERNAL, 0, t_near), inv_d2=inv_d2)
+                                    start=(KIND_INTERNAL, 0, t_near), inv_d2=inv_d2,
+                                    tables=tables)
         if hit_t is not None:
             code, t_hit = self._anyhit(gid, state, hit_t)
             if code == _HIT_BEYOND:
@@ -885,6 +911,7 @@ class Tracer:
         ray_trace: RayTrace,
         start: tuple[int, int, float],
         inv_d2: np.ndarray | None = None,
+        tables=None,
     ) -> float | None:
         """Traverse the shared template BLAS in object space.
 
@@ -892,7 +919,8 @@ class Tracer:
         BLAS children failing the t_max validation are checkpointed with
         the TLAS leaf (instance) address so replay can re-transform.
         """
-        tables = self._blas_tables
+        if tables is None:
+            tables = self._blas_tables
         bbvh = tables.bvh
         if inv_d2 is None:
             safe = np.where(np.abs(d2) < 1e-12, 1e-12, d2)

@@ -514,7 +514,9 @@ class _StaticRecs:
             for i in range(len(tables.leaf_addr))
         ]
 
-        bt = tables.blas_tables
+        # Recording is guarded to single-BLAS structures, so slot 0 is
+        # the only entry of the per-slot table tuple.
+        bt = tables.blas_tables[0] if tables.blas_tables else None
         if rec.two_level and not rec._sphere_blas and bt is not None:
             self.bnode_addr = bt.node_addr
             self.bleaf_addr = bt.leaf_addr
@@ -654,7 +656,7 @@ class _RaySim:
     def _build_blas_template(self, gid: int, root_tn: float):
         """One instance pair's shared-BLAS round template (same DFS
         rules over the BLAS tables), cached per Gaussian."""
-        bt = self.rec.tables.blas_tables
+        bt = self.rec.tables.blas_tables[0]
         kind_rows = bt.child_kind
         ref_rows = bt.child_ref
         node_rows = self.mesh_nodes[gid]

@@ -1,0 +1,519 @@
+"""Wavefront (breadth-first) ray traversal over the flattened layout.
+
+The packet engine (:mod:`repro.rt.packet`) already batches geometry
+work, but its *schedule* is still a depth-first walk: one Python-level
+stack iteration — several numpy calls on a tile-sized ray subset — per
+visited node.  On frame-sized batches the interpreter dispatch per node
+dominates again.  This module restructures traversal as a **wavefront**:
+
+* the unit of work is a frontier of live ``(ray, node)`` pairs, all at
+  the same tree depth, across the *whole frame's* ray set;
+* each Python-level step gathers every pair's child boxes and runs
+  **one** vectorized slab test over the entire frontier, so the number
+  of interpreter iterations drops from O(nodes visited) to O(tree
+  height);
+* surviving internal pairs are compacted with ``np.nonzero`` and binned
+  by node id with a stable ``np.argsort`` (gather coherence — pairs at
+  the same node read the same child rows); leaf pairs are expanded to
+  ``(ray, primitive)`` candidates with ``np.repeat`` offsets from the
+  leaf-count prefix sums;
+* leaf batches then flow through the exact shared kernels the packet
+  engine uses (:mod:`repro.rt.kernels`): one masked Möller–Trumbore per
+  candidate batch, the batched sphere-BLAS root test, and the canonical
+  any-hit + front-to-back blend.
+
+**Parity argument.**  The accept test per ``(ray, node)`` pair is the
+same elementwise arithmetic as the packet engine's (and the scalar
+slab), and neither engine prunes by a shrinking ``t_max`` — so
+breadth-first and depth-first order visit the *identical* pair set and
+produce the identical candidate multiset.  Every kernel after traversal
+is elementwise per candidate, and the blend stage sorts by the fully
+determining ``(ray, t, gid)`` key before any order-sensitive
+accumulation.  Candidate *order* is the only thing the schedule
+changes, and nothing downstream depends on it — hence bit-identical
+images and exactly equal counters across all three engines.
+
+Heterogeneous TLAS scenes (per-instance multi-BLAS tables, activated
+with this engine) work day one: instance candidates are grouped by
+their ``inst_blas`` slot and each shared BLAS is intersected once with
+its group — the same (previously dormant) grouping the packet engine
+carries.
+
+Per-phase ``repro.obs`` histograms: ``rt.phase.bin`` (frontier
+compaction: nonzero/argsort/expand) alongside the same
+``rt.phase.traversal`` / ``rt.phase.intersect`` / ``rt.phase.blend``
+the other engines report, so the phase breakdown compares directly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.obs import get_registry, span
+
+from repro.bvh.flatten import BLAS_SPHERE, PRIMS_GAUSSIANS, PRIMS_TRIANGLES
+from repro.bvh.node import KIND_INTERNAL
+from repro.rt.kernels import Level, PacketResult, entering_hits, sphere_blas_hits
+from repro.rt.packet import (
+    WAVEFRONT_MIN_RAYS,
+    PacketTracer,
+    fallback_reason,
+    packet_supported,
+)
+from repro.rt.tracer import TraceConfig
+
+__all__ = [
+    "WAVEFRONT_MIN_RAYS",
+    "WAVEFRONT_RAY_CHUNK",
+    "WavefrontTracer",
+    "wavefront_supported",
+]
+
+#: Rays per wavefront chunk.  Frontier temporaries scale with the live
+#: pair count (bounded separately by :data:`_MAX_FRONTIER`), so the ray
+#: chunk can be far larger than the packet engine's — a whole frame in
+#: one chunk is the common case.  The serving layer tunes the effective
+#: chunk per scene from measured frame costs (``TileCostModel``).
+WAVEFRONT_RAY_CHUNK = 1 << 16
+
+#: Maximum live pairs slab-tested in one vectorized step; bounds the
+#: (pairs, width, 3) broadcast temporaries to tens of MB.  Splitting a
+#: frontier changes nothing numerically (every op is elementwise).
+_MAX_FRONTIER = 1 << 17
+
+_INF = float("inf")
+
+
+def wavefront_supported(structure, config) -> bool:
+    """Whether the wavefront engine covers this (structure, config)
+    pair — exactly the packet engine's predicate: both consume the one
+    flattened layout and neither does GRTX-HW checkpointing."""
+    return packet_supported(structure, config)
+
+
+class WavefrontTracer(PacketTracer):
+    """Traces whole-frame ray sets breadth-first through one flattened
+    scene structure.
+
+    Construction and the public API mirror
+    :class:`~repro.rt.packet.PacketTracer` (``trace_packet`` /
+    ``trace_packet_recorded``), so every consumer of the packet engine
+    can hold either.  Only the traversal schedule differs; the leaf and
+    blend kernels are shared, which is what keeps the engines
+    bit-identical.  Like the scalar tracer, one instance serves one
+    caller at a time (it carries small per-trace phase-timing scratch).
+    """
+
+    def __init__(
+        self,
+        structure,
+        shading,
+        config: TraceConfig | None = None,
+        ray_chunk: int = WAVEFRONT_RAY_CHUNK,
+    ) -> None:
+        config = config or TraceConfig()
+        if not wavefront_supported(structure, config):
+            raise ValueError(
+                "wavefront engine supports flattenable structures without "
+                "checkpointing; use the scalar Tracer "
+                f"({fallback_reason(structure, config)})")
+        super().__init__(structure, shading, config)
+        self.ray_chunk = int(ray_chunk)
+        #: Seconds spent in frontier compaction during the current
+        #: chunk (reset per chunk; reported as ``rt.phase.bin``).
+        self._bin_s = 0.0
+        #: Per-level axis-major box tables (built on first traversal of
+        #: each level, keyed by the level's stable slot name): ``(3,
+        #: n_nodes, width)`` C-contiguous, so the frontier's per-axis
+        #: gather reads contiguous rows.
+        self._axis_cache: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        #: Lazy plain packet tracer backing ``trace_packet_recorded``
+        #: (the recorder replays depth-first control flow).
+        self._record_delegate: PacketTracer | None = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def trace_packet(
+        self,
+        origins: np.ndarray,
+        directions: np.ndarray,
+        t_clip: np.ndarray | None = None,
+    ) -> PacketResult:
+        """Trace a frame-sized bundle of rays to completion."""
+        o = np.ascontiguousarray(origins, dtype=np.float64)
+        d = np.ascontiguousarray(directions, dtype=np.float64)
+        n = o.shape[0]
+        if t_clip is None:
+            t_clip = np.full(n, _INF)
+        else:
+            t_clip = np.asarray(t_clip, dtype=np.float64)
+        if n == 0:
+            return self._empty_result(0)
+        chunk = max(int(self.ray_chunk), 1)
+        with span("rt.wavefront.trace", rays=n):
+            if n <= chunk:
+                return self._trace_chunk(o, d, t_clip)
+            parts = [
+                self._trace_chunk(o[i:i + chunk], d[i:i + chunk],
+                                  t_clip[i:i + chunk])
+                for i in range(0, n, chunk)
+            ]
+            return PacketResult.concatenate(parts, self.config.record_blended)
+
+    def trace_packet_recorded(
+        self,
+        origins: np.ndarray,
+        directions: np.ndarray,
+        t_clip: np.ndarray | None = None,
+        label: str = "primary",
+    ):
+        """Trace a bundle *and* record per-ray fetch traces.
+
+        The trace recorder reconstructs per-ray *depth-first* control
+        flow (that is what the scalar RT unit executes and the timing
+        model replays), so recording runs on an internal packet tracer
+        over the same flattened tables — identical results, identical
+        traces; the wavefront schedule only accelerates the unrecorded
+        path.
+        """
+        if self._record_delegate is None:
+            self._record_delegate = PacketTracer(
+                self.flat, self.shading, self.config)
+        return self._record_delegate.trace_packet_recorded(
+            origins, directions, t_clip, label)
+
+    # ------------------------------------------------------------------
+    # Pipeline
+    # ------------------------------------------------------------------
+
+    def _trace_chunk(self, o, d, t_clip) -> PacketResult:
+        # Same degenerate-direction guard as the other engines, so slab
+        # tests agree bit-for-bit.
+        safe = np.where(np.abs(d) < 1e-12, 1e-12, d)
+        inv_d = 1.0 / safe
+
+        registry = get_registry()
+        self._bin_s = 0.0
+        t_start = time.perf_counter()
+        l_rays, l_refs = self._traverse_wave(self._root, o, inv_d, t_clip,
+                                             "root")
+        bin_traversal = self._bin_s
+        t_traversal = time.perf_counter()
+        o2 = d2 = None
+        if self._prims == PRIMS_TRIANGLES:
+            ray_c, gid_c, t_proxy = self._wave_triangles(o, d, l_rays, l_refs)
+        elif self._prims == PRIMS_GAUSSIANS:
+            ray_c, gid_c = self._wave_customs(l_rays, l_refs)
+            t_proxy = None
+        else:
+            ray_c, gid_c, t_proxy, o2, d2 = self._wave_instances(
+                o, d, t_clip, l_rays, l_refs)
+        bin_intersect = self._bin_s - bin_traversal
+        t_intersect = time.perf_counter()
+        result = self._shade_and_blend(o, d, t_clip, ray_c, gid_c, t_proxy,
+                                       o2=o2, d2=d2)
+        t_blend = time.perf_counter()
+        registry.observe("rt.phase.bin", self._bin_s)
+        registry.observe("rt.phase.traversal",
+                         (t_traversal - t_start) - bin_traversal)
+        registry.observe("rt.phase.intersect",
+                         (t_intersect - t_traversal) - bin_intersect)
+        registry.observe("rt.phase.blend", t_blend - t_intersect)
+        return result
+
+    def _axis_boxes(self, level: Level, key: str) -> np.ndarray:
+        """Axis-major ``(6, n_nodes, width)`` copy of a level's boxes.
+
+        ``Level`` stores slot-major ``(n_nodes, width, 3)`` tables shared
+        with the packet engine; the wavefront slab test gathers one axis
+        plane at a time, so plane ``2a``/``2a+1`` holds axis ``a``'s
+        lo/hi as its own contiguous ``(n_nodes, width)`` table (gathers
+        from a contiguous plane produce contiguous outputs the in-place
+        ufuncs run fastest on).  Cached under the level's slot name
+        ("root" or "blas<i>") — the tracer owns its levels and they are
+        immutable after flattening, so the names are stable for the
+        tracer's lifetime.
+        """
+        cached = self._axis_cache.get(key)
+        if cached is None:
+            n, width, _ = level.child_lo.shape
+            cached = np.empty((6, n, width))
+            for a in range(3):
+                cached[2 * a] = level.child_lo[:, :, a]
+                cached[2 * a + 1] = level.child_hi[:, :, a]
+            self._axis_cache[key] = cached
+        return cached
+
+    def _traverse_wave(
+        self,
+        level: Level,
+        o: np.ndarray,
+        inv_d: np.ndarray,
+        t_clip: np.ndarray,
+        cache_key: str,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Breadth-first traversal of one flattened level.
+
+        One frontier of ``(ray, node)`` pairs per depth; each iteration
+        runs one gathered slab test over the whole frontier (sliced at
+        :data:`_MAX_FRONTIER` pairs to bound temporaries) and compacts
+        survivors.  Returns the accepted ``(ray, leaf record)`` pairs as
+        flat parallel arrays.  The accept test matches the packet
+        engine's :meth:`~repro.rt.packet.PacketTracer._traverse`
+        elementwise, and there is no ``t_max`` pruning — so both visit
+        the identical pair set (see the module docstring).
+        """
+        kinds = level.child_kind
+        refs = level.child_ref
+        packed = self._axis_boxes(level, cache_key)
+        # Axis-major ray tables: contiguous per-axis rows, gathered once
+        # per frontier slice.
+        oT = np.ascontiguousarray(o.T)
+        iT = np.ascontiguousarray(inv_d.T)
+        n = o.shape[0]
+        empty = np.empty(0, dtype=np.int64)
+        f_rays = np.arange(n, dtype=np.int64)
+        f_nodes = np.zeros(n, dtype=np.int64)
+        leaf_ray_parts: list[np.ndarray] = []
+        leaf_ref_parts: list[np.ndarray] = []
+        while f_rays.size:
+            next_ray_parts: list[np.ndarray] = []
+            next_node_parts: list[np.ndarray] = []
+            for s0 in range(0, f_rays.size, _MAX_FRONTIER):
+                fr = f_rays[s0:s0 + _MAX_FRONTIER]
+                fn = f_nodes[s0:s0 + _MAX_FRONTIER]
+                # Axis-split slab test: per-axis contiguous
+                # (pairs, width) gathers updated in place — 3x smaller
+                # temporaries than the (pairs, width, 3) broadcast, and
+                # every ufunc runs on contiguous memory.  Elementwise
+                # the arithmetic is the packet engine's exactly
+                # ((lo-o)*inv per axis, min/max per axis, then an
+                # associative max/min across axes), so accept decisions
+                # are bit-equal.
+                tn = tf = None
+                for a in range(3):
+                    roa = oT[a][fr][:, None]
+                    ria = iT[a][fr][:, None]
+                    t0 = packed[2 * a][fn]
+                    t0 -= roa
+                    t0 *= ria
+                    t1 = packed[2 * a + 1][fn]
+                    t1 -= roa
+                    t1 *= ria
+                    near = np.minimum(t0, t1)
+                    far = np.maximum(t0, t1, out=t1)
+                    if tn is None:
+                        tn, tf = near, far
+                    else:
+                        np.maximum(tn, near, out=tn)
+                        np.minimum(tf, far, out=tf)
+                k = kinds[fn]
+                # Same accept test as the packet/scalar slab (t_min = 0,
+                # no shrinking t_max); empty slots masked by kind.
+                hit = tn <= tf
+                hit &= tf >= 0.0
+                hit &= tn <= t_clip[fr, None]
+                hit &= k != 0
+                b0 = time.perf_counter()
+                pair, slot = np.nonzero(hit)
+                child_kind = k[pair, slot]
+                child_ref = refs[fn[pair], slot]
+                internal = child_kind == KIND_INTERNAL
+                next_ray_parts.append(fr[pair[internal]])
+                next_node_parts.append(child_ref[internal])
+                leaf = ~internal
+                leaf_ray_parts.append(fr[pair[leaf]])
+                leaf_ref_parts.append(child_ref[leaf])
+                self._bin_s += time.perf_counter() - b0
+            b0 = time.perf_counter()
+            f_rays = (np.concatenate(next_ray_parts)
+                      if next_ray_parts else empty)
+            f_nodes = (np.concatenate(next_node_parts)
+                       if next_node_parts else empty)
+            if f_nodes.size:
+                # Bin the next frontier by node id (stable, so rays stay
+                # ordered within a bin): pairs at the same node gather
+                # the same child rows — cache-coherent gathers, and the
+                # deterministic order the parity contract wants.
+                order = np.argsort(f_nodes, kind="stable")
+                f_rays = f_rays[order]
+                f_nodes = f_nodes[order]
+            self._bin_s += time.perf_counter() - b0
+        if not leaf_ray_parts:
+            return empty, empty
+        b0 = time.perf_counter()
+        l_rays = np.concatenate(leaf_ray_parts)
+        l_refs = np.concatenate(leaf_ref_parts)
+        self._bin_s += time.perf_counter() - b0
+        return l_rays, l_refs
+
+    @staticmethod
+    def _expand_pairs(
+        level: Level, l_rays: np.ndarray, l_refs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Expand accepted ``(ray, leaf)`` pairs into ``(ray,
+        ordered-primitive)`` candidate pairs in one shot.
+
+        ``np.repeat`` by per-leaf counts plus an offset ramp derived
+        from the counts' prefix sum — the vectorized equivalent of the
+        packet engine's per-leaf-visit repeat/tile, producing the same
+        candidate multiset.
+        """
+        empty = np.empty(0, dtype=np.int64)
+        if l_rays.size == 0:
+            return empty, empty
+        counts = level.leaf_count[l_refs].astype(np.int64)
+        starts = level.leaf_start[l_refs].astype(np.int64)
+        total = int(counts.sum())
+        if total == 0:
+            return empty, empty
+        rp = np.repeat(l_rays, counts)
+        ends = np.cumsum(counts)
+        offsets = (np.arange(total, dtype=np.int64)
+                   - np.repeat(ends - counts, counts))
+        pp = np.repeat(starts, counts) + offsets
+        return rp, pp
+
+    # -- leaf stages (pair-array twins of the packet leaf methods) -----
+
+    def _wave_triangles(
+        self,
+        o: np.ndarray,
+        d: np.ndarray,
+        l_rays: np.ndarray,
+        l_refs: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Monolithic triangle leaves: one masked Möller–Trumbore over
+        every candidate pair, reduced to the nearest entering triangle
+        per (ray, gaussian) — the packet engine's reduction on the
+        breadth-first candidate order (the full-key sort makes the
+        selected values order-independent)."""
+        b0 = time.perf_counter()
+        rp, tp = self._expand_pairs(self._root, l_rays, l_refs)
+        self._bin_s += time.perf_counter() - b0
+        if rp.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, np.empty(0)
+
+        sel, t = entering_hits(o[rp], d[rp], tp, self._v0, self._e1, self._e2)
+        rp = rp[sel]
+        gid = self._owner[tp[sel]]
+        if rp.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, np.empty(0)
+        # Nearest entering triangle per (ray, gaussian).
+        order = np.lexsort((t, gid, rp))
+        rp, gid, t = rp[order], gid[order], t[order]
+        first = np.ones(rp.size, dtype=bool)
+        first[1:] = (rp[1:] != rp[:-1]) | (gid[1:] != gid[:-1])
+        return rp[first], gid[first], t[first]
+
+    def _wave_customs(
+        self, l_rays: np.ndarray, l_refs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Custom-primitive leaves: candidates are the (ray, gaussian)
+        pairs directly."""
+        b0 = time.perf_counter()
+        rp, pp = self._expand_pairs(self._root, l_rays, l_refs)
+        self._bin_s += time.perf_counter() - b0
+        if rp.size == 0:
+            return rp, pp
+        return rp, self._gids[pp]
+
+    def _wave_instances(
+        self,
+        o: np.ndarray,
+        d: np.ndarray,
+        t_clip: np.ndarray,
+        l_rays: np.ndarray,
+        l_refs: np.ndarray,
+    ) -> tuple:
+        """TLAS leaves: transform the candidate bundle through its
+        instances and intersect each shared BLAS once with its slot
+        group — including the heterogeneous multi-BLAS case, where
+        ``inst_blas`` partitions the bundle per template."""
+        empty = np.empty(0, dtype=np.int64)
+        b0 = time.perf_counter()
+        rp, pp = self._expand_pairs(self._root, l_rays, l_refs)
+        self._bin_s += time.perf_counter() - b0
+        if rp.size == 0:
+            return empty, empty, None, None, None
+        gid = self._gids[pp]
+        o2, d2 = self._to_object_space(
+            self._inst_lin[pp], self._inst_off[pp], o[rp], d[rp])
+
+        sub_parts: list[np.ndarray] = []
+        t_parts: list[np.ndarray] = []
+        mesh_hit = False
+        for slot, blas in enumerate(self._blas):
+            if len(self._blas) > 1:
+                b0 = time.perf_counter()
+                group = np.nonzero(self._inst_blas[pp] == slot)[0]
+                self._bin_s += time.perf_counter() - b0
+                if group.size == 0:
+                    continue
+                o_s, d_s = o2[group], d2[group]
+                clip_s = t_clip[rp[group]]
+            else:
+                group = None
+                o_s, d_s = o2, d2
+                clip_s = t_clip[rp]
+            if blas.kind == BLAS_SPHERE:
+                keep = sphere_blas_hits(o_s, d_s, clip_s)
+                sub = np.nonzero(keep)[0] if group is None else group[keep]
+                sub_parts.append(sub)
+                t_parts.append(np.full(sub.size, np.nan))
+            else:
+                sel, t = self._wave_mesh_blas(slot, blas, o_s, d_s, clip_s)
+                sub_parts.append(sel if group is None else group[sel])
+                t_parts.append(t)
+                mesh_hit = True
+        if not sub_parts:
+            return empty, empty, None, None, None
+        sub = np.concatenate(sub_parts)
+        t_proxy = np.concatenate(t_parts) if mesh_hit else None
+        return rp[sub], gid[sub], t_proxy, o2[sub], d2[sub]
+
+    def _wave_mesh_blas(
+        self, slot: int, blas, o2, d2, clip
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Traverse one shared mesh BLAS breadth-first with a whole
+        instance group, then reduce to the nearest entering template
+        triangle per pair — the packet engine's
+        :meth:`~repro.rt.packet.PacketTracer._mesh_blas_hits` on the
+        wavefront schedule."""
+        safe = np.where(np.abs(d2) < 1e-12, 1e-12, d2)
+        inv_d2 = 1.0 / safe
+        root_lo, root_hi = self._blas_roots[slot]
+        t0 = (root_lo[None, :] - o2) * inv_d2
+        t1 = (root_hi[None, :] - o2) * inv_d2
+        tn = np.minimum(t0, t1).max(axis=1)
+        tf = np.maximum(t0, t1).min(axis=1)
+        live = np.nonzero((tn <= tf) & (tf >= 0.0) & (tn <= clip))[0]
+        if live.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+
+        level = self._blas_levels[slot]
+        o_l, d_l = o2[live], d2[live]
+        l_rays, l_refs = self._traverse_wave(level, o_l, inv_d2[live],
+                                             clip[live], f"blas{slot}")
+        b0 = time.perf_counter()
+        pr, tp = self._expand_pairs(level, l_rays, l_refs)
+        self._bin_s += time.perf_counter() - b0
+        if pr.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        mesh = blas.mesh
+        sel, t = entering_hits(o_l[pr], d_l[pr], tp, mesh.v0, mesh.e1, mesh.e2)
+        pr = pr[sel]
+        if pr.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        # Nearest entering template triangle per instance pair.
+        order = np.lexsort((t, pr))
+        pr, t = pr[order], t[order]
+        first = np.ones(pr.size, dtype=bool)
+        first[1:] = pr[1:] != pr[:-1]
+        return live[pr[first]], t[first]

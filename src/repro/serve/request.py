@@ -121,12 +121,25 @@ class RenderRequest:
         request fields alone (the proxy label stands in for the
         structure family), so cache keys always carry the engine a
         render would really use — in particular ``engine="auto"``
-        resolves *before* any frame or tracer key is formed.
+        resolves *before* any frame or tracer key is formed.  ``"auto"``
+        picks the wavefront engine when the frame carries at least
+        :data:`repro.rt.packet.WAVEFRONT_MIN_RAYS` rays, the packet
+        engine for smaller frames.
         """
-        from repro.rt.packet import PACKET_PROXIES, packet_config_supported
+        from repro.rt.packet import (
+            PACKET_PROXIES,
+            WAVEFRONT_MIN_RAYS,
+            packet_config_supported,
+        )
 
-        if (self.engine in ("packet", "auto") and self.proxy in PACKET_PROXIES
+        if (self.engine in ("packet", "wavefront", "auto")
+                and self.proxy in PACKET_PROXIES
                 and packet_config_supported(self.trace_config())):
+            if self.engine == "wavefront":
+                return "wavefront"
+            if (self.engine == "auto"
+                    and self.width * self.height >= WAVEFRONT_MIN_RAYS):
+                return "wavefront"
             return "packet"
         return "scalar"
 

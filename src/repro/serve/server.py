@@ -415,7 +415,8 @@ class RenderServer:
         # a degraded explicit "packet" exactly once, whatever the tracer
         # cache holds), then hand the concrete engine to the renderer
         # and scheduler so nothing downstream re-resolves.
-        engine = resolve_engine(request.engine, structure, config)
+        engine = resolve_engine(request.engine, structure, config,
+                                n_rays=request.width * request.height)
         renderer = None
         tracer_key = None
         if self.scheduler.workers <= 1:

@@ -1,0 +1,196 @@
+"""The cross-engine parity matrix: every structure x mode x engine.
+
+One parameterized table drives all three engines (scalar, packet,
+wavefront) over the full structural matrix — both monolithic proxies,
+both homogeneous two-level structures, and the heterogeneous
+multi-BLAS TLAS — in both trace modes.  The standing contract checked
+here (ISSUE 7):
+
+* every batch engine matches the scalar golden within 1e-9 per channel;
+* the parity-matched functional counters (``n_rays``, ``n_primary``,
+  ``n_secondary``, ``blended_total``, ``rays_terminated_early``) agree
+  exactly;
+* the wavefront engine is additionally *bit-identical* to the packet
+  engine (same candidate multiset, same order-free reductions);
+* ``resolve_engine`` rejects unknown engines loudly and sizes "auto"
+  by the ray count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bvh import build_monolithic, build_two_level
+from repro.bvh.two_level import build_two_level_hetero
+from repro.render import GaussianRayTracer, default_camera_for
+from repro.rt import (
+    WAVEFRONT_MIN_RAYS,
+    PacketTracer,
+    SceneShading,
+    TraceConfig,
+    WavefrontTracer,
+)
+from repro.rt.packet import resolve_engine
+
+from tests.conftest import tiny_cloud
+
+#: The image parity bound from the acceptance criteria.
+TOL = 1e-9
+
+#: Counters that must agree exactly across all three engines.
+PARITY_COUNTERS = ("n_rays", "n_primary", "n_secondary",
+                   "blended_total", "rays_terminated_early")
+
+#: Every structure the batch engines support, heterogeneous TLAS
+#: included — the wavefront engine consumes the per-instance
+#: multi-BLAS tables from day one.
+ALL_STRUCTURES = ["20-tri", "custom", "tlas+sphere", "tlas+ico", "hetero"]
+
+MODES = ["multiround", "singleround"]
+
+ENGINES = ["scalar", "packet", "wavefront"]
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    return tiny_cloud(n=110, seed=33)
+
+
+@pytest.fixture(scope="module")
+def structures(cloud):
+    return {
+        "20-tri": build_monolithic(cloud, "20-tri"),
+        "custom": build_monolithic(cloud, "custom"),
+        "tlas+sphere": build_two_level(cloud, "sphere"),
+        "tlas+ico": build_two_level(cloud, "icosphere", 0),
+        "hetero": build_two_level_hetero(
+            cloud,
+            blas_specs=[("sphere", 0), ("icosphere", 0)],
+            gaussian_blas=np.arange(len(cloud)) % 2,
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def goldens(cloud, structures):
+    """Scalar renders, computed once per (structure, mode) cell."""
+    camera = default_camera_for(cloud, 10, 10)
+    out = {}
+    for name, structure in structures.items():
+        for mode in MODES:
+            config = TraceConfig(k=4, mode=mode)
+            out[name, mode] = GaussianRayTracer(
+                cloud, structure, config).render(camera, keep_traces=False)
+    return out
+
+
+class TestEngineMatrix:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("structure_name", ALL_STRUCTURES)
+    @pytest.mark.parametrize("engine", ["packet", "wavefront"])
+    def test_engine_matches_scalar_golden(self, cloud, structures, goldens,
+                                          structure_name, mode, engine):
+        config = TraceConfig(k=4, mode=mode)
+        camera = default_camera_for(cloud, 10, 10)
+        renderer = GaussianRayTracer(cloud, structures[structure_name],
+                                     config, engine=engine)
+        assert renderer.engine_active == engine
+        result = renderer.render(camera, keep_traces=False)
+        golden = goldens[structure_name, mode]
+        assert np.abs(golden.image - result.image).max() <= TOL
+        for name in PARITY_COUNTERS:
+            assert getattr(golden.stats, name) == getattr(
+                result.stats, name), (name, engine)
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("structure_name", ALL_STRUCTURES)
+    def test_wavefront_bit_identical_to_packet(self, cloud, structures,
+                                               structure_name, mode):
+        """Stronger than the 1e-9 bound: identical visit sets plus
+        order-free reductions make the two batch engines bit-equal."""
+        config = TraceConfig(k=4, mode=mode)
+        camera = default_camera_for(cloud, 10, 10)
+        bundle = camera.generate_rays()
+        shading = SceneShading(cloud)
+        structure = structures[structure_name]
+        packet = PacketTracer(structure, shading, config).trace_packet(
+            bundle.origins, bundle.directions)
+        wavefront = WavefrontTracer(structure, shading, config).trace_packet(
+            bundle.origins, bundle.directions)
+        assert np.array_equal(packet.colors, wavefront.colors)
+        assert np.array_equal(packet.transmittance, wavefront.transmittance)
+        assert np.array_equal(packet.blended, wavefront.blended)
+        assert np.array_equal(packet.terminated, wavefront.terminated)
+        assert packet.anyhit_calls == wavefront.anyhit_calls
+        assert packet.false_positives == wavefront.false_positives
+
+    def test_wavefront_chunking_is_invisible(self, cloud, structures):
+        """Odd ray-chunk sizes must not change a single bit."""
+        config = TraceConfig(k=4)
+        camera = default_camera_for(cloud, 10, 10)
+        bundle = camera.generate_rays()
+        shading = SceneShading(cloud)
+        structure = structures["tlas+sphere"]
+        whole = WavefrontTracer(structure, shading, config).trace_packet(
+            bundle.origins, bundle.directions)
+        chunked_tracer = WavefrontTracer(structure, shading, config,
+                                         ray_chunk=17)
+        chunked = chunked_tracer.trace_packet(bundle.origins,
+                                              bundle.directions)
+        assert np.array_equal(whole.colors, chunked.colors)
+        assert np.array_equal(whole.blended, chunked.blended)
+
+
+class TestResolveEngineHardening:
+    def test_unknown_engine_is_rejected_loudly(self, structures):
+        config = TraceConfig(k=4)
+        with pytest.raises(ValueError, match="unknown engine 'wavefont'"):
+            resolve_engine("wavefont", structures["tlas+sphere"], config)
+
+    def test_rejection_names_the_valid_engines(self, structures):
+        config = TraceConfig(k=4)
+        with pytest.raises(ValueError, match="scalar, packet, wavefront"):
+            resolve_engine("gpu", structures["tlas+sphere"], config)
+
+    def test_auto_sizes_by_ray_count(self, structures):
+        config = TraceConfig(k=4)
+        structure = structures["tlas+sphere"]
+        assert resolve_engine("auto", structure, config,
+                              n_rays=WAVEFRONT_MIN_RAYS) == "wavefront"
+        assert resolve_engine("auto", structure, config,
+                              n_rays=WAVEFRONT_MIN_RAYS - 1) == "packet"
+        # No ray count: conservative, frame size unknown.
+        assert resolve_engine("auto", structure, config) == "packet"
+
+    def test_auto_degrades_to_scalar_when_unsupported(self, structures):
+        config = TraceConfig(k=4, checkpointing=True)
+        assert resolve_engine("auto", structures["tlas+sphere"], config,
+                              n_rays=WAVEFRONT_MIN_RAYS) == "scalar"
+
+    def test_explicit_wavefront_respects_small_batches(self, cloud,
+                                                       structures):
+        """engine="wavefront" is explicit — no silent size-based demotion."""
+        renderer = GaussianRayTracer(cloud, structures["tlas+sphere"],
+                                     TraceConfig(k=4), engine="wavefront",
+                                     n_rays=4)
+        assert renderer.engine_active == "wavefront"
+
+
+class TestWavefrontDeployment:
+    def test_tiled_wavefront_equals_tiled_packet(self, cloud, structures):
+        """The scheduler's frame-whole wavefront path re-splits into the
+        same tile grid and assembles the identical image."""
+        from repro.serve import TileScheduler
+
+        camera = default_camera_for(cloud, 12, 12)
+        scheduler = TileScheduler(tile_size=(8, 8))
+        config = TraceConfig(k=4)
+        packet = scheduler.render(cloud, structures["tlas+sphere"], config,
+                                  camera, engine="packet")
+        wavefront = scheduler.render(cloud, structures["tlas+sphere"], config,
+                                     camera, engine="wavefront")
+        assert np.array_equal(packet.image, wavefront.image)
+        for name in PARITY_COUNTERS:
+            assert getattr(packet.stats, name) == getattr(
+                wavefront.stats, name), name
