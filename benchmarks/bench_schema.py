@@ -38,6 +38,8 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 #: number per committed document.
 HEADLINES: dict[str, tuple[str, str, str]] = {
     "obs": ("tracing overhead", "overhead.overhead_pct", "{:+.2f}%"),
+    "chaos": ("chaos armed-idle overhead", "overhead.overhead_pct",
+              "{:+.2f}%"),
     "pool": ("persistent-pool speedup", "pool_reuse.speedup", "{:.2f}x"),
     # Mode-keyed paths: measurements.0.* depends on --modes order, so
     # the headlines resolve through the summary section instead.

@@ -5,6 +5,6 @@ invariants; see the module docstrings for the shipped bug each rule
 descends from.
 """
 
-from repro.analysis.rules import boundary, caches, hygiene, locks, parity
+from repro.analysis.rules import boundary, caches, chaos, hygiene, locks, parity
 
-__all__ = ["boundary", "caches", "hygiene", "locks", "parity"]
+__all__ = ["boundary", "caches", "chaos", "hygiene", "locks", "parity"]

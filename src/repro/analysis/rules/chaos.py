@@ -1,0 +1,105 @@
+"""Fault-injection rules: chaos stays schedulable, named, and auditable.
+
+The chaos layer's whole value is that every injectable fault is a
+*named* point in :data:`repro.chaos.POINTS`: the schedule grammar can
+target it, the flight ring records it firing, and ``repro doctor``
+attributes the failure back to the schedule. Both properties die
+quietly the moment someone probes a point name the registry does not
+know (the schedule entry validates, then never fires) or gates behavior
+on a raw ``REPRO_CHAOS`` environment read (invisible to counters,
+tokens, and the doctor alike).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    ERROR,
+    FileContext,
+    RawFinding,
+    Rule,
+    call_name,
+    dotted_name,
+    register,
+)
+from repro.chaos import POINTS
+
+#: Environment reads that would bypass the chaos layer's bookkeeping.
+_ENV_READERS = frozenset({
+    "os.environ.get", "os.getenv", "environ.get", "getenv",
+})
+
+
+def _is_chaos_env_literal(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Constant) and isinstance(node.value, str)
+            and node.value.startswith("REPRO_CHAOS"))
+
+
+@register
+class ChaosPointRegisteredRule(Rule):
+    """Chaos points come from the registry; chaos gating from chaos.point."""
+
+    id = "chaos-point-registered"
+    severity = ERROR
+    description = ("chaos.point() must be called with a string literal "
+                   "from repro.chaos.POINTS, and code must not read "
+                   "REPRO_CHAOS* environment variables directly — all "
+                   "fault gating flows through the chaos layer")
+    history = ("the schedule parser rejects unregistered target names, "
+               "but a *call site* probing a misspelled point only "
+               "raises while a schedule is armed — disarmed (the "
+               "default everywhere outside drills) it silently returns "
+               "None forever, so the seam looks instrumented while no "
+               "schedule can ever reach it")
+
+    def check(self, ctx: FileContext):
+        if ctx.module in ("repro.chaos", "repro.chaosdrill"):
+            # The chaos layer itself owns the env contract and the
+            # registry; the drill arms schedules by writing the env.
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if name is not None and name.split(".")[-1] == "point" \
+                        and "chaos" in name.split("."):
+                    yield from self._check_point_call(node)
+                elif name in _ENV_READERS and node.args \
+                        and _is_chaos_env_literal(node.args[0]):
+                    yield RawFinding(
+                        node.lineno,
+                        f"{name}({node.args[0].value!r}) bypasses the "
+                        "chaos layer; gate faults through "
+                        "chaos.point(<registered name>) so firings are "
+                        "counted, tokened, and doctor-attributable",
+                    )
+            elif (isinstance(node, ast.Subscript)
+                    and isinstance(node.ctx, ast.Load)
+                    and dotted_name(node.value) in ("os.environ", "environ")
+                    and _is_chaos_env_literal(node.slice)):
+                yield RawFinding(
+                    node.lineno,
+                    "direct os.environ[...] read of a REPRO_CHAOS* "
+                    "variable; fault gating must flow through "
+                    "chaos.point(), never ad-hoc env checks",
+                )
+
+    def _check_point_call(self, node: ast.Call):
+        if not node.args:
+            return
+        arg = node.args[0]
+        if not isinstance(arg, ast.Constant) or not isinstance(arg.value, str):
+            yield RawFinding(
+                node.lineno,
+                "chaos.point() called with a non-literal name; the "
+                "registry cannot vouch for a computed point, and the "
+                "schedule grammar cannot target it reliably",
+            )
+        elif arg.value not in POINTS:
+            yield RawFinding(
+                node.lineno,
+                f"chaos.point({arg.value!r}) names an unregistered "
+                "point; add it to repro.chaos.POINTS (disarmed, the "
+                "probe silently returns None forever; no schedule can "
+                "legally target it)",
+            )

@@ -16,6 +16,7 @@ from pathlib import Path
 
 import numpy as np
 
+import repro.chaos as chaos
 from repro.bvh.monolithic import MonolithicBVH
 from repro.bvh.node import FlatBVH
 from repro.bvh.two_level import SharedBlas, TwoLevelBVH
@@ -112,6 +113,11 @@ def load_structure(path: str | Path) -> MonolithicBVH | TwoLevelBVH:
         its structure family requires.
     """
     path = Path(path)
+    if chaos.point("bvh.serialize.load") is not None:
+        # Any directive here means "this archive is untrustworthy" —
+        # surface it the way real corruption would, so every caller's
+        # evict-and-rebuild path gets drilled.
+        raise StructureFormatError(f"{path}: chaos: injected unreadable archive")
     try:
         archive = np.load(path, allow_pickle=False)
     except (zipfile.BadZipFile, ValueError, EOFError, OSError) as exc:

@@ -1,0 +1,400 @@
+"""Deterministic, seeded fault injection for the whole stack.
+
+Production schedulers treat failure policy — timeouts, requeues,
+quarantine — as a first-class, *testable* subsystem: you validate the
+controller by injecting the failure, not by waiting for it. This module
+is that injector. Subsystems thread **registered injection points**
+(:data:`POINTS`) through their failure-prone seams; a schedule (env or
+:func:`configure`) decides which invocation of which point fires which
+fault. Everything is deterministic given the schedule and seed: hits
+are exact per-process invocation counts, probabilistic hits hash
+``(seed, point, count)``, and ``:once`` entries claim a cross-process
+token file so a fleet of workers fires a fault exactly once.
+
+Design constraints, in order:
+
+* **Zero overhead when disabled.** :func:`point` is one module-global
+  bool check when no schedule is armed — cheap enough to sit on the
+  task dispatch path. ``benchmarks/bench_chaos.py`` gates this ≤1%.
+* **Every firing leaves evidence.** A fired fault is recorded into the
+  flight ring (:data:`repro.obs.events.CHAOS`) and counted
+  (``chaos.injected``), so ``repro doctor`` can attribute the crash it
+  caused to the schedule that caused it.
+* **Points are registered, not ad hoc.** Call sites use
+  ``chaos.point(name)`` with a literal name from :data:`POINTS`; the
+  ``chaos-point-registered`` lint rule rejects ad-hoc ``REPRO_CHAOS``
+  env checks and unregistered names, so the injection surface stays
+  enumerable.
+
+Schedule grammar (``REPRO_CHAOS``, entries separated by ``;``)::
+
+    point=directive@hits[:once]
+
+    pool.worker.task=kill@2:once;pool.worker.task=hang@5:once
+    registry.disk_load=corrupt@1
+    pool.worker.task=slow(0.2)@p0.25        # seeded probability per hit
+    flight.spool=oserror@*                  # every invocation
+
+``hits`` is a comma list of 1-based per-process invocation numbers,
+``*`` (every invocation), or ``pN`` (fire with probability N, derived
+deterministically from ``REPRO_CHAOS_SEED``). Directives are
+interpreted by the call site; the common ones are ``kill`` (SIGKILL
+self), ``hang`` (SIGSTOP self — exercises the pool watchdog), ``slow``
+/ ``slow(seconds)``, ``error`` (raise :class:`ChaosInjectedError`),
+``oserror`` (raise ``OSError``), ``corrupt`` (damage the artifact
+about to be read), and ``unpicklable`` (poison a task result).
+
+Knobs: ``REPRO_CHAOS`` (the schedule; empty/unset disarms),
+``REPRO_CHAOS_SEED`` (probabilistic hits), ``REPRO_CHAOS_TOKENS``
+(directory for ``:once`` claim tokens; defaults to
+``<flight dir>/chaos-tokens``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import threading
+import time
+
+from repro.obs import events as ev
+
+__all__ = [
+    "ChaosInjectedError",
+    "POINTS",
+    "active",
+    "configure",
+    "execute",
+    "fired",
+    "point",
+    "poison_task",
+    "reset",
+]
+
+
+class ChaosInjectedError(RuntimeError):
+    """An injected (scheduled) fault, raised by an ``error`` directive."""
+
+
+#: The registered injection points. A call site may only gate on a name
+#: in this set (``point()`` raises on anything else, and the
+#: ``chaos-point-registered`` lint rule enforces it statically), so the
+#: full injection surface is this one tuple of seams:
+POINTS = frozenset({
+    # Worker-side, between a task's start checkpoint and its execution:
+    # kill / hang / slow / error — the crash, watchdog and retry drills.
+    "pool.worker.task",
+    # Worker-side, before a result ships: unpicklable — the
+    # result-serialization hardening drill.
+    "pool.worker.result",
+    # Parent-side, before a task's wire writes to the worker pipe:
+    # oserror — the transient-dispatch-failure retry drill.
+    "pool.dispatch",
+    # Registry disk cache, before a cached structure loads: corrupt /
+    # oserror — the corrupt-cache evict-and-rebuild drill.
+    "registry.disk_load",
+    # Registry disk cache, before a built structure saves: oserror.
+    "registry.disk_save",
+    # Structure deserialization itself: error — surfaces as a
+    # StructureFormatError to whoever trusted the archive.
+    "bvh.serialize.load",
+    # Flight-recorder worker spool writes: oserror (transient).
+    "flight.spool",
+    # Server request path, before cache lookup: slow / error.
+    "serve.request",
+})
+
+#: Directives :func:`execute` knows how to carry out itself; the rest
+#: (``corrupt``, ``unpicklable``) are interpreted by the call site.
+_EXECUTABLE = frozenset({"kill", "hang", "slow", "error", "oserror"})
+
+
+class _Entry:
+    """One parsed schedule entry for one point."""
+
+    __slots__ = ("point", "directive", "hits", "every", "probability",
+                 "once", "raw")
+
+    def __init__(self, point_name: str, directive: str, hits: frozenset[int],
+                 every: bool, probability: float | None, once: bool,
+                 raw: str) -> None:
+        self.point = point_name
+        self.directive = directive
+        self.hits = hits
+        self.every = every
+        self.probability = probability
+        self.once = once
+        self.raw = raw
+
+    def matches(self, count: int, seed: int) -> bool:
+        if self.every:
+            return True
+        if self.probability is not None:
+            return _fraction(seed, self.point, count) < self.probability
+        return count in self.hits
+
+
+def _fraction(seed: int, point_name: str, count: int) -> float:
+    """Deterministic [0, 1) value for one (seed, point, invocation)."""
+    digest = hashlib.blake2b(
+        f"{seed}:{point_name}:{count}".encode("ascii"), digest_size=8,
+    ).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+class ScheduleError(ValueError):
+    """The ``REPRO_CHAOS`` schedule string does not parse."""
+
+
+def _parse_entry(raw: str) -> _Entry:
+    head, sep, trigger = raw.partition("@")
+    if not sep:
+        raise ScheduleError(f"chaos entry {raw!r} has no '@hits' trigger")
+    point_name, sep, directive = head.partition("=")
+    point_name = point_name.strip()
+    directive = directive.strip()
+    if not sep or not directive:
+        raise ScheduleError(f"chaos entry {raw!r} has no '=directive'")
+    if point_name not in POINTS:
+        raise ScheduleError(
+            f"chaos entry {raw!r} names unregistered point {point_name!r}; "
+            f"registered points: {', '.join(sorted(POINTS))}")
+    trigger = trigger.strip()
+    once = False
+    if trigger.endswith(":once"):
+        once = True
+        trigger = trigger[: -len(":once")].strip()
+    every = False
+    probability: float | None = None
+    hits: frozenset[int] = frozenset()
+    if trigger == "*":
+        every = True
+    elif trigger.startswith("p"):
+        try:
+            probability = float(trigger[1:])
+        except ValueError:
+            raise ScheduleError(
+                f"chaos entry {raw!r}: bad probability {trigger!r}") from None
+        if not 0.0 <= probability <= 1.0:
+            raise ScheduleError(
+                f"chaos entry {raw!r}: probability must be in [0, 1]")
+    else:
+        try:
+            hits = frozenset(int(h) for h in trigger.split(",") if h.strip())
+        except ValueError:
+            raise ScheduleError(
+                f"chaos entry {raw!r}: bad hit list {trigger!r}") from None
+        if not hits or min(hits) < 1:
+            raise ScheduleError(
+                f"chaos entry {raw!r}: hits are 1-based invocation counts")
+    return _Entry(point_name, directive, hits, every, probability, once, raw)
+
+
+def _parse_schedule(spec: str) -> dict[str, list[_Entry]]:
+    schedule: dict[str, list[_Entry]] = {}
+    for raw in spec.split(";"):
+        raw = raw.strip()
+        if not raw:
+            continue
+        entry = _parse_entry(raw)
+        schedule.setdefault(entry.point, []).append(entry)
+    return schedule
+
+
+# ---------------------------------------------------------------------------
+# Process-global state. The hot path (``point`` while disarmed) reads
+# one module bool with no lock; everything else serializes on _lock.
+
+_lock = threading.Lock()
+_active: bool = False
+_schedule: dict[str, list[_Entry]] = {}
+_seed: int = 0
+_token_dir: str | None = None
+_counts: dict[str, int] = {}
+_fired: list[dict] = []
+
+
+def _reinit_after_fork() -> None:
+    # Forked pool workers inherit the parent's schedule (that is how a
+    # drill reaches them) but must not inherit a lock some parent
+    # thread held at fork time.
+    global _lock
+    _lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reinit_after_fork)
+
+
+def _env_configure() -> None:
+    spec = os.environ.get("REPRO_CHAOS", "")
+    if spec.strip():
+        configure(spec=spec,
+                  seed=int(os.environ.get("REPRO_CHAOS_SEED", "0") or 0),
+                  token_dir=os.environ.get("REPRO_CHAOS_TOKENS"))
+
+
+def configure(spec: str | None = None, seed: int | None = None,
+              token_dir: str | None = None) -> None:
+    """Arm (or re-arm) the injector with a schedule string.
+
+    ``spec=None`` leaves the current schedule; an empty string disarms.
+    Raises :class:`ScheduleError` on a malformed schedule — a drill
+    whose schedule silently failed to parse would "pass" by testing
+    nothing.
+    """
+    global _active, _schedule, _seed, _token_dir
+    with _lock:
+        if spec is not None:
+            _schedule = _parse_schedule(spec)
+            _active = bool(_schedule)
+        if seed is not None:
+            _seed = int(seed)
+        if token_dir is not None:
+            _token_dir = str(token_dir)
+
+
+def reset() -> None:
+    """Disarm and forget counters, firings, and the token dir (tests)."""
+    global _active, _schedule, _seed, _token_dir
+    with _lock:
+        _active = False
+        _schedule = {}
+        _seed = 0
+        _token_dir = None
+        _counts.clear()
+        _fired.clear()
+
+
+def active() -> bool:
+    """Whether any schedule is armed in this process."""
+    return _active
+
+
+def fired() -> list[dict]:
+    """Every fault fired in this process, in order (plain-data dicts)."""
+    with _lock:
+        return [dict(entry) for entry in _fired]
+
+
+def invocation_count(name: str) -> int:
+    """How many times ``name`` has been evaluated in this process."""
+    with _lock:
+        return _counts.get(name, 0)
+
+
+def point(name: str) -> str | None:
+    """Evaluate one registered injection point.
+
+    Returns ``None`` (the overwhelmingly common case — one bool check
+    when disarmed) or the directive string the schedule wants this
+    invocation to suffer. The call site interprets the directive;
+    :func:`execute` implements the generic ones.
+    """
+    if not _active:
+        return None
+    return _point_armed(name)
+
+
+def _point_armed(name: str) -> str | None:
+    if name not in POINTS:
+        raise ValueError(
+            f"chaos.point({name!r}): not a registered injection point; "
+            "add it to repro.chaos.POINTS")
+    with _lock:
+        count = _counts.get(name, 0) + 1
+        _counts[name] = count
+        entries = _schedule.get(name)
+        hit = None
+        if entries:
+            for entry in entries:
+                if entry.matches(count, _seed):
+                    hit = entry
+                    break
+    if hit is None:
+        return None
+    if hit.once and not _claim_token(hit, count):
+        return None
+    _record_firing(name, hit, count)
+    return hit.directive
+
+
+def _tokens_dir() -> str:
+    if _token_dir is not None:
+        return _token_dir
+    from repro.obs import flight
+
+    return os.path.join(flight.flight_dir(), "chaos-tokens")
+
+
+def _claim_token(entry: _Entry, count: int) -> bool:
+    """Atomically claim a ``:once`` firing across every process sharing
+    the token dir; False means another process already fired it."""
+    slug = "".join(c if c.isalnum() else "-" for c in
+                   f"{entry.point}-{entry.directive}-{count}")
+    try:
+        directory = _tokens_dir()
+        os.makedirs(directory, exist_ok=True)
+        fd = os.open(os.path.join(directory, f"{slug}.token"),
+                     os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        os.write(fd, str(os.getpid()).encode("ascii"))
+        os.close(fd)
+        return True
+    except FileExistsError:
+        return False
+    except OSError:
+        # An unclaimable token dir must not turn one scheduled fault
+        # into a storm of them: skip rather than fire unbounded.
+        return False
+
+
+def _record_firing(name: str, entry: _Entry, count: int) -> None:
+    firing = {"point": name, "directive": entry.directive, "hit": count,
+              "entry": entry.raw, "pid": os.getpid()}
+    with _lock:
+        _fired.append(firing)
+    # Lazy imports: flight imports this module for its spool point, so
+    # the dependency must point the other way at import time.
+    from repro.obs import flight
+    from repro.obs.metrics import get_registry
+
+    get_registry().add("chaos.injected")
+    flight.record(ev.CHAOS, "chaos.inject", point=name,
+                  directive=entry.directive, hit=count)
+
+
+def execute(name: str, directive: str) -> None:
+    """Carry out a generic directive at call site ``name``.
+
+    ``kill``/``hang`` never return; ``slow`` sleeps; ``error``/
+    ``oserror`` raise. Site-specific directives (``corrupt``,
+    ``unpicklable``) are ignored here — the site interprets them.
+    """
+    head, _, arg = directive.partition("(")
+    head = head.strip()
+    arg = arg.rstrip(")").strip()
+    if head == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif head == "hang":
+        os.kill(os.getpid(), signal.SIGSTOP)
+    elif head == "slow":
+        time.sleep(float(arg) if arg else 0.05)
+    elif head == "error":
+        raise ChaosInjectedError(
+            f"chaos: injected error at {name}")
+    elif head == "oserror":
+        raise OSError(f"chaos: injected OSError at {name}")
+
+
+def poison_task() -> None:
+    """A picklable task that SIGKILLs whichever worker runs it.
+
+    Drill tooling for the poison-quarantine path: every attempt kills a
+    *different* worker process, so a pool with ``poison_threshold`` set
+    quarantines it after N distinct victims.
+    """
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+_env_configure()

@@ -22,6 +22,10 @@ Five commands cover the workflows a user reaches for first:
   flight recorder (worker crashes, saturation shedding, unhandled
   CLI exceptions): timeline, last-event-per-process, counter
   anomalies, probable causes.
+* ``chaos-drill`` — run the seeded fault-injection drill
+  (:mod:`repro.chaosdrill`): kill, hang, and poison workers, corrupt
+  the structure disk cache, then verify every hardening path engaged
+  and every frame stayed bit-identical.
 
 ``render`` and ``serve-bench`` accept ``--trace-out FILE`` (stream
 Chrome ``about:tracing``-compatible span events as JSON lines; open the
@@ -132,6 +136,30 @@ def _build_parser() -> argparse.ArgumentParser:
                                   "path is what gets measured, on the "
                                   "paper's tlas+sphere structure")
     _add_obs_flags(serve_bench)
+
+    chaos_drill = sub.add_parser(
+        "chaos-drill",
+        help="run the seeded fault-injection drill: kill/hang/corrupt/"
+             "poison a pooled render run and verify every hardening "
+             "path engages with bit-identical frames")
+    chaos_drill.add_argument("--scene", default="train")
+    chaos_drill.add_argument("--size", type=int, default=32,
+                             help="frame width=height")
+    chaos_drill.add_argument("--frames", type=int, default=5,
+                             help="distinct frames rendered under faults")
+    chaos_drill.add_argument("--workers", type=int, default=2,
+                             help="pool workers for the chaos run")
+    chaos_drill.add_argument("--deadline", type=float, default=2.0,
+                             metavar="SECONDS",
+                             help="per-task deadline the hung-worker "
+                                  "watchdog enforces")
+    chaos_drill.add_argument("--seed", type=int, default=0,
+                             help="chaos schedule seed")
+    chaos_drill.add_argument("--keep-dir", default=None, metavar="DIR",
+                             help="preserve the drill's flight/cache "
+                                  "directory here for post-mortem")
+    chaos_drill.add_argument("--json", action="store_true", dest="as_json",
+                             help="emit the drill summary as JSON")
 
     doctor = sub.add_parser(
         "doctor",
@@ -409,6 +437,21 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos_drill(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.chaosdrill import format_summary, run_drill
+
+    summary = run_drill(scene=args.scene, size=args.size, frames=args.frames,
+                        workers=args.workers, deadline_s=args.deadline,
+                        seed=args.seed, keep_dir=args.keep_dir)
+    if args.as_json:
+        print(json.dumps(summary, indent=2, sort_keys=True, default=repr))
+    else:
+        print(format_summary(summary))
+    return 0 if summary["ok"] else 1
+
+
 def _cmd_doctor(args: argparse.Namespace) -> int:
     import json
 
@@ -533,6 +576,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "structures": _cmd_structures,
     "serve-bench": _cmd_serve_bench,
+    "chaos-drill": _cmd_chaos_drill,
     "doctor": _cmd_doctor,
     "stats": _cmd_stats,
     "lint": _cmd_lint,

@@ -18,7 +18,14 @@ from __future__ import annotations
 
 import json
 
-from repro.obs.events import CRASH, ERROR, REQUEUE, SHED, validate_flight_event
+from repro.obs.events import (
+    CHAOS,
+    CRASH,
+    ERROR,
+    REQUEUE,
+    SHED,
+    validate_flight_event,
+)
 from repro.obs.flight import CHECKPOINT_SCHEMA, FLIGHT_SCHEMA
 
 #: Counters whose mere presence in a bundle is an anomaly worth
@@ -27,8 +34,14 @@ ANOMALY_COUNTERS = (
     "pool.crashes",
     "pool.requeues",
     "pool.tasks_failed",
+    "pool.deadline_kills",
+    "pool.quarantined",
     "serve.rejected",
+    "serve.timed_out",
+    "serve.pool_fallbacks",
+    "registry.disk_rejects",
     "rt.packet_fallbacks",
+    "chaos.injected",
 )
 
 #: Signal exit codes worth naming (negative exitcode = -signal).
@@ -128,14 +141,42 @@ def _crashed_worker_checkpoint(bundle: dict) -> dict | None:
     return None
 
 
+def _chaos_attributions(timeline: list[dict]) -> list[str]:
+    """Injected faults visible anywhere in the merged timeline.
+
+    A chaos event in the ring means the failure being triaged was (or
+    may have been) *manufactured* — naming the schedule entry first
+    stops an operator chasing a drill as a production fault.
+    """
+    causes = []
+    for event in timeline:
+        if event.get("kind") != CHAOS:
+            continue
+        data = event.get("data") or {}
+        causes.append(
+            f"injected fault: {data.get('directive', '?')!r} fired at "
+            f"chaos point {data.get('point', '?')!r} "
+            f"(invocation {data.get('hit', '?')}, {event.get('source')}) — "
+            "this failure was manufactured by the fault-injection schedule")
+    return causes
+
+
 def _probable_causes(bundle: dict, timeline: list[dict]) -> list[str]:
     reason = bundle.get("reason", "")
     context = bundle.get("context", {})
-    causes: list[str] = []
-    if reason in ("worker-crash", "task-retries-exhausted"):
+    causes: list[str] = _chaos_attributions(timeline)
+    if reason in ("worker-crash", "task-retries-exhausted",
+                  "poison-task-quarantined"):
         wid = context.get("worker")
         exitcode = context.get("exitcode")
-        if exitcode in _SIGNALS:
+        if context.get("watchdog_deadline_s") is not None:
+            causes.append(
+                f"worker {wid} was SIGKILLed by the pool's own hung-worker "
+                f"watchdog: task {context.get('task')} exceeded its "
+                f"{context.get('watchdog_deadline_s')}s deadline "
+                f"(overdue {context.get('overdue_s', '?')}s) — a hang, "
+                "not an OOM or external kill")
+        elif exitcode in _SIGNALS:
             causes.append(f"worker {wid} exited with {exitcode}: "
                           f"killed by {_SIGNALS[exitcode]}")
         elif isinstance(exitcode, int) and exitcode != 0:
@@ -154,7 +195,13 @@ def _probable_causes(bundle: dict, timeline: list[dict]) -> list[str]:
             causes.append(
                 f"no spool checkpoint for worker {wid}: it died before "
                 "its first task start (startup crash / import failure?)")
-        if reason == "task-retries-exhausted":
+        if reason == "poison-task-quarantined":
+            causes.append(
+                f"task {context.get('task')} was quarantined after killing "
+                f"{len(context.get('fatal_pids', []) or [])} distinct worker "
+                "processes — a poison payload, failed fast instead of "
+                "burning more workers")
+        elif reason == "task-retries-exhausted":
             causes.append(
                 f"task {context.get('task')} killed its worker "
                 f"{context.get('retries', '?')} times — the task itself is "
@@ -177,6 +224,14 @@ def _probable_causes(bundle: dict, timeline: list[dict]) -> list[str]:
         if sheds > 1:
             causes.append(f"{sheds} shed events in the ring: a sustained "
                           "overload burst, not a single spike")
+    elif reason == "pool-circuit-open":
+        causes.append(
+            f"the server's pool-health circuit breaker opened after "
+            f"{context.get('threshold', '?')} consecutive pooled-render "
+            f"failures ({context.get('error', 'WorkerCrashError')}); "
+            f"requests are degrading to the serial in-process path "
+            f"(bit-identical pixels) for {context.get('cooldown_s', '?')}s "
+            "— investigate the pool, the images are safe")
     elif reason == "cli-unhandled-exception":
         causes.append(
             f"command {context.get('command')!r} died with "

@@ -38,11 +38,15 @@ EVICTION = "eviction"
 INCIDENT = "incident"
 #: A task or subsystem raised; ``data`` carries the error repr.
 ERROR = "error"
+#: A scheduled fault fired at a registered :mod:`repro.chaos` injection
+#: point (``data`` carries point/directive/hit) — the breadcrumb that
+#: lets ``repro doctor`` attribute a manufactured failure to its drill.
+CHAOS = "chaos"
 
 #: Every kind the flight recorder accepts.
 KINDS = frozenset({
     SPAN, STATE, DISPATCH, COMPLETE, CRASH, REQUEUE, SHED, FALLBACK,
-    EVICTION, INCIDENT, ERROR,
+    EVICTION, INCIDENT, ERROR, CHAOS,
 })
 
 #: JSON-Schema-shaped description of one flight event in dict form

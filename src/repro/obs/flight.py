@@ -44,6 +44,7 @@ import threading
 import time
 from collections import deque
 
+import repro.chaos as chaos
 from repro.obs import events as ev
 from repro.obs.metrics import get_registry
 
@@ -208,12 +209,13 @@ def configure(directory: str | None = None, capacity: int | None = None,
     """Reconfigure the process-global recorder (tests, worker startup).
 
     ``capacity`` replaces the ring (events are kept up to the new
-    bound); ``directory`` overrides ``REPRO_FLIGHT_DIR``.
+    bound); ``directory`` overrides ``REPRO_FLIGHT_DIR`` (an empty
+    string clears the override back to the env/default resolution).
     """
     global _recorder, _dir_override, _enabled, _min_interval
     with _lock:
         if directory is not None:
-            _dir_override = str(directory)
+            _dir_override = str(directory) or None
         if capacity is not None:
             fresh = FlightRecorder(capacity)
             for event in _recorder.events()[-capacity:]:
@@ -243,6 +245,14 @@ def flight_dir() -> str:
         return env
     uid = os.getuid() if hasattr(os, "getuid") else 0
     return os.path.join(tempfile.gettempdir(), f"repro-flight-{uid}")
+
+
+def dir_override() -> str | None:
+    """The explicitly configured directory, or None when resolution
+    falls through to ``REPRO_FLIGHT_DIR``/the default (callers that
+    temporarily reroute the recorder restore *this*, not the resolved
+    :func:`flight_dir`, so they never pin the env fallback)."""
+    return _dir_override
 
 
 def spool_dir() -> str:
@@ -312,6 +322,11 @@ def checkpoint_worker(worker_id: int) -> str | None:
         return None
     path = _spool_path(worker_id)
     try:
+        directive = chaos.point("flight.spool")
+        if directive is not None:
+            # The injected OSError lands in the except below — exactly
+            # the transient-spool-failure path this point drills.
+            chaos.execute("flight.spool", directive)
         os.makedirs(spool_dir(), exist_ok=True)
         _write_atomic(path, {
             "schema": CHECKPOINT_SCHEMA,

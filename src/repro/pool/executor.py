@@ -46,6 +46,7 @@ from concurrent.futures import Future
 from concurrent.futures import as_completed as as_completed  # re-export
 from typing import Callable, Hashable, Iterable
 
+import repro.chaos as chaos
 from repro.obs import absorb_worker_delta, get_registry
 from repro.obs import events as obs_events
 from repro.obs import flight
@@ -91,7 +92,7 @@ class RemoteTaskError(RuntimeError):
 
 class _Task:
     __slots__ = ("task_id", "kind", "future", "affinity", "retries",
-                 "payload", "scene", "worker", "started")
+                 "payload", "scene", "worker", "started", "fatal_pids")
 
     def __init__(self, task_id, kind, future, affinity, payload, scene=None):
         self.task_id = task_id
@@ -103,6 +104,33 @@ class _Task:
         self.retries = 0
         self.worker = None
         self.started = False
+        # PIDs of workers that died while running this task — distinct
+        # victims, the poison-quarantine signal (a flaky host kills the
+        # same task on different processes; a poison task does too, but
+        # nothing else plausibly does).
+        self.fatal_pids = None
+
+
+def _env_positive_float(name: str) -> float | None:
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+def _env_positive_int(name: str) -> int | None:
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value >= 1 else None
 
 
 def _json_safe(value):
@@ -158,6 +186,24 @@ class WorkerPool:
         Disable to measure the cost of *not* stealing (benchmarks).
     max_task_retries:
         Crash-requeue attempts before a task's future fails.
+    task_deadline_s:
+        Per-task wall-clock deadline. A worker holding one task longer
+        than this is presumed hung (SIGSTOP, runaway loop, dead kernel
+        thread) and is SIGKILLed by the collector's watchdog; the
+        ordinary crash accounting then requeues its task. ``None``
+        (default) disables the watchdog; the ``REPRO_TASK_DEADLINE``
+        env var supplies a default when the argument is omitted.
+    retry_backoff_s:
+        Base of the exponential backoff between crash-requeues of the
+        same task (``retry_backoff_s * 2**(retries-1)``); ``0`` restores
+        immediate requeue.
+    poison_threshold:
+        When set, a task that has killed this many *distinct* worker
+        processes is quarantined — failed fast with a
+        ``poison-task-quarantined`` incident bundle instead of burning
+        through its remaining retries (and more workers). ``None``
+        (default) leaves only the retry bound; ``REPRO_POISON_THRESHOLD``
+        supplies a default when the argument is omitted.
 
     Workers spawn lazily on first submit, so constructing a pool is free.
     """
@@ -169,6 +215,9 @@ class WorkerPool:
         start_method: str | None = None,
         stealing: bool = True,
         max_task_retries: int = 2,
+        task_deadline_s: float | None = None,
+        retry_backoff_s: float = 0.05,
+        poison_threshold: int | None = None,
     ) -> None:
         if workers is None or workers == 0:
             workers = available_workers()
@@ -178,6 +227,17 @@ class WorkerPool:
         self.scene_cache_size = scene_cache_size
         self.start_method = start_method
         self.max_task_retries = max_task_retries
+        if task_deadline_s is None:
+            task_deadline_s = _env_positive_float("REPRO_TASK_DEADLINE")
+        if task_deadline_s is not None and task_deadline_s <= 0:
+            raise ValueError("task_deadline_s must be > 0 (or None)")
+        self.task_deadline_s = task_deadline_s
+        self.retry_backoff_s = max(0.0, retry_backoff_s)
+        if poison_threshold is None:
+            poison_threshold = _env_positive_int("REPRO_POISON_THRESHOLD")
+        if poison_threshold is not None and poison_threshold < 1:
+            raise ValueError("poison_threshold must be >= 1 (or None)")
+        self.poison_threshold = poison_threshold
         self._sched = StealingScheduler(workers, stealing=stealing)
         self._lock = threading.RLock()
         self._tasks: dict[int, _Task] = {}
@@ -200,11 +260,28 @@ class WorkerPool:
         self._closed = False
         self._shutdown = threading.Event()
         self._drained = threading.Condition(self._lock)
+        # Teardown is serialized on its own lock so concurrent close()
+        # calls (TileScheduler.__exit__ racing the atexit hook) are
+        # join-safe: the loser blocks until the winner has actually
+        # reaped every worker, instead of returning with SIGKILL-pending
+        # processes still live.
+        self._close_lock = threading.Lock()
+        self._close_done = False
+        # Watchdog state: when each worker's current task was shipped,
+        # and which workers the watchdog SIGKILLed (so the crash reaper
+        # can attribute the death to the deadline, not to the task).
+        self._dispatched_at: list[float | None] = [None] * workers
+        self._watchdog_killed: dict[int, float] = {}
+        # Crash-requeued tasks parked until their backoff expires:
+        # (ready_at_monotonic, task_id), released by the collector.
+        self._parked: list[tuple[float, int]] = []
         # Counters (read through stats()).
         self._completed = 0
         self._failed = 0
         self._crashes = 0
         self._requeues = 0
+        self._deadline_kills = 0
+        self._quarantined = 0
         self._scene_ships = 0
         self._scene_hits = 0
         # Incident bundles queued under the lock, dumped in _ship()
@@ -279,12 +356,19 @@ class WorkerPool:
 
     def close(self, wait: bool = True, timeout: float | None = 30.0) -> None:
         """Stop the pool. ``wait=True`` lets in-flight/queued work drain
-        first; ``wait=False`` fails outstanding futures immediately."""
+        first; ``wait=False`` fails outstanding futures immediately.
+
+        Idempotent and join-safe: concurrent callers (a scheduler's
+        ``__exit__`` racing the atexit default-pool hook) serialize on
+        one teardown — whichever call runs it, every caller returns only
+        after workers are reaped. Workers that ignore SIGTERM — a
+        SIGSTOPped (chaos-hung) process does, by definition — are
+        escalated to SIGKILL rather than leaked.
+        """
         with self._lock:
-            if self._closed:
-                return
+            first = not self._closed
             self._closed = True
-        if wait and self._started:
+        if first and wait and self._started:
             deadline = None if timeout is None else time.monotonic() + timeout
             with self._drained:
                 while self._tasks:
@@ -294,37 +378,54 @@ class WorkerPool:
                         if remaining <= 0:
                             break
                     self._drained.wait(timeout=remaining if remaining else 0.5)
-        with self._lock:
-            for task in list(self._tasks.values()):
-                if not task.future.done():
-                    task.future.set_exception(RuntimeError("pool closed"))
-            self._tasks.clear()
-        self._shutdown.set()
-        if self._started:
-            for wid, proc in enumerate(self._procs):
-                if proc is not None and proc.is_alive():
-                    try:
-                        self._task_queues[wid].put(None)
-                    except OSError:
-                        pass
-            for proc in self._procs:
-                if proc is not None:
-                    proc.join(timeout=2.0)
-                    if proc.is_alive():
-                        proc.terminate()
-                        proc.join(timeout=1.0)
-            if self._collector is not None:
-                self._collector.join(timeout=2.0)
+        with self._close_lock:
+            if self._close_done:
+                return
+            self._close_done = True
             with self._lock:
-                for rx in self._result_rx + self._retired_rx:
-                    if rx is not None:
+                for task in list(self._tasks.values()):
+                    if not task.future.done():
+                        task.future.set_exception(RuntimeError("pool closed"))
+                self._tasks.clear()
+                self._parked.clear()
+                # A concurrent close(wait=True) may still sit in its
+                # drain loop; everything it waited on just failed.
+                self._drained.notify_all()
+            self._shutdown.set()
+            if self._started:
+                for wid, proc in enumerate(self._procs):
+                    if proc is not None and proc.is_alive():
                         try:
-                            rx.close()
+                            self._task_queues[wid].put(None)
                         except OSError:
                             pass
-                self._result_rx = [None] * self.n_workers
-                self._retired_rx = []
-                self._rx_bufs.clear()
+                for proc in self._procs:
+                    if proc is not None:
+                        proc.join(timeout=2.0)
+                        if proc.is_alive():
+                            proc.terminate()
+                            proc.join(timeout=1.0)
+                        if proc.is_alive():
+                            # SIGTERM is delivered but never *runs* in a
+                            # stopped process; SIGKILL reaps it anyway.
+                            proc.kill()
+                            proc.join(timeout=1.0)
+                if self._collector is not None:
+                    self._collector.join(timeout=2.0)
+                with self._lock:
+                    for rx in self._result_rx + self._retired_rx:
+                        if rx is not None:
+                            try:
+                                rx.close()
+                            except OSError:
+                                pass
+                    self._result_rx = [None] * self.n_workers
+                    self._retired_rx = []
+                    self._rx_bufs.clear()
+            # Incidents queued by a crash the collector reaped but never
+            # got to flush (it may have been mid-loop when _shutdown was
+            # set) must not be lost with the pool.
+            self._flush_incidents()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -439,6 +540,7 @@ class WorkerPool:
             scene_note = None
         task.worker = wid
         self._inflight[wid] = task_id
+        self._dispatched_at[wid] = time.monotonic()
         return (wid, task_id, wire, scene_note)
 
     def _ship(self, plans: list[tuple]) -> None:
@@ -452,6 +554,9 @@ class WorkerPool:
         while pending:
             wid, task_id, wire, scene_note = pending.pop(0)
             try:
+                directive = chaos.point("pool.dispatch")
+                if directive is not None:
+                    chaos.execute("pool.dispatch", directive)
                 self._task_queues[wid].put(wire)
             except Exception as exc:
                 with self._lock:
@@ -495,10 +600,27 @@ class WorkerPool:
             # The task is still marked in flight, so _on_crash requeues
             # it and plans work for the respawned slot.
             return self._on_crash(wid)
-        # The worker is fine; the task payload wouldn't serialize
-        # (unpicklable fn/args). Fail the task, free the slot.
         self._inflight[wid] = None
-        task = self._tasks.pop(task_id, None)
+        self._dispatched_at[wid] = None
+        task = self._tasks.get(task_id)
+        if isinstance(exc, OSError) and task is not None:
+            # The worker is alive and the payload pickles — the write
+            # itself failed (EINTR, momentary EAGAIN pressure, an
+            # injected dispatch fault). Transient by construction:
+            # retry with backoff, bounded by the same retry budget as
+            # crashes, instead of failing work the fleet could do.
+            task.retries += 1
+            if task.retries <= self.max_task_retries:
+                self._requeues += 1
+                get_registry().add("pool.requeues")
+                flight.record(obs_events.REQUEUE, "pool.dispatch_retry",
+                              worker=wid, task=task_id,
+                              retries=task.retries, error=repr(exc))
+                self._park(task_id, task.retries)
+                return self._plan_dispatches()
+        # Persistent dispatch failure, or the payload wouldn't
+        # serialize (unpicklable fn/args). Fail the task, free the slot.
+        self._tasks.pop(task_id, None)
         self._failed += 1
         if task is not None and not task.future.done():
             task.future.set_exception(RemoteTaskError(
@@ -527,7 +649,9 @@ class WorkerPool:
                 if rx in ready:
                     for message in self._drain_rx(rx):
                         self._handle(message)
+            self._reap_overdue()
             self._reap_crashes()
+            self._release_parked()
 
     def _drain_rx(self, rx) -> list:
         """Read whatever is available on one result pipe (never blocks)
@@ -582,6 +706,7 @@ class WorkerPool:
         with self._lock:
             if self._inflight[wid] == task_id:
                 self._inflight[wid] = None
+                self._dispatched_at[wid] = None
             task = self._tasks.pop(task_id, None)
             if task is not None:
                 if tag == _w.RESULT_OK:
@@ -609,6 +734,70 @@ class WorkerPool:
                             f"task raised in worker {wid}: {error_repr}", tb))
             if not self._tasks:
                 self._drained.notify_all()
+            plans = self._plan_dispatches()
+        self._ship(plans)
+
+    def _reap_overdue(self) -> None:
+        """The hung-worker watchdog: SIGKILL any worker that has held
+        one task past ``task_deadline_s``; the ordinary crash reaper
+        then owns the requeue/respawn. SIGKILL (not SIGTERM) because
+        the canonical hang — a stopped or wedged process — never runs
+        a milder handler. No-op when no deadline is configured."""
+        if self.task_deadline_s is None:
+            return
+        victims = []
+        now = time.monotonic()
+        with self._lock:
+            if not self._started or self._closed:
+                return
+            for wid, shipped in enumerate(self._dispatched_at):
+                if shipped is None or self._inflight[wid] is None:
+                    continue
+                overdue = now - shipped
+                if overdue <= self.task_deadline_s:
+                    continue
+                proc = self._procs[wid]
+                if proc is None or not proc.is_alive():
+                    continue  # already dead; the crash reaper owns it
+                self._deadline_kills += 1
+                self._watchdog_killed[wid] = overdue
+                self._dispatched_at[wid] = None  # one kill per dispatch
+                get_registry().add("pool.deadline_kills")
+                flight.record(obs_events.ERROR, "pool.deadline_kill",
+                              worker=wid, task=self._inflight[wid],
+                              overdue_s=round(overdue, 3),
+                              deadline_s=self.task_deadline_s)
+                victims.append(proc)
+        for proc in victims:
+            proc.kill()
+
+    def _park(self, task_id: int, retries: int) -> None:
+        """Hold a requeued task until its exponential backoff expires
+        (lock held; the collector releases ripe tasks). A zero backoff
+        re-places immediately — the pre-backoff behavior."""
+        if self.retry_backoff_s <= 0:
+            task = self._tasks.get(task_id)
+            if task is not None:
+                self._sched.place(task_id, task.affinity)
+            return
+        delay = self.retry_backoff_s * (2 ** max(0, retries - 1))
+        self._parked.append((time.monotonic() + delay, task_id))
+
+    def _release_parked(self) -> None:
+        """Re-place parked tasks whose backoff has expired."""
+        plans = []
+        with self._lock:
+            if not self._parked:
+                return
+            now = time.monotonic()
+            ripe = [entry for entry in self._parked if entry[0] <= now]
+            if not ripe:
+                return
+            self._parked = [e for e in self._parked if e[0] > now]
+            for _, task_id in ripe:
+                task = self._tasks.get(task_id)
+                if task is not None:
+                    self._sched.place(task_id, task.affinity)
             plans = self._plan_dispatches()
         self._ship(plans)
 
@@ -642,6 +831,7 @@ class WorkerPool:
         displaced = self._sched.drain_worker(wid)
         task_id = self._inflight[wid]
         self._inflight[wid] = None
+        self._dispatched_at[wid] = None
         flight.record(obs_events.CRASH, "pool.worker_crash", worker=wid,
                       exitcode=exitcode, task=task_id)
         incident = {
@@ -653,13 +843,42 @@ class WorkerPool:
                      "crashes": self._crashes,
                      "requeues": self._requeues},
         }
+        overdue = self._watchdog_killed.pop(wid, None)
+        if overdue is not None:
+            # This death was manufactured by our own watchdog; say so,
+            # or the doctor would read the SIGKILL as an OOM kill.
+            incident["watchdog_deadline_s"] = self.task_deadline_s
+            incident["overdue_s"] = round(overdue, 3)
         if task_id is not None:
             task = self._tasks.get(task_id)
             incident["task_summary"] = _task_summary(task)
             if task is not None:
                 task.retries += 1
                 incident["retries"] = task.retries
-                if task.retries > self.max_task_retries:
+                if task.fatal_pids is None:
+                    task.fatal_pids = set()
+                if proc is not None and proc.pid is not None:
+                    task.fatal_pids.add(proc.pid)
+                incident["fatal_pids"] = sorted(task.fatal_pids)
+                if (self.poison_threshold is not None
+                        and len(task.fatal_pids) >= self.poison_threshold):
+                    # Poison quarantine: this one task has now killed
+                    # N *distinct* processes. Requeueing it again just
+                    # feeds it more workers — fail it fast instead.
+                    self._tasks.pop(task_id, None)
+                    self._failed += 1
+                    self._quarantined += 1
+                    get_registry().add("pool.quarantined")
+                    self._pending_incidents.append((
+                        "poison-task-quarantined", dict(incident)))
+                    if not task.future.done():
+                        task.future.set_exception(WorkerCrashError(
+                            f"task {task_id} quarantined: killed "
+                            f"{len(task.fatal_pids)} distinct workers "
+                            f"(threshold {self.poison_threshold})"))
+                    if not self._tasks:
+                        self._drained.notify_all()
+                elif task.retries > self.max_task_retries:
                     self._tasks.pop(task_id, None)
                     self._failed += 1
                     self._pending_incidents.append((
@@ -676,7 +895,7 @@ class WorkerPool:
                     flight.record(obs_events.REQUEUE, "pool.requeue",
                                   worker=wid, task=task_id,
                                   retries=task.retries)
-                    displaced.insert(0, task_id)
+                    self._park(task_id, task.retries)
         self._pending_incidents.append(("worker-crash", incident))
         self._spawn(wid)
         for tid in displaced:
@@ -710,6 +929,9 @@ class WorkerPool:
                 "stolen_tasks": self._sched.stolen_tasks,
                 "crashes": self._crashes,
                 "requeues": self._requeues,
+                "deadline_kills": self._deadline_kills,
+                "quarantined": self._quarantined,
+                "parked": len(self._parked),
                 "scene_ships": self._scene_ships,
                 "scene_cache_hits": self._scene_hits,
             }

@@ -43,6 +43,7 @@ import time
 import traceback
 from collections import OrderedDict
 
+import repro.chaos as chaos
 from repro.obs import (
     BufferTraceSink,
     emit_span,
@@ -190,6 +191,21 @@ def execute_task(task, cache: SceneCacheMirror):
     raise ValueError(f"unknown task kind {kind!r}")
 
 
+class _UnpicklableResult:
+    """Chaos stand-in for a task result whose pickling fails.
+
+    Exercises the worker's result-send hardening: ``Connection.send``
+    pickles before writing, so this raises cleanly with nothing partial
+    on the wire.
+    """
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __reduce__(self):
+        raise pickle.PicklingError("chaos: injected unpicklable result")
+
+
 def _collect_obs_delta(trace_sink: BufferTraceSink) -> dict | None:
     """This task's observability delta: metrics + spans since last task.
 
@@ -252,6 +268,13 @@ def worker_main(worker_id: int, task_queue, result_conn,
         # the process, the checkpoint's last event is its task_start —
         # exactly what the doctor needs to name the killer.
         flight.checkpoint_worker(worker_id)
+        directive = chaos.point("pool.worker.task")
+        if directive is not None:
+            # Re-spool so the chaos firing itself is in the autopsy: a
+            # kill/hang directive never returns, and the doctor must be
+            # able to tell a drilled death from an organic one.
+            flight.checkpoint_worker(worker_id)
+            chaos.execute("pool.worker.task", directive)
         try:
             value, cost = execute_task(task, cache)
         except BaseException as exc:  # ship, don't die: workers are shared
@@ -266,8 +289,26 @@ def worker_main(worker_id: int, task_queue, result_conn,
             continue
         flight.record(obs_events.COMPLETE, "worker.task_done",
                       worker=worker_id, task=task_id)
+        if chaos.point("pool.worker.result") == "unpicklable":
+            value = _UnpicklableResult(value)
+        delta = _collect_obs_delta(trace_sink)
         try:
             result_conn.send((RESULT_OK, worker_id, task_id, value, cost,
-                              _collect_obs_delta(trace_sink)))
+                              delta))
         except OSError:
             return
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            # An unpicklable result must not kill a shared worker:
+            # Connection.send pickles the whole tuple before writing a
+            # byte, so the pipe is still clean — report the failure as
+            # a task error instead of dying with the result.
+            flight.record(obs_events.ERROR, "worker.result_unpicklable",
+                          worker=worker_id, task=task_id, error=repr(exc))
+            get_registry().add("worker.result_pickle_errors")
+            try:
+                result_conn.send((RESULT_ERROR, worker_id, task_id,
+                                  f"result not picklable: {exc!r}",
+                                  traceback.format_exc(),
+                                  _collect_obs_delta(trace_sink)))
+            except OSError:
+                return

@@ -22,8 +22,10 @@ import time
 from dataclasses import astuple
 from pathlib import Path
 
+import repro.chaos as chaos
 from repro.bvh import BuildParams, StructureFormatError, load_structure, save_structure
-from repro.obs import get_registry, span
+from repro.obs import events as obs_events
+from repro.obs import flight, get_registry, span
 from repro.gaussians import GaussianCloud
 from repro.serve.cache import LRUCache
 from repro.serve.request import SceneRef, cloud_fingerprint
@@ -136,6 +138,10 @@ class SceneRegistry:
     def _count(self, name: str) -> None:
         with self._lock:
             setattr(self, name, getattr(self, name) + 1)
+        # Mirrored into the obs registry so stats snapshots, serve-bench
+        # reports, and the doctor's anomaly scan see registry health
+        # without holding a SceneRegistry reference.
+        get_registry().add(f"registry.{name}")
 
     def _claim_build(self, key: tuple) -> None:
         """Block until no other thread is building ``key``, then claim it."""
@@ -162,11 +168,34 @@ class SceneRegistry:
         path = self._disk_path(key)
         if path is None or not path.exists():
             return None
+        directive = chaos.point("registry.disk_load")
+        if directive == "corrupt":
+            # Damage the artifact the way a torn write or bit-rot would:
+            # the load below must detect it, evict, and rebuild.
+            try:
+                path.write_bytes(b"\x00chaos-corrupted\x00")
+            except OSError:
+                pass
+        elif directive is not None:
+            chaos.execute("registry.disk_load", directive)
         try:
             structure = load_structure(path)
-        except StructureFormatError:
+        except FileNotFoundError:
+            # Lost the exists()/load race (another process evicted or
+            # replaced the entry) — a plain miss, not corruption.
+            return None
+        except (StructureFormatError, OSError) as exc:
+            # Truncated archives and stale versions raise
+            # StructureFormatError; unreadable files (permissions, I/O
+            # errors mid-read) raise OSError. Either way the entry is
+            # untrustworthy: evict it and rebuild from source.
             self._count("disk_rejects")
-            path.unlink(missing_ok=True)
+            flight.record(obs_events.EVICTION, "registry.disk_reject",
+                          path=path.name, error=repr(exc))
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
             return None
         self._count("disk_hits")
         return structure
@@ -179,6 +208,9 @@ class SceneRegistry:
         if path is None:
             return
         try:
+            directive = chaos.point("registry.disk_save")
+            if directive is not None:
+                chaos.execute("registry.disk_save", directive)
             # Write-then-rename so a crashed write never leaves a
             # truncated archive under the final name. The suffix must
             # stay ".npz" or np.savez would append one and the rename

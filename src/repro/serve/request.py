@@ -14,7 +14,7 @@ from __future__ import annotations
 import hashlib
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -183,15 +183,42 @@ class RenderJob:
     #: dispatcher turns it into the ``serve.queue_wait`` histogram and
     #: span, so queue pressure is visible per request.
     enqueued_ns: int = field(default=0, repr=False, compare=False)
+    #: Called as ``on_timeout(job, cancelled)`` when :meth:`result`
+    #: times out; the enqueuing server installs its accounting hook
+    #: here (``requests.timed_out`` counter, flight breadcrumb).
+    on_timeout: Callable | None = field(default=None, repr=False,
+                                        compare=False)
 
     def done(self) -> bool:
         return self.future.done()
 
+    def cancel(self) -> bool:
+        """Cancel the job if it has not started rendering; returns
+        whether it was cancelled (the dispatcher skips cancelled jobs)."""
+        return self.future.cancel()
+
     def result(self, timeout: float | None = None) -> RenderResponse:
-        return self.future.result(timeout=timeout)
+        """The response, waiting up to ``timeout`` seconds.
+
+        A timed-out wait *abandons* the job: the job is cancelled if it
+        is still queued (so the dispatcher never renders work nobody is
+        waiting for), the server's timeout accounting runs, and the
+        ``TimeoutError`` propagates. A job that already started
+        rendering cannot be cancelled — it completes and populates the
+        caches — but it is still counted as timed out for the caller.
+        """
+        try:
+            return self.future.result(timeout=timeout)
+        except TimeoutError:
+            cancelled = self.future.cancel()
+            if self.on_timeout is not None:
+                self.on_timeout(self, cancelled)
+            raise
 
     @property
     def status(self) -> str:
+        if self.future.cancelled():
+            return "cancelled"
         if not self.future.done():
             return "pending"
         return "failed" if self.future.exception() else "completed"

@@ -29,10 +29,12 @@ import threading
 import time
 from typing import Callable
 
+import repro.chaos as chaos
 from repro.bvh import BuildParams
 from repro.obs import MetricsRegistry, get_registry, span
 from repro.obs import events as obs_events
 from repro.obs import flight
+from repro.pool import WorkerCrashError
 from repro.render.renderer import RenderResult
 from repro.serve.cache import LRUCache
 from repro.serve.registry import SceneRegistry, params_key
@@ -66,7 +68,7 @@ class ServerMetrics:
     """
 
     _COUNTER_FIELDS = ("requests", "frame_hits", "coalesced", "rendered",
-                       "rejected")
+                       "rejected", "timed_out", "pool_fallbacks")
 
     def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -116,6 +118,49 @@ class ServerMetrics:
         return data
 
 
+class _CircuitBreaker:
+    """Pool-health circuit breaker (consecutive-failure, cooldown).
+
+    ``threshold`` consecutive pooled-render failures open the circuit
+    for ``cooldown_s``; while open, renders run serially in-process
+    (bit-identical by the tiling contract). After the cooldown the next
+    render tries the pool again — a success closes the circuit, another
+    failure re-opens it (classic half-open probe).
+    """
+
+    def __init__(self, threshold: int = 2, cooldown_s: float = 5.0) -> None:
+        self.threshold = max(1, int(threshold))
+        self.cooldown_s = float(cooldown_s)
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._open_until = 0.0
+
+    def allow_pool(self) -> bool:
+        with self._lock:
+            return time.monotonic() >= self._open_until
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._open_until = 0.0
+
+    def record_failure(self) -> bool:
+        """Count one pooled failure; True when this one *opened* the
+        circuit (the caller dumps a single incident per opening)."""
+        with self._lock:
+            self._failures += 1
+            if self._failures < self.threshold:
+                return False
+            now = time.monotonic()
+            was_closed = now >= self._open_until
+            self._open_until = now + self.cooldown_s
+            return was_closed
+
+    def is_open(self) -> bool:
+        with self._lock:
+            return time.monotonic() < self._open_until
+
+
 class _InFlight:
     """One leader-owned render that followers wait on."""
 
@@ -150,6 +195,18 @@ class RenderServer:
         An existing :class:`~repro.pool.WorkerPool` to render on, shared
         with other servers/callers (one fleet per host); the server
         creates its own when omitted and ``workers > 1``.
+    task_deadline_s:
+        Per-tile deadline forwarded to the scheduler's pool (the
+        hung-worker watchdog; see :class:`~repro.pool.WorkerPool`).
+    circuit_threshold / circuit_cooldown_s:
+        Pool-health circuit breaker: after ``circuit_threshold``
+        consecutive pooled-render failures (:class:`WorkerCrashError` —
+        quarantined poison tasks, retries exhausted), renders degrade to
+        the serial in-process path for ``circuit_cooldown_s`` seconds.
+        Serial output is bit-identical to pooled output by the tiling
+        contract, so the degradation is invisible in pixels — it is
+        counted (``pool_fallbacks``), gauged (``circuit_open``), and
+        bundled (``pool-circuit-open``) instead.
     """
 
     def __init__(
@@ -162,10 +219,16 @@ class RenderServer:
         submit_workers: int = 2,
         max_pending: int = 64,
         pool=None,
+        task_deadline_s: float | None = None,
+        circuit_threshold: int = 2,
+        circuit_cooldown_s: float = 5.0,
     ) -> None:
         self.registry = registry or SceneRegistry()
         self.scheduler = TileScheduler(tile_size=tile_size, workers=workers,
-                                       pool=pool)
+                                       pool=pool,
+                                       task_deadline_s=task_deadline_s)
+        self._breaker = _CircuitBreaker(threshold=circuit_threshold,
+                                        cooldown_s=circuit_cooldown_s)
         self.build_params = build_params or BuildParams()
         self._frames = LRUCache(frame_cache_size, name="serve.frames")
         # Constructed tracers (shading setup is O(scene)) reused across
@@ -207,6 +270,9 @@ class RenderServer:
     def _serve_inner(self, request: RenderRequest) -> RenderResponse:
         started = time.perf_counter()
         self.metrics.count("requests")
+        directive = chaos.point("serve.request")
+        if directive is not None:
+            chaos.execute("serve.request", directive)
 
         cloud, scene_hash = self.registry.scene(request.scene_ref)
         key = request.frame_key(scene_hash)
@@ -305,6 +371,7 @@ class RenderServer:
         self._ensure_dispatchers()
         job = RenderJob(request=request)
         job.enqueued_ns = time.time_ns()
+        job.on_timeout = self._job_timed_out
         try:
             if block:
                 self._queue.put(job)
@@ -352,6 +419,10 @@ class RenderServer:
                     "queue_wait", (dequeued_ns - job.enqueued_ns) / 1e9)
                 emit_span("serve.queue_wait", job.enqueued_ns, dequeued_ns,
                           scene=job.request.scene_ref.name)
+            if not job.future.set_running_or_notify_cancel():
+                # The waiter timed out and abandoned the job while it
+                # sat queued — nobody wants this frame; skip the render.
+                continue
             with self._dispatch_lock:
                 self._dispatchers_busy += 1
             try:
@@ -361,6 +432,13 @@ class RenderServer:
             finally:
                 with self._dispatch_lock:
                     self._dispatchers_busy -= 1
+
+    def _job_timed_out(self, job: RenderJob, cancelled: bool) -> None:
+        """Installed as every queued job's ``on_timeout`` hook."""
+        self.metrics.count("timed_out")
+        flight.record(obs_events.SHED, "serve.request_timeout",
+                      scene=job.request.scene_ref.name,
+                      cancelled=cancelled)
 
     def close(self) -> None:
         """Stop accepting work, drain queued jobs, release the pool."""
@@ -442,14 +520,42 @@ class RenderServer:
 
                 renderer = GaussianRayTracer(cloud, structure, config,
                                              engine=engine)
+        pooled = self.scheduler.workers > 1
+        force_serial = pooled and not self._breaker.allow_pool()
         t0 = time.perf_counter()
         try:
             with span("serve.render", scene=request.scene_ref.name,
                       engine=engine, width=request.width,
                       height=request.height):
-                result = self.scheduler.render(
-                    cloud, structure, config, camera, renderer=renderer,
-                    engine=engine)
+                try:
+                    result = self.scheduler.render(
+                        cloud, structure, config, camera, renderer=renderer,
+                        engine=engine, force_serial=force_serial)
+                    if pooled and not force_serial:
+                        self._breaker.record_success()
+                except WorkerCrashError as exc:
+                    if not pooled or force_serial:
+                        raise
+                    # The pool ate this frame (quarantined poison task,
+                    # retries exhausted). The request is still
+                    # servable: the serial path produces bit-identical
+                    # pixels, so degrade — counted, gauged, and bundled,
+                    # never silent.
+                    opened = self._breaker.record_failure()
+                    self.metrics.count("pool_fallbacks")
+                    flight.record(obs_events.FALLBACK, "serve.pool_fallback",
+                                  scene=request.scene_ref.name,
+                                  error=repr(exc),
+                                  circuit_open=self._breaker.is_open())
+                    if opened:
+                        flight.dump_incident(
+                            "pool-circuit-open", error=repr(exc),
+                            scene=request.scene_ref.name,
+                            threshold=self._breaker.threshold,
+                            cooldown_s=self._breaker.cooldown_s)
+                    result = self.scheduler.render(
+                        cloud, structure, config, camera, renderer=renderer,
+                        engine=engine, force_serial=True)
         finally:
             if renderer is not None:
                 self._tracers.put(tracer_key, renderer)
@@ -513,6 +619,7 @@ class RenderServer:
                 pool.utilization() if pool is not None else 0.0, 4),
             "packet_fallbacks": int(
                 get_registry().counter_value("rt.packet_fallbacks")),
+            "circuit_open": int(self._breaker.is_open()),
         }
 
     @property

@@ -132,6 +132,11 @@ class TileScheduler:
         pool it was given; it only closes one it created.
     adaptive:
         Enable cost-aware tile splitting from per-tile cost feedback.
+    task_deadline_s:
+        Per-tile wall-clock deadline forwarded to a pool this scheduler
+        creates (the hung-worker watchdog; see
+        :class:`~repro.pool.WorkerPool`). Ignored for a shared ``pool``
+        the caller constructed — deadline policy belongs to the owner.
     """
 
     def __init__(
@@ -141,6 +146,7 @@ class TileScheduler:
         start_method: str | None = None,
         pool: WorkerPool | None = None,
         adaptive: bool = True,
+        task_deadline_s: float | None = None,
     ) -> None:
         self.tile_width, self.tile_height = int(tile_size[0]), int(tile_size[1])
         if self.tile_width < 1 or self.tile_height < 1:
@@ -152,6 +158,7 @@ class TileScheduler:
         self.workers = workers
         self.start_method = start_method
         self.adaptive = adaptive
+        self.task_deadline_s = task_deadline_s
         self.cost_model = TileCostModel()
         #: The tile partition and worker-measured cost (seconds) of the
         #: last pooled render: ``[(Tile, cost), ...]``.
@@ -170,7 +177,8 @@ class TileScheduler:
     def _ensure_pool(self) -> WorkerPool:
         if self._pool is None or self._pool.closed:
             self._pool = WorkerPool(workers=self.workers,
-                                    start_method=self.start_method)
+                                    start_method=self.start_method,
+                                    task_deadline_s=self.task_deadline_s)
             self._owns_pool = True
             # Schedulers are often created ad hoc (tests, benchmarks);
             # tie the owned pool's shutdown to the scheduler's lifetime
@@ -223,8 +231,15 @@ class TileScheduler:
         keep_traces: bool = False,
         renderer: GaussianRayTracer | None = None,
         engine: str = "scalar",
+        force_serial: bool = False,
     ) -> RenderResult:
         """Render one frame tile-by-tile; returns a normal RenderResult.
+
+        ``force_serial`` routes this one frame down the in-process
+        serial path even when a pool is configured — the degradation
+        path the server's pool-health circuit breaker uses. Serial and
+        pooled renders are bit-identical by the standing contract
+        (verbatim bundle slices), so the fallback is image-safe.
 
         Any camera type works: tiles are cut out of the camera's own
         full-frame bundle. Traces default to off (they are the expensive
@@ -267,7 +282,7 @@ class TileScheduler:
                 keep_traces, renderer)
         tiles = split_frame(camera.width, camera.height,
                             self.tile_width, self.tile_height)
-        if self.workers <= 1 or len(tiles) <= 1:
+        if force_serial or self.workers <= 1 or len(tiles) <= 1:
             # Single-tile frames (frame <= tile size) render in-process:
             # there is nothing to parallelize, and booting/shipping to a
             # pool would only add latency.

@@ -1,0 +1,32 @@
+"""Fixture: chaos-point-registered.
+
+Every shape of unauditable fault injection: a misspelled point name
+(silently dead while disarmed, unreachable by any legal schedule), a
+computed point name the registry cannot vouch for, and the three ad-hoc
+``REPRO_CHAOS`` environment reads that bypass the chaos layer's
+counters, once-tokens, and doctor attribution.
+"""
+
+import os
+
+from repro import chaos
+
+
+def probe_misspelled_point():
+    return chaos.point("pool.worker.tsak")
+
+
+def probe_computed_point(name):
+    return chaos.point(name)
+
+
+def adhoc_env_get():
+    return os.environ.get("REPRO_CHAOS")
+
+
+def adhoc_getenv():
+    return os.getenv("REPRO_CHAOS_SEED")
+
+
+def adhoc_env_subscript():
+    return os.environ["REPRO_CHAOS_TOKENS"]

@@ -74,6 +74,7 @@ CORPUS = [
     ("bad_nondeterminism.py", {"parity-nondeterminism"}, True),
     ("bad_float_eq.py", {"float-eq"}, True),
     ("bad_hygiene.py", {"mutable-default", "broad-except"}, False),
+    ("bad_chaospoint.py", {"chaos-point-registered"}, False),
 ]
 
 
@@ -117,6 +118,37 @@ def test_nondeterminism_fixture_needs_the_parity_surface():
     # itself from the surface, not from a hand-maintained list.
     assert active_rules(lint_fixture("bad_nondeterminism.py")) == set()
     assert active_rules(lint_fixture("bad_float_eq.py")) == set()
+
+
+def test_chaospoint_fixture_flags_every_shape():
+    result = lint_fixture("bad_chaospoint.py")
+    assert len(result.active) == 5
+    messages = " ".join(f.message for f in result.active)
+    for shape in ("unregistered", "non-literal", "bypasses the chaos layer",
+                  "os.environ[...]"):
+        assert shape in messages, f"missing {shape!r} finding"
+
+
+def test_chaos_rule_accepts_registered_literal_points():
+    # The real injection sites (worker task loop, registry disk IO)
+    # use registered literals — the live-tree strict gate depends on
+    # this staying clean, so pin it directly too.
+    from repro.chaos import POINTS
+
+    source = "".join(
+        f"def probe_{i}(chaos):\n    return chaos.point({name!r})\n\n"
+        for i, name in enumerate(sorted(POINTS)))
+    result = run_lint_on_source(source)
+    assert active_rules(result) == set()
+
+
+def run_lint_on_source(source, tmp_dir=None):
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "sample.py"
+        path.write_text(source)
+        return run_lint([path], config=LintConfig())
 
 
 def test_blessed_patterns_lint_clean():
@@ -341,6 +373,18 @@ def test_cli_gate_trips_on_a_seeded_violation(tmp_path):
     doc = json.loads(proc.stdout)
     assert doc["counts"]["errors"] == 1
     assert doc["findings"][0]["rule"] == "lock-discipline"
+
+
+def test_cli_gate_trips_on_a_seeded_chaos_violation(tmp_path):
+    # What the CI chaos-smoke job runs: an ad-hoc REPRO_CHAOS env read
+    # must fail the strict gate under chaos-point-registered.
+    bad = tmp_path / "seeded_chaos.py"
+    bad.write_text("import os\n\n\ndef gate():\n"
+                   "    return os.environ.get('REPRO_CHAOS')\n")
+    proc = _run_cli(str(bad), "--strict", "--json")
+    assert proc.returncode == 1
+    doc = json.loads(proc.stdout)
+    assert doc["findings"][0]["rule"] == "chaos-point-registered"
 
 
 def test_cli_passes_on_a_clean_file(tmp_path):

@@ -139,6 +139,51 @@ class TestSceneRegistry:
         assert recovering.disk_rejects == 1
         assert recovering.builds == 1
 
+    @staticmethod
+    def _damage_truncated(archive):
+        archive.write_bytes(archive.read_bytes()[: archive.stat().st_size // 2])
+
+    @staticmethod
+    def _damage_garbage(archive):
+        archive.write_bytes(b"\x00" * 256)
+
+    @staticmethod
+    def _damage_wrong_version(archive):
+        # A well-formed archive from a different format generation: the
+        # loader must reject it on the version field, not mis-deserialize.
+        np.savez_compressed(archive.with_suffix(""),
+                            format_version=np.int64(999))
+
+    @pytest.mark.parametrize(
+        "damage", ["truncated", "garbage", "wrong_version"])
+    def test_every_corruption_shape_degrades_to_a_rebuild(
+            self, tmp_path, damage):
+        """Truncated, garbage, and wrong-version cache entries must all
+        surface internally as StructureFormatError, get evicted, and be
+        served via rebuild — never crash the request or deserialize
+        wrong bytes."""
+        from repro.bvh.serialize import StructureFormatError, load_structure
+
+        ref = SceneRef("train", SCALE)
+        cold = SceneRegistry(cache_dir=tmp_path)
+        built = cold.structure(ref, "tlas+sphere")
+        (archive,) = tmp_path.glob("*.npz")
+        getattr(type(self), f"_damage_{damage}")(archive)
+
+        with pytest.raises(StructureFormatError):
+            load_structure(archive)
+
+        recovering = SceneRegistry(cache_dir=tmp_path)
+        structure = recovering.structure(ref, "tlas+sphere")
+        assert structure.total_bytes == built.total_bytes
+        assert recovering.disk_rejects == 1
+        assert recovering.disk_hits == 0
+        assert recovering.builds == 1
+        # The rejected entry was evicted and the rebuild re-persisted,
+        # so the next registry warm-starts from a clean cache again.
+        assert SceneRegistry(cache_dir=tmp_path).structure(
+            ref, "tlas+sphere").total_bytes == built.total_bytes
+
 
 class TestBenchWorkload:
     def test_unique_configs_are_actually_unique(self):
